@@ -1,0 +1,79 @@
+// Package ccdp is the public API of the Cache-Conscious Data Placement
+// reproduction (Calder, Krintz, John & Austin, ASPLOS 1998).
+//
+// The library profiles a program model's data-reference behaviour, builds
+// the paper's Temporal Relationship Graph, computes a conflict-minimising
+// placement for stack, globals, heap, and constants, and evaluates it on a
+// simulated data cache:
+//
+//	w, _ := ccdp.Workload("compress")
+//	cmp, _ := ccdp.Run(w, ccdp.DefaultOptions())
+//	fmt.Printf("miss rate %.2f%% -> %.2f%%\n",
+//		cmp.Result("test", ccdp.LayoutNatural).MissRate(),
+//		cmp.Result("test", ccdp.LayoutCCDP).MissRate())
+//
+// The package re-exports the pipeline types from the internal packages;
+// advanced users can drive the stages (ProfilePass, Place, EvalPass)
+// separately.
+package ccdp
+
+import (
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Re-exported core types. Aliases keep the public surface thin while the
+// implementation lives in internal packages.
+type (
+	// Options bundles the experiment knobs (cache geometry, profiling
+	// granularity, placement settings).
+	Options = sim.Options
+	// Comparison is one workload's full experiment result.
+	Comparison = core.Comparison
+	// EvalResult is one evaluation pass (one input, one layout).
+	EvalResult = sim.EvalResult
+	// LayoutKind names a placement under evaluation.
+	LayoutKind = sim.LayoutKind
+	// Input selects a workload dataset.
+	Input = workload.Input
+	// PlacementMap is the optimizer's output (paper phase 8).
+	PlacementMap = placement.Map
+	// ProfileResult carries the Name profile and TRG of a profiling run.
+	ProfileResult = sim.ProfileResult
+)
+
+// The three placements the paper evaluates.
+const (
+	LayoutNatural = sim.LayoutNatural
+	LayoutCCDP    = sim.LayoutCCDP
+	LayoutRandom  = sim.LayoutRandom
+)
+
+// DefaultOptions returns the paper's configuration: 8 KB direct-mapped
+// cache with 32-byte lines, 256-byte TRG chunks, a 16 KB recency queue,
+// 99% popularity cutoff, and XOR naming depth 4.
+func DefaultOptions() Options { return sim.DefaultOptions() }
+
+// Workload returns a benchmark model by name (see WorkloadNames).
+func Workload(name string) (workload.Workload, error) { return workload.Get(name) }
+
+// WorkloadNames lists the nine benchmark models in the paper's table
+// order.
+func WorkloadNames() []string { return workload.Names() }
+
+// Workloads returns every benchmark model in table order.
+func Workloads() []workload.Workload { return workload.All() }
+
+// Run profiles w on its train input, computes a CCDP placement, and
+// evaluates the requested layouts and inputs (defaults: natural+CCDP on
+// train+test).
+func Run(w workload.Workload, opts Options) (*Comparison, error) {
+	return core.Run(w, opts, nil, nil)
+}
+
+// RunLayouts is Run with explicit layout and input lists.
+func RunLayouts(w workload.Workload, opts Options, layouts []LayoutKind, inputs []Input) (*Comparison, error) {
+	return core.Run(w, opts, layouts, inputs)
+}

@@ -1,0 +1,153 @@
+package ccdp_test
+
+import (
+	"testing"
+
+	"repro/ccdp"
+)
+
+func TestWorkloadNames(t *testing.T) {
+	names := ccdp.WorkloadNames()
+	if len(names) != 9 {
+		t.Fatalf("%d workloads, want the paper's 9", len(names))
+	}
+	if names[0] != "deltablue" || names[8] != "mgrid" {
+		t.Fatalf("unexpected order: %v", names)
+	}
+}
+
+func TestWorkloadLookup(t *testing.T) {
+	if _, err := ccdp.Workload("compress"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ccdp.Workload("doom"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	opts := ccdp.DefaultOptions()
+	if opts.Cache.Size != 8192 || opts.Cache.BlockSize != 32 || opts.Cache.Assoc != 1 {
+		t.Fatalf("default cache %+v, want the paper's 8K DM/32B", opts.Cache)
+	}
+	if opts.Profile.ChunkSize != 256 {
+		t.Fatalf("chunk size %d, want 256", opts.Profile.ChunkSize)
+	}
+	if opts.NameDepth != 4 {
+		t.Fatalf("XOR name depth %d, want 4", opts.NameDepth)
+	}
+}
+
+func TestEndToEndRun(t *testing.T) {
+	w, err := ccdp.Workload("fpppp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, te := w.Train(), w.Test()
+	tr.Bursts /= 10
+	te.Bursts /= 10
+	cmp, err := ccdp.RunLayouts(w, ccdp.DefaultOptions(), nil, []ccdp.Input{tr, te})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat := cmp.Result("train", ccdp.LayoutNatural)
+	opt := cmp.Result("train", ccdp.LayoutCCDP)
+	if nat == nil || opt == nil {
+		t.Fatal("missing results")
+	}
+	if opt.MissRate() >= nat.MissRate() {
+		t.Fatalf("fpppp: CCDP %.2f%% did not beat natural %.2f%%",
+			opt.MissRate(), nat.MissRate())
+	}
+}
+
+func TestWorkloadsComplete(t *testing.T) {
+	ws := ccdp.Workloads()
+	if len(ws) != 9 {
+		t.Fatalf("Workloads() returned %d entries", len(ws))
+	}
+	for _, w := range ws {
+		if w.Description() == "" {
+			t.Errorf("%s has no description", w.Name())
+		}
+	}
+}
+
+func TestStagedPipeline(t *testing.T) {
+	w, err := ccdp.Workload("m88ksim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ccdp.DefaultOptions()
+	in := w.Train()
+	in.Bursts /= 10
+
+	pr, err := ccdp.Profile(w, in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := ccdp.Place(w, pr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := ccdp.Evaluate(w, in, ccdp.LayoutNatural, nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := ccdp.Evaluate(w, in, ccdp.LayoutCCDP, pr, pm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.MissRate() >= nat.MissRate() {
+		t.Fatalf("staged pipeline: CCDP %.2f%% did not beat natural %.2f%%",
+			opt.MissRate(), nat.MissRate())
+	}
+	rnd, err := ccdp.Evaluate(w, in, ccdp.LayoutRandom, nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rnd.MissRate() <= 0 {
+		t.Fatal("random layout produced no misses")
+	}
+}
+
+func TestCustomProgramThroughPublicAPI(t *testing.T) {
+	cmp, err := ccdp.Run(pingpongProgram{}, ccdp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat := cmp.Result("test", ccdp.LayoutNatural)
+	opt := cmp.Result("test", ccdp.LayoutCCDP)
+	if opt.MissRate() >= nat.MissRate()/2 {
+		t.Fatalf("custom pathological program: CCDP %.2f%% vs natural %.2f%%, want a dramatic fix",
+			opt.MissRate(), nat.MissRate())
+	}
+}
+
+// pingpongProgram mirrors examples/conflict: two hot tables separated by
+// exactly one cache size of cold data.
+type pingpongProgram struct{}
+
+func (pingpongProgram) Name() string        { return "pingpong-test" }
+func (pingpongProgram) Description() string { return "test program" }
+func (pingpongProgram) HeapPlacement() bool { return false }
+func (pingpongProgram) Train() ccdp.Input   { return ccdp.Input{Label: "train", Seed: 1, Bursts: 8000} }
+func (pingpongProgram) Test() ccdp.Input    { return ccdp.Input{Label: "test", Seed: 2, Bursts: 8000} }
+func (pingpongProgram) Spec() ccdp.Spec {
+	return ccdp.Spec{
+		StackSize: 1024,
+		Globals: []ccdp.Var{
+			{Name: "hot_a", Size: 2048},
+			{Name: "cold", Size: 6144},
+			{Name: "hot_b", Size: 2048},
+		},
+		Constants: []ccdp.Var{{Name: "tbl", Size: 128}},
+	}
+}
+func (pingpongProgram) Run(in ccdp.Input, p *ccdp.Prog) {
+	p.RunMix([]ccdp.Activity{
+		p.HotSetActivity("pp", []int{0, 2}, []float64{1, 1}, 6, 0.3, 8),
+		p.StackActivity(3, 1),
+		p.ConstActivity("t", []int{0}, 2, 0.2),
+	}, in.Bursts)
+}

@@ -1,0 +1,60 @@
+package ccdp_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ccdp"
+)
+
+// ExampleRun shows the one-call pipeline: profile a benchmark model on its
+// train input, compute the placement, and compare miss rates on both
+// inputs.
+func ExampleRun() {
+	w, err := ccdp.Workload("mgrid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := ccdp.Run(w, ccdp.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	nat := cmp.Result("test", ccdp.LayoutNatural)
+	opt := cmp.Result("test", ccdp.LayoutCCDP)
+	// mgrid is the paper's null case: one giant array, placement can
+	// neither help nor hurt.
+	fmt.Printf("mgrid moves less than half a point: %v\n",
+		opt.MissRate()-nat.MissRate() < 0.5 && nat.MissRate()-opt.MissRate() < 0.5)
+	// Output:
+	// mgrid moves less than half a point: true
+}
+
+// ExampleProfile drives the pipeline stage by stage, the shape to use when
+// one profile feeds many evaluations (cache sweeps, ablations).
+func ExampleProfile() {
+	w, err := ccdp.Workload("fpppp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := ccdp.DefaultOptions()
+	pr, err := ccdp.Profile(w, w.Train(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm, err := ccdp.Place(w, pr, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nat, err := ccdp.Evaluate(w, w.Test(), ccdp.LayoutNatural, nil, nil, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := ccdp.Evaluate(w, w.Test(), ccdp.LayoutCCDP, pr, pm, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fpppp improves by more than a third: %v\n",
+		opt.MissRate() < nat.MissRate()*2/3)
+	// Output:
+	// fpppp improves by more than a third: true
+}

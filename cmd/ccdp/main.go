@@ -1,0 +1,173 @@
+// Command ccdp runs the full cache-conscious data placement pipeline on
+// one workload and reports the result, with optional diagnostics about the
+// profile, the placement, and the custom allocator's behaviour.
+//
+// Usage:
+//
+//	ccdp -workload compress [-v] [-random] [-scale 1.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/persist"
+	"repro/internal/placement"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trg"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "compress", "workload to optimise")
+	verbose := flag.Bool("v", false, "print profile/placement diagnostics")
+	withRandom := flag.Bool("random", false, "also evaluate the random-layout control")
+	scale := flag.Float64("scale", 1.0, "burst-count multiplier")
+	loadProfile := flag.String("load-profile", "", "read the profile from this file instead of profiling")
+	loadPlacement := flag.String("load-placement", "", "read the placement map from this file instead of placing")
+	flag.Parse()
+
+	w, err := workload.Get(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := sim.DefaultOptions()
+	layouts := []sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP}
+	if *withRandom {
+		layouts = append(layouts, sim.LayoutRandom)
+	}
+	train, test := w.Train(), w.Test()
+	train.Bursts = int(float64(train.Bursts) * *scale)
+	test.Bursts = int(float64(test.Bursts) * *scale)
+
+	if (*loadProfile == "") != (*loadPlacement == "") {
+		fmt.Fprintln(os.Stderr, "ccdp: -load-profile and -load-placement must be used together")
+		os.Exit(2)
+	}
+	var cmp *core.Comparison
+	if *loadProfile != "" {
+		cmp, err = runFromFiles(w, opts, layouts, []workload.Input{train, test},
+			*loadProfile, *loadPlacement)
+	} else {
+		cmp, err = core.Run(w, opts, layouts, []workload.Input{train, test})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s — %s\n\n", w.Name(), w.Description())
+	if *verbose {
+		printProfile(cmp)
+		printPlacement(cmp)
+	}
+	for _, input := range []string{"train", "test"} {
+		fmt.Printf("%s input:\n", input)
+		for _, kind := range layouts {
+			r := cmp.Result(input, kind)
+			if r == nil {
+				continue
+			}
+			fmt.Printf("  %-8s miss %6.2f%%  (stack %5.2f  global %5.2f  heap %5.2f  const %5.2f)",
+				kind, r.MissRate(),
+				r.Stats.CategoryMissRate(object.Stack),
+				r.Stats.CategoryMissRate(object.Global),
+				r.Stats.CategoryMissRate(object.Heap),
+				r.Stats.CategoryMissRate(object.Constant))
+			if kind == sim.LayoutCCDP && w.HeapPlacement() {
+				as := r.AllocStats
+				fmt.Printf("  [allocs %d hits %d bins %d pref %d brk %d]",
+					as.Allocs, as.TableHits, as.BinAllocs, as.PrefPlaced, as.BrkExtends)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("  CCDP reduction: %.2f%%\n\n", cmp.Reduction(input))
+	}
+}
+
+func printProfile(cmp *core.Comparison) {
+	g := cmp.Profile.Profile.Graph
+	fmt.Printf("profile: %v, %d refs\n", g, cmp.Profile.Profile.TotalRefs)
+	var popular, heapNodes, nonUnique int
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(trg.NodeID(i))
+		if n.Popular {
+			popular++
+		}
+		if n.Category == object.Heap {
+			heapNodes++
+			if n.NonUniqueXOR {
+				nonUnique++
+			}
+		}
+	}
+	fmt.Printf("nodes: %d total, %d popular, %d heap names (%d non-unique)\n",
+		g.NumNodes(), popular, heapNodes, nonUnique)
+}
+
+func printPlacement(cmp *core.Comparison) {
+	m := cmp.Placement
+	fmt.Printf("placement: %d global slots over %d bytes, stack at %#x, %d heap plans in %d bins, predicted conflict %d\n",
+		len(m.GlobalLayout), m.GlobalSegSize, uint64(m.StackStart),
+		len(m.HeapPlans), m.NumBins, m.PredictedConflict)
+	var withPref, withBin int
+	for _, p := range m.HeapPlans {
+		if p.PrefOffset != placement.NoPreference {
+			withPref++
+		}
+		if p.Bin >= 0 {
+			withBin++
+		}
+	}
+	fmt.Printf("heap plans: %d with preferred offset, %d with bin tag\n\n", withPref, withBin)
+}
+
+// runFromFiles evaluates the requested layouts using a profile and
+// placement map saved earlier (e.g. by trgdump), the offline-toolchain
+// path: no profiling pass runs in this process.
+func runFromFiles(w workload.Workload, opts sim.Options, layouts []sim.LayoutKind,
+	inputs []workload.Input, profilePath, placementPath string) (*core.Comparison, error) {
+	pf, err := os.Open(profilePath)
+	if err != nil {
+		return nil, err
+	}
+	defer pf.Close()
+	var prof *profile.Profile
+	if prof, err = persist.ReadProfile(pf); err != nil {
+		return nil, err
+	}
+	mf, err := os.Open(placementPath)
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	pm, err := persist.ReadPlacement(mf)
+	if err != nil {
+		return nil, err
+	}
+	pr := &sim.ProfileResult{Profile: prof}
+	cmp := &core.Comparison{
+		Workload:  w,
+		Options:   opts,
+		Profile:   pr,
+		Placement: pm,
+		Results:   make(map[string]map[sim.LayoutKind]*sim.EvalResult),
+	}
+	for _, in := range inputs {
+		byLayout := make(map[sim.LayoutKind]*sim.EvalResult, len(layouts))
+		for _, kind := range layouts {
+			res, err := sim.EvalPass(w, in, kind, pr, pm, opts, 0)
+			if err != nil {
+				return nil, err
+			}
+			byLayout[kind] = res
+		}
+		cmp.Results[in.Label] = byLayout
+	}
+	return cmp, nil
+}

@@ -1,0 +1,346 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation section from the workload models.
+//
+// Usage:
+//
+//	tables [-json results.json] [-which all|1|2|3|4|5|fig3|random|sweep|hierarchy|classes|prefetch] [-workloads a,b,c] [-scale 1.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/placement"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	which := flag.String("which", "all", "what to print: all,1,2,3,4,5,fig3,random,sweep,hierarchy,classes,prefetch,victim")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
+	names := flag.String("workloads", "", "comma-separated workload subset (default: all nine)")
+	scale := flag.Float64("scale", 1.0, "burst-count multiplier (smaller = faster, noisier)")
+	flag.Parse()
+
+	var ws []workload.Workload
+	if *names == "" {
+		ws = workload.All()
+	} else {
+		for _, n := range strings.Split(*names, ",") {
+			w, err := workload.Get(strings.TrimSpace(n))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			ws = append(ws, w)
+		}
+	}
+
+	opts := sim.DefaultOptions()
+	opts.TrackPages = true
+
+	wantRandom := *which == "all" || *which == "random"
+	layouts := []sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP}
+	if wantRandom {
+		layouts = append(layouts, sim.LayoutRandom)
+	}
+
+	// The per-workload pipelines are independent; fan them out.
+	scaled := make([]workload.Workload, len(ws))
+	for i, w := range ws {
+		scaled[i] = scaledWorkload{Workload: w, frac: *scale}
+	}
+	fmt.Fprintf(os.Stderr, "running %d workloads...\n", len(scaled))
+	cmps, errs := core.RunAll(scaled, opts, layouts, 0)
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f, cmps); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "results written to %s\n", *jsonOut)
+	}
+
+	show := func(key string) bool { return *which == "all" || *which == key }
+	if show("1") {
+		fmt.Println(report.Table1(cmps))
+	}
+	if show("2") {
+		fmt.Println(report.Table2(cmps))
+	}
+	if show("3") {
+		fmt.Println(report.Table3(cmps))
+	}
+	if show("4") {
+		fmt.Println(report.Table4(cmps))
+	}
+	if show("5") {
+		fmt.Println(report.Table5(cmps))
+	}
+	if show("fig3") {
+		for _, c := range cmps {
+			if c.Workload.HeapPlacement() {
+				fmt.Println(report.Figure3(c))
+			}
+		}
+	}
+	if show("random") {
+		fmt.Println(report.RandomTable(cmps))
+	}
+	if show("sweep") {
+		runSweep(*scale)
+	}
+	if show("hierarchy") {
+		runHierarchy(ws, *scale)
+	}
+	if show("classes") {
+		runClasses(ws, *scale)
+	}
+	if show("prefetch") {
+		runPrefetch(ws, *scale)
+	}
+	if show("victim") {
+		runVictim(ws, *scale)
+	}
+}
+
+// runVictim prints the hardware-vs-software comparison: a small victim
+// cache absorbs some of the same conflict misses CCDP removes.
+func runVictim(ws []workload.Workload, scale float64) {
+	const entries = 4
+	base := sim.DefaultOptions()
+	rows := make(map[string][4]*sim.EvalResult)
+	var order []string
+	for _, w := range ws {
+		pr, pa, test, err := pipelineFor(w, scale, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		var quad [4]*sim.EvalResult
+		for i, variant := range []struct {
+			kind   sim.LayoutKind
+			victim bool
+		}{
+			{sim.LayoutNatural, false}, {sim.LayoutNatural, true},
+			{sim.LayoutCCDP, false}, {sim.LayoutCCDP, true},
+		} {
+			opts := base
+			if variant.victim {
+				opts.Cache.VictimEntries = entries
+			}
+			res, err := sim.EvalPass(w, test, variant.kind, pr, pa.pm, opts, 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			quad[i] = res
+		}
+		rows[w.Name()] = quad
+		order = append(order, w.Name())
+	}
+	fmt.Println(report.VictimTable(rows, order, entries))
+}
+
+// scaledWorkload wraps a workload with burst-scaled inputs.
+type scaledWorkload struct {
+	workload.Workload
+	frac float64
+}
+
+func (s scaledWorkload) Train() workload.Input { return s.Workload.Train().Scaled(s.frac) }
+func (s scaledWorkload) Test() workload.Input  { return s.Workload.Test().Scaled(s.frac) }
+
+// pipelineFor profiles and places one workload at the given scale.
+func pipelineFor(w workload.Workload, scale float64, opts sim.Options) (*sim.ProfileResult, *placementArtifacts, workload.Input, error) {
+	train, test := w.Train(), w.Test()
+	train.Bursts = int(float64(train.Bursts) * scale)
+	test.Bursts = int(float64(test.Bursts) * scale)
+	pr, err := sim.ProfilePass(w, train, opts)
+	if err != nil {
+		return nil, nil, test, err
+	}
+	pm, err := sim.Place(w, pr, opts)
+	if err != nil {
+		return nil, nil, test, err
+	}
+	return pr, &placementArtifacts{pm: pm}, test, nil
+}
+
+type placementArtifacts struct{ pm *placement.Map }
+
+// runClasses prints the three-C miss breakdown, original vs CCDP.
+func runClasses(ws []workload.Workload, scale float64) {
+	opts := sim.DefaultOptions()
+	opts.Classify = true
+	rows := make(map[string][2]*sim.EvalResult)
+	var order []string
+	for _, w := range ws {
+		pr, pa, test, err := pipelineFor(w, scale, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		nat, err := sim.EvalPass(w, test, sim.LayoutNatural, nil, nil, opts, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		ccdp, err := sim.EvalPass(w, test, sim.LayoutCCDP, pr, pa.pm, opts, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		rows[w.Name()] = [2]*sim.EvalResult{nat, ccdp}
+		order = append(order, w.Name())
+	}
+	fmt.Println(report.ClassTable(rows, order))
+}
+
+// runPrefetch prints the phase-5 prefetch interaction study.
+func runPrefetch(ws []workload.Workload, scale float64) {
+	base := sim.DefaultOptions()
+	rows := make(map[string][4]*sim.EvalResult)
+	var order []string
+	for _, w := range ws {
+		pr, pa, test, err := pipelineFor(w, scale, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		var quad [4]*sim.EvalResult
+		for i, variant := range []struct {
+			kind sim.LayoutKind
+			pf   bool
+		}{
+			{sim.LayoutNatural, false}, {sim.LayoutNatural, true},
+			{sim.LayoutCCDP, false}, {sim.LayoutCCDP, true},
+		} {
+			opts := base
+			opts.Cache.Prefetch = variant.pf
+			res, err := sim.EvalPass(w, test, variant.kind, pr, pa.pm, opts, 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			quad[i] = res
+		}
+		rows[w.Name()] = quad
+		order = append(order, w.Name())
+	}
+	fmt.Println(report.PrefetchTable(rows, order))
+}
+
+// runHierarchy reproduces the memory-hierarchy extension: the same
+// placements evaluated through an L1 + L2 + TLB stack.
+func runHierarchy(ws []workload.Workload, scale float64) {
+	opts := sim.DefaultOptions()
+	hcfg := hierarchy.DefaultConfig()
+	rows := make(map[string][2]*sim.HierarchyResult)
+	var order []string
+	for _, w := range ws {
+		train, test := w.Train(), w.Test()
+		train.Bursts = int(float64(train.Bursts) * scale)
+		test.Bursts = int(float64(test.Bursts) * scale)
+		pr, err := sim.ProfilePass(w, train, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		pm, err := sim.Place(w, pr, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		nat, err := sim.EvalHierarchy(w, test, sim.LayoutNatural, nil, nil, hcfg, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		ccdp, err := sim.EvalHierarchy(w, test, sim.LayoutCCDP, pr, pm, hcfg, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		rows[w.Name()] = [2]*sim.HierarchyResult{nat, ccdp}
+		order = append(order, w.Name())
+	}
+	fmt.Println(report.HierarchyTable(rows, order))
+}
+
+// runSweep reproduces the section 5.2 study: how a placement targeted at
+// one cache geometry fares on others, including an associative cache.
+func runSweep(scale float64) {
+	targets := []cache.Config{
+		{Size: 4 * 1024, BlockSize: 32, Assoc: 1},
+		{Size: 8 * 1024, BlockSize: 32, Assoc: 1},
+		{Size: 16 * 1024, BlockSize: 32, Assoc: 1},
+		{Size: 8 * 1024, BlockSize: 32, Assoc: 2},
+	}
+	fmt.Println("Section 5.2: placement trained for 8K direct-mapped, evaluated across geometries")
+	fmt.Printf("%-10s %-22s %9s %9s %7s\n", "program", "evaluated cache", "natural", "ccdp", "%red")
+	for _, name := range []string{"espresso", "compress", "m88ksim"} {
+		w, err := workload.Get(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		opts := sim.DefaultOptions()
+		train := w.Train()
+		train.Bursts = int(float64(train.Bursts) * scale)
+		test := w.Test()
+		test.Bursts = int(float64(test.Bursts) * scale)
+
+		pr, err := sim.ProfilePass(w, train, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		pm, err := sim.Place(w, pr, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		for _, cc := range targets {
+			evalOpts := opts
+			evalOpts.Cache = cc
+			nat, err := sim.EvalPass(w, test, sim.LayoutNatural, nil, nil, evalOpts, 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			ccdp, err := sim.EvalPass(w, test, sim.LayoutCCDP, pr, pm, evalOpts, 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			red := 0.0
+			if nat.MissRate() > 0 {
+				red = 100 * (nat.MissRate() - ccdp.MissRate()) / nat.MissRate()
+			}
+			fmt.Printf("%-10s %-22s %8.2f%% %8.2f%% %6.1f%%\n",
+				name, cc.String(), nat.MissRate(), ccdp.MissRate(), red)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Package repro reproduces "Cache-Conscious Data Placement" (Calder,
+// Krintz, John & Austin, ASPLOS 1998) as a Go library.
+//
+// The public API lives in the ccdp subpackage; the benchmark harness in
+// this directory (bench_test.go) regenerates every table and figure of the
+// paper's evaluation. See README.md for the map of the repository and
+// EXPERIMENTS.md for paper-versus-measured results.
+package repro

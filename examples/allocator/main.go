@@ -1,0 +1,83 @@
+// Allocator example: run the heap-placement half of CCDP on a pointer-
+// chasing workload (deltablue) and inspect what the customized malloc did —
+// XOR-name table hits, bin allocations, preferred-offset placements — plus
+// the Figure-3 view of why short-lived heap objects resist placement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/ccdp"
+	"repro/internal/object"
+)
+
+func main() {
+	w, err := ccdp.Workload("deltablue")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := ccdp.DefaultOptions()
+
+	pr, err := ccdp.Profile(w, w.Train(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm, err := ccdp.Place(w, pr, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s heap plan: %d XOR names tabled into %d allocation bins\n",
+		w.Name(), len(pm.HeapPlans), pm.NumBins)
+
+	nat, err := ccdp.Evaluate(w, w.Test(), ccdp.LayoutNatural, nil, nil, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := ccdp.Evaluate(w, w.Test(), ccdp.LayoutCCDP, pr, pm, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nmiss rate: natural %.2f%% -> CCDP %.2f%%\n", nat.MissRate(), opt.MissRate())
+	as := opt.AllocStats
+	fmt.Printf("custom malloc: %d allocs, %d table hits, %d from bins, %d at preferred offsets\n",
+		as.Allocs, as.TableHits, as.BinAllocs, as.PrefPlaced)
+
+	// Figure-3 style summary: heap objects bucketed by reference count.
+	type bucket struct {
+		name    string
+		hi      uint64
+		objects int
+		rate    float64
+	}
+	buckets := []bucket{
+		{name: "1-10 refs", hi: 10},
+		{name: "11-100 refs", hi: 100},
+		{name: "101-1K refs", hi: 1000},
+		{name: ">1K refs", hi: 1 << 62},
+	}
+	nat.Objects.ForEach(func(in *object.Info) {
+		if in.Category != object.Heap || int(in.ID) >= len(nat.ObjRefs) {
+			return
+		}
+		refs := nat.ObjRefs[in.ID]
+		if refs == 0 {
+			return
+		}
+		i := sort.Search(len(buckets), func(i int) bool { return refs <= buckets[i].hi })
+		buckets[i].objects++
+		buckets[i].rate += 100 * float64(nat.ObjMisses[in.ID]) / float64(refs)
+	})
+	fmt.Println("\nheap objects by reference count (natural placement):")
+	for _, b := range buckets {
+		if b.objects == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %6d objects, avg miss rate %5.1f%%\n",
+			b.name, b.objects, b.rate/float64(b.objects))
+	}
+	fmt.Println("\nThe high-miss objects cluster at low reference counts — the paper's")
+	fmt.Println("Figure 3 — which is why heap placement buys less than global placement.")
+}

@@ -1,0 +1,67 @@
+// Cachetune example: the paper's section 5.2 question — a binary is placed
+// once, but runs on processors with different cache geometries. Profile and
+// place espresso for the default 8 KB direct-mapped target, then evaluate
+// that single placement on smaller, larger, and set-associative caches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ccdp"
+	"repro/internal/cache"
+)
+
+func main() {
+	w, err := ccdp.Workload("espresso")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := ccdp.DefaultOptions()
+
+	// One placement, trained for the paper's 8K direct-mapped target.
+	pr, err := ccdp.Profile(w, w.Train(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm, err := ccdp.Place(w, pr, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	targets := []cache.Config{
+		{Size: 4 * 1024, BlockSize: 32, Assoc: 1},
+		{Size: 8 * 1024, BlockSize: 32, Assoc: 1}, // the placement target
+		{Size: 16 * 1024, BlockSize: 32, Assoc: 1},
+		{Size: 8 * 1024, BlockSize: 32, Assoc: 2},
+		{Size: 8 * 1024, BlockSize: 32, Assoc: 4},
+	}
+	fmt.Printf("%s placement trained for %s, evaluated elsewhere:\n\n",
+		w.Name(), opts.Cache)
+	fmt.Printf("%-24s %9s %9s %8s\n", "evaluated cache", "natural", "ccdp", "%red")
+	for _, cc := range targets {
+		evalOpts := opts
+		evalOpts.Cache = cc
+		nat, err := ccdp.Evaluate(w, w.Test(), ccdp.LayoutNatural, nil, nil, evalOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := ccdp.Evaluate(w, w.Test(), ccdp.LayoutCCDP, pr, pm, evalOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		red := 0.0
+		if nat.MissRate() > 0 {
+			red = 100 * (nat.MissRate() - opt.MissRate()) / nat.MissRate()
+		}
+		marker := ""
+		if cc == opts.Cache {
+			marker = "  <- placement target"
+		}
+		fmt.Printf("%-24s %8.2f%% %8.2f%% %7.1f%%%s\n",
+			cc.String(), nat.MissRate(), opt.MissRate(), red, marker)
+	}
+	fmt.Println("\nAssociativity absorbs some of the conflicts CCDP removes, and a")
+	fmt.Println("larger cache dilutes them — the direct-mapped target gains most,")
+	fmt.Println("as the paper argues when discussing target-cache selection.")
+}

@@ -1,0 +1,107 @@
+// Package addrspace models the simulated virtual address space in which
+// data objects are placed.
+//
+// The layout mirrors the paper's four data regions: constants live inside
+// the text segment, global variables in the global data segment, heap
+// objects in the heap segment, and the stack is one contiguous object that
+// grows downward from near the top of the address space. Placement tools
+// (internal/layout, internal/heapsim) assign concrete addresses inside
+// these segments; the cache simulator only ever sees Addr values.
+package addrspace
+
+import "fmt"
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// Segment base addresses. They are far enough apart that no realistic
+// workload overflows one segment into the next, and each base is aligned
+// to every cache geometry we simulate.
+const (
+	TextBase   Addr = 0x0001_0000_0000 // constants (text segment)
+	GlobalBase Addr = 0x0002_0000_0000 // global data segment
+	HeapBase   Addr = 0x0003_0000_0000 // heap segment
+	StackTop   Addr = 0x0007_ffff_0000 // stack grows down from here
+)
+
+// PageSize is the virtual-memory page size used for the paging study
+// (Table 5 of the paper uses 8 KByte pages).
+const PageSize = 8 * 1024
+
+// Page returns the page number containing a.
+func (a Addr) Page() uint64 { return uint64(a) / PageSize }
+
+// Align rounds a up to the next multiple of n. n must be a power of two.
+func Align(a Addr, n int64) Addr {
+	mask := Addr(n - 1)
+	return (a + mask) &^ mask
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v int64) bool { return v > 0 && v&(v-1) == 0 }
+
+// Region identifies which segment an address falls into.
+type Region uint8
+
+// Regions of the simulated address space.
+const (
+	RegionText Region = iota
+	RegionGlobal
+	RegionHeap
+	RegionStack
+	RegionUnknown
+)
+
+// String returns the conventional segment name.
+func (r Region) String() string {
+	switch r {
+	case RegionText:
+		return "text"
+	case RegionGlobal:
+		return "global"
+	case RegionHeap:
+		return "heap"
+	case RegionStack:
+		return "stack"
+	default:
+		return "unknown"
+	}
+}
+
+// RegionOf classifies an address by segment.
+func RegionOf(a Addr) Region {
+	switch {
+	case a >= TextBase && a < GlobalBase:
+		return RegionText
+	case a >= GlobalBase && a < HeapBase:
+		return RegionGlobal
+	case a >= HeapBase && a < HeapBase+0x0001_0000_0000:
+		return RegionHeap
+	case a <= StackTop && a > StackTop-0x1000_0000:
+		return RegionStack
+	default:
+		return RegionUnknown
+	}
+}
+
+// Range is a half-open address interval [Start, Start+Size).
+type Range struct {
+	Start Addr
+	Size  int64
+}
+
+// End returns the first address past the range.
+func (r Range) End() Addr { return r.Start + Addr(r.Size) }
+
+// Contains reports whether a falls inside the range.
+func (r Range) Contains(a Addr) bool { return a >= r.Start && a < r.End() }
+
+// Overlaps reports whether two ranges share any address.
+func (r Range) Overlaps(o Range) bool {
+	return r.Start < o.End() && o.Start < r.End()
+}
+
+// String formats the range for diagnostics.
+func (r Range) String() string {
+	return fmt.Sprintf("[%#x,%#x)", uint64(r.Start), uint64(r.End()))
+}

@@ -1,0 +1,150 @@
+package addrspace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want Region
+	}{
+		{TextBase, RegionText},
+		{TextBase + 100, RegionText},
+		{GlobalBase, RegionGlobal},
+		{GlobalBase + 1<<20, RegionGlobal},
+		{HeapBase, RegionHeap},
+		{HeapBase + 1<<30, RegionHeap},
+		{StackTop, RegionStack},
+		{StackTop - 4096, RegionStack},
+		{0, RegionUnknown},
+	}
+	for _, c := range cases {
+		if got := RegionOf(c.addr); got != c.want {
+			t.Errorf("RegionOf(%#x) = %v, want %v", uint64(c.addr), got, c.want)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	names := map[Region]string{
+		RegionText: "text", RegionGlobal: "global", RegionHeap: "heap",
+		RegionStack: "stack", RegionUnknown: "unknown",
+	}
+	for r, want := range names {
+		if got := r.String(); got != want {
+			t.Errorf("Region(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestAlign(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		n    int64
+		want Addr
+	}{
+		{0, 8, 0},
+		{1, 8, 8},
+		{8, 8, 8},
+		{9, 32, 32},
+		{33, 32, 64},
+	}
+	for _, c := range cases {
+		if got := Align(c.a, c.n); got != c.want {
+			t.Errorf("Align(%d, %d) = %d, want %d", c.a, c.n, got, c.want)
+		}
+	}
+}
+
+func TestAlignProperty(t *testing.T) {
+	if err := quick.Check(func(a uint32, shift uint8) bool {
+		n := int64(1) << (shift % 12)
+		got := Align(Addr(a), n)
+		return got >= Addr(a) && int64(got)%n == 0 && got < Addr(a)+Addr(n)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []int64{1, 2, 4, 8, 1024, 8192} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false", v)
+		}
+	}
+	for _, v := range []int64{0, -1, 3, 6, 8193} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestPage(t *testing.T) {
+	if Addr(0).Page() != 0 {
+		t.Error("page of 0")
+	}
+	if Addr(PageSize-1).Page() != 0 {
+		t.Error("last byte of page 0")
+	}
+	if Addr(PageSize).Page() != 1 {
+		t.Error("first byte of page 1")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Start: 100, Size: 50}
+	if !r.Contains(100) || !r.Contains(149) {
+		t.Error("range should contain its endpoints-1")
+	}
+	if r.Contains(99) || r.Contains(150) {
+		t.Error("range contains out-of-bounds address")
+	}
+}
+
+func TestRangeOverlaps(t *testing.T) {
+	a := Range{Start: 0, Size: 100}
+	cases := []struct {
+		b    Range
+		want bool
+	}{
+		{Range{Start: 50, Size: 10}, true},
+		{Range{Start: 99, Size: 1}, true},
+		{Range{Start: 100, Size: 10}, false},
+		{Range{Start: 200, Size: 10}, false},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("overlap not symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestRangeOverlapsProperty(t *testing.T) {
+	// Overlap is symmetric and consistent with Contains.
+	if err := quick.Check(func(s1, s2 uint16, z1, z2 uint8) bool {
+		a := Range{Start: Addr(s1), Size: int64(z1) + 1}
+		b := Range{Start: Addr(s2), Size: int64(z2) + 1}
+		if a.Overlaps(b) != b.Overlaps(a) {
+			return false
+		}
+		// If b's start is inside a, they overlap.
+		if a.Contains(b.Start) && !a.Overlaps(b) {
+			return false
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	r := Range{Start: 0x10, Size: 16}
+	if got := r.String(); got != "[0x10,0x20)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,485 @@
+// Package cache implements the trace-driven data-cache simulator used to
+// evaluate placements.
+//
+// The paper's default geometry is an 8 KB direct-mapped cache with 32-byte
+// blocks; the simulator is parameterised over size, block size, and
+// associativity (LRU replacement) to support the multi-configuration study
+// of section 5.2. Misses are attributed to the referencing object's
+// category — exactly the paper's blame rule — and optionally classified
+// into the three Cs (compulsory / capacity / conflict) by running a shadow
+// fully-associative LRU cache of equal size.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/object"
+)
+
+// Config describes one cache geometry and its policies.
+type Config struct {
+	Size      int64 // total bytes
+	BlockSize int64 // bytes per block
+	Assoc     int   // ways; 1 = direct mapped
+
+	// Prefetch enables next-block prefetch on a miss: the sequentially
+	// following block is brought in alongside the missed one (without
+	// counting as an access). The paper's phase 5 argues that packing
+	// temporally-related small objects into adjacent blocks lets such
+	// prefetches eliminate compulsory misses; this switch measures it.
+	Prefetch bool
+
+	// WriteBack enables dirty-block accounting: stores mark blocks
+	// dirty, and evicting a dirty block counts one writeback. Miss
+	// behaviour is unchanged (write-allocate either way); the counter
+	// sizes the write traffic placement decisions induce.
+	WriteBack bool
+
+	// VictimEntries adds a small fully-associative victim cache (Jouppi,
+	// cited in the paper's introduction as a hardware alternative for
+	// absorbing conflict misses): blocks evicted from the main cache
+	// land there, and a main-cache miss that hits in the victim buffer
+	// is not counted as a miss. Comparing CCDP against a victim cache
+	// shows how much of the placement win hardware could buy instead.
+	VictimEntries int
+}
+
+// DefaultConfig is the paper's 8 KB direct-mapped, 32-byte-line cache.
+var DefaultConfig = Config{Size: 8 * 1024, BlockSize: 32, Assoc: 1}
+
+// Validate checks the geometry for consistency. The block size and the
+// number of sets must be powers of two (they index address bits); the
+// total size need not be — 3-way caches like the 21164's 96 KB S-cache
+// are legal.
+func (c Config) Validate() error {
+	if !addrspace.IsPow2(c.BlockSize) {
+		return fmt.Errorf("cache: block size %d must be a power of two", c.BlockSize)
+	}
+	if c.Assoc < 1 {
+		return fmt.Errorf("cache: associativity %d < 1", c.Assoc)
+	}
+	if c.Size < c.BlockSize*int64(c.Assoc) {
+		return fmt.Errorf("cache: size %d too small for %d ways of %d-byte blocks", c.Size, c.Assoc, c.BlockSize)
+	}
+	if sets := c.Size / c.BlockSize / int64(c.Assoc); !addrspace.IsPow2(sets) {
+		return fmt.Errorf("cache: %d sets (from size %d) is not a power of two", sets, c.Size)
+	}
+	if c.Size != int64(c.Sets())*c.BlockSize*int64(c.Assoc) {
+		return fmt.Errorf("cache: size %d is not sets*block*assoc", c.Size)
+	}
+	return nil
+}
+
+// Sets returns the number of cache sets.
+func (c Config) Sets() int { return int(c.Size / c.BlockSize / int64(c.Assoc)) }
+
+// Lines returns the number of cache lines (sets x ways).
+func (c Config) Lines() int { return int(c.Size / c.BlockSize) }
+
+// String renders the geometry, e.g. "8KB/32B direct-mapped".
+func (c Config) String() string {
+	kind := "direct-mapped"
+	if c.Assoc > 1 {
+		kind = fmt.Sprintf("%d-way", c.Assoc)
+	}
+	return fmt.Sprintf("%dKB/%dB %s", c.Size/1024, c.BlockSize, kind)
+}
+
+// MissClass partitions misses per Hill & Smith's three Cs.
+type MissClass uint8
+
+// The three miss classes.
+const (
+	Compulsory MissClass = iota
+	Capacity
+	Conflict
+	NumMissClasses = 3
+)
+
+// String returns the class name.
+func (m MissClass) String() string {
+	switch m {
+	case Compulsory:
+		return "compulsory"
+	case Capacity:
+		return "capacity"
+	case Conflict:
+		return "conflict"
+	default:
+		return "invalid"
+	}
+}
+
+// Stats accumulates simulation results.
+type Stats struct {
+	Config Config
+
+	Accesses uint64
+	Misses   uint64
+
+	CategoryAccesses [object.NumCategories]uint64
+	CategoryMisses   [object.NumCategories]uint64
+
+	ClassMisses [NumMissClasses]uint64 // populated only with classification on
+
+	Prefetches   uint64 // blocks brought in by next-block prefetch
+	PrefetchHits uint64 // misses avoided because a prefetch landed first
+	Writebacks   uint64 // dirty blocks evicted (WriteBack policy only)
+	VictimHits   uint64 // misses absorbed by the victim cache
+}
+
+// MissRate returns overall misses per access as a percentage.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.Misses) / float64(s.Accesses)
+}
+
+// CategoryMissRate returns misses blamed on category c per total access,
+// as a percentage — the paper's per-object-type miss-rate columns, which
+// sum to the overall rate.
+func (s *Stats) CategoryMissRate(c object.Category) float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.CategoryMisses[c]) / float64(s.Accesses)
+}
+
+// Sim is one cache instance processing an address stream.
+type Sim struct {
+	cfg       Config
+	setShift  uint // log2(block size)
+	setMask   uint64
+	stats     Stats
+	objMisses []uint64 // per-object misses, indexed by object.ID
+	objRefs   []uint64 // per-object accesses
+
+	// direct-mapped fast path
+	dmTags     []uint64
+	dmValid    []bool
+	dmDirty    []bool
+	dmPrefetch []bool // block arrived via prefetch, not yet demanded
+
+	// associative path: per-set entries in LRU order (front = MRU)
+	sets [][]wayEntry
+
+	classify   bool
+	seenBlocks map[uint64]struct{}
+	shadow     *lruShadow
+
+	victim *lruShadow
+}
+
+// New constructs a simulator; classify enables three-C miss classification
+// (it costs a shadow cache and a seen-block set, so benches that only need
+// miss rates leave it off).
+func New(cfg Config, classify bool) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg, classify: classify}
+	s.stats.Config = cfg
+	shift := uint(0)
+	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
+		shift++
+	}
+	s.setShift = shift
+	s.setMask = uint64(cfg.Sets() - 1)
+	if cfg.Assoc == 1 {
+		s.dmTags = make([]uint64, cfg.Sets())
+		s.dmValid = make([]bool, cfg.Sets())
+		s.dmDirty = make([]bool, cfg.Sets())
+		s.dmPrefetch = make([]bool, cfg.Sets())
+	} else {
+		s.sets = make([][]wayEntry, cfg.Sets())
+	}
+	if classify {
+		s.seenBlocks = make(map[uint64]struct{})
+		s.shadow = newLRUShadow(int(cfg.Size / cfg.BlockSize))
+	}
+	if cfg.VictimEntries > 0 {
+		s.victim = newLRUShadow(cfg.VictimEntries)
+	}
+	return s, nil
+}
+
+// Config returns the simulated geometry.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of accumulated statistics.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// ObjectStats returns per-object (refs, misses) counters indexed by ID.
+// Slices may be shorter than the object table if trailing objects were
+// never referenced.
+func (s *Sim) ObjectStats() (refs, misses []uint64) { return s.objRefs, s.objMisses }
+
+// Access simulates one data read of size bytes at addr, blamed on object
+// obj of category cat. References spanning block boundaries touch every
+// covered block, but count as a single access (and at most one miss per
+// block touched). It returns the number of blocks that missed, so a next
+// cache level can be driven from it.
+func (s *Sim) Access(addr addrspace.Addr, size int64, cat object.Category, obj object.ID) int {
+	return s.access(addr, size, cat, obj, false)
+}
+
+// Write simulates one store (write-allocate). With Config.WriteBack set,
+// the touched blocks become dirty and their eventual eviction counts a
+// writeback.
+func (s *Sim) Write(addr addrspace.Addr, size int64, cat object.Category, obj object.ID) int {
+	return s.access(addr, size, cat, obj, true)
+}
+
+func (s *Sim) access(addr addrspace.Addr, size int64, cat object.Category, obj object.ID, write bool) int {
+	if size <= 0 {
+		size = 1
+	}
+	s.stats.Accesses++
+	s.stats.CategoryAccesses[cat]++
+	s.growObj(obj)
+	s.objRefs[obj]++
+
+	dirty := write && s.cfg.WriteBack
+	missed := 0
+	first := uint64(addr) >> s.setShift
+	last := uint64(addr+addrspace.Addr(size)-1) >> s.setShift
+	for blk := first; blk <= last; blk++ {
+		hit, wasPrefetch, evicted, evictedOK := s.touchBlock(blk, dirty, false)
+		if hit {
+			if wasPrefetch {
+				s.stats.PrefetchHits++
+			}
+			if s.classify {
+				s.shadow.touch(blk)
+			}
+			continue
+		}
+		victimHit := false
+		if s.victim != nil {
+			victimHit = s.victim.remove(blk)
+			if evictedOK {
+				s.victim.touch(evicted)
+			}
+		}
+		if victimHit {
+			// A swap with the victim buffer: the reference is served
+			// without a refill, so it does not count as a miss.
+			s.stats.VictimHits++
+		} else {
+			missed++
+			s.stats.Misses++
+			s.stats.CategoryMisses[cat]++
+			s.objMisses[obj]++
+			if s.classify {
+				s.stats.ClassMisses[s.classifyMiss(blk)]++
+			}
+		}
+		if s.cfg.Prefetch {
+			// Next-block prefetch rides along with the demand fill.
+			if pHit, _, _, _ := s.touchBlock(blk+1, false, true); !pHit {
+				s.stats.Prefetches++
+			}
+		}
+	}
+	return missed
+}
+
+func (s *Sim) growObj(obj object.ID) {
+	if int(obj) >= len(s.objRefs) {
+		n := int(obj) + 1
+		refs := make([]uint64, n+n/2)
+		copy(refs, s.objRefs)
+		s.objRefs = refs
+		misses := make([]uint64, n+n/2)
+		copy(misses, s.objMisses)
+		s.objMisses = misses
+	}
+}
+
+// wayEntry is one resident block in an associative set.
+type wayEntry struct {
+	tag        uint64
+	dirty      bool
+	prefetched bool
+}
+
+// touchBlock simulates one block reference. dirty marks the block dirty
+// (write-back stores); prefetched tags a speculative fill. It returns
+// whether the block hit, whether a hit found a block that had arrived via
+// prefetch and is being demanded for the first time, and — on a miss that
+// displaced a resident block — the evicted block number.
+func (s *Sim) touchBlock(blk uint64, dirty, prefetched bool) (hit, wasPrefetch bool, evicted uint64, evictedOK bool) {
+	set := blk & s.setMask
+	tag := blk // full block number doubles as the tag
+	if s.dmTags != nil {
+		if s.dmValid[set] && s.dmTags[set] == tag {
+			wasPrefetch = s.dmPrefetch[set] && !prefetched
+			if !prefetched {
+				s.dmPrefetch[set] = false
+			}
+			s.dmDirty[set] = s.dmDirty[set] || dirty
+			return true, wasPrefetch, 0, false
+		}
+		if s.dmValid[set] {
+			evicted, evictedOK = s.dmTags[set], true
+			if s.dmDirty[set] {
+				s.stats.Writebacks++
+			}
+		}
+		s.dmValid[set] = true
+		s.dmTags[set] = tag
+		s.dmDirty[set] = dirty
+		s.dmPrefetch[set] = prefetched
+		return false, false, evicted, evictedOK
+	}
+	ways := s.sets[set]
+	for i := range ways {
+		if ways[i].tag == tag {
+			e := ways[i]
+			wasPrefetch = e.prefetched && !prefetched
+			if !prefetched {
+				e.prefetched = false
+			}
+			e.dirty = e.dirty || dirty
+			// Move to front (MRU).
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = e
+			return true, wasPrefetch, 0, false
+		}
+	}
+	if len(ways) < s.cfg.Assoc {
+		ways = append(ways, wayEntry{})
+	} else {
+		last := ways[len(ways)-1]
+		evicted, evictedOK = last.tag, true
+		if last.dirty {
+			s.stats.Writebacks++
+		}
+	}
+	copy(ways[1:], ways)
+	ways[0] = wayEntry{tag: tag, dirty: dirty, prefetched: prefetched}
+	s.sets[set] = ways
+	return false, false, evicted, evictedOK
+}
+
+// classifyMiss implements the three-C taxonomy: a block never seen before
+// is a compulsory miss; otherwise, if a fully-associative LRU cache of the
+// same capacity also misses, it is a capacity miss; otherwise conflict.
+func (s *Sim) classifyMiss(blk uint64) MissClass {
+	if _, seen := s.seenBlocks[blk]; !seen {
+		s.seenBlocks[blk] = struct{}{}
+		s.shadow.touch(blk)
+		return Compulsory
+	}
+	if s.shadow.touch(blk) {
+		return Capacity
+	}
+	return Conflict
+}
+
+// Flush empties the cache contents but keeps statistics, modelling a
+// context switch. Dirty blocks are written back.
+func (s *Sim) Flush() {
+	if s.dmValid != nil {
+		for i := range s.dmValid {
+			if s.dmValid[i] && s.dmDirty[i] {
+				s.stats.Writebacks++
+			}
+			s.dmValid[i] = false
+			s.dmDirty[i] = false
+			s.dmPrefetch[i] = false
+		}
+		return
+	}
+	for i := range s.sets {
+		for _, e := range s.sets[i] {
+			if e.dirty {
+				s.stats.Writebacks++
+			}
+		}
+		s.sets[i] = s.sets[i][:0]
+	}
+}
+
+// lruShadow is a fully-associative LRU cache over block numbers, used only
+// for capacity/conflict discrimination. O(1) per touch via map + intrusive
+// doubly-linked list.
+type lruShadow struct {
+	capacity int
+	nodes    map[uint64]*lruNode
+	head     *lruNode // MRU
+	tail     *lruNode // LRU
+}
+
+type lruNode struct {
+	blk        uint64
+	prev, next *lruNode
+}
+
+func newLRUShadow(capacity int) *lruShadow {
+	return &lruShadow{capacity: capacity, nodes: make(map[uint64]*lruNode, capacity+1)}
+}
+
+// remove deletes blk if present, reporting whether it was there.
+func (l *lruShadow) remove(blk uint64) bool {
+	n, ok := l.nodes[blk]
+	if !ok {
+		return false
+	}
+	l.unlink(n)
+	delete(l.nodes, blk)
+	return true
+}
+
+// touch accesses blk and returns true if it missed.
+func (l *lruShadow) touch(blk uint64) bool {
+	if n, ok := l.nodes[blk]; ok {
+		l.moveToFront(n)
+		return false
+	}
+	n := &lruNode{blk: blk}
+	l.nodes[blk] = n
+	l.pushFront(n)
+	if len(l.nodes) > l.capacity {
+		evict := l.tail
+		l.unlink(evict)
+		delete(l.nodes, evict.blk)
+	}
+	return true
+}
+
+func (l *lruShadow) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *lruShadow) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *lruShadow) moveToFront(n *lruNode) {
+	if l.head == n {
+		return
+	}
+	l.unlink(n)
+	l.pushFront(n)
+}

@@ -1,0 +1,315 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addrspace"
+	"repro/internal/object"
+)
+
+func mustNew(t *testing.T, cfg Config, classify bool) *Sim {
+	t.Helper()
+	s, err := New(cfg, classify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Size: 1000, BlockSize: 32, Assoc: 1}, // size not pow2
+		{Size: 8192, BlockSize: 33, Assoc: 1}, // block not pow2
+		{Size: 8192, BlockSize: 32, Assoc: 0}, // zero ways
+		{Size: 64, BlockSize: 32, Assoc: 4},   // too many ways
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v unexpectedly valid", c)
+		}
+	}
+}
+
+func TestConfigGeometry(t *testing.T) {
+	if DefaultConfig.Sets() != 256 || DefaultConfig.Lines() != 256 {
+		t.Fatalf("8K/32B direct-mapped should have 256 sets/lines, got %d/%d",
+			DefaultConfig.Sets(), DefaultConfig.Lines())
+	}
+	c2 := Config{Size: 8192, BlockSize: 32, Assoc: 2}
+	if c2.Sets() != 128 || c2.Lines() != 256 {
+		t.Fatalf("2-way: sets %d lines %d", c2.Sets(), c2.Lines())
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if got := DefaultConfig.String(); got != "8KB/32B direct-mapped" {
+		t.Errorf("String() = %q", got)
+	}
+	c2 := Config{Size: 16384, BlockSize: 64, Assoc: 4}
+	if got := c2.String(); got != "16KB/64B 4-way" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestDirectMappedHitMiss(t *testing.T) {
+	s := mustNew(t, DefaultConfig, false)
+	a := addrspace.Addr(0x10000)
+	s.Access(a, 8, object.Global, 1) // compulsory miss
+	s.Access(a, 8, object.Global, 1) // hit
+	s.Access(a+8, 8, object.Global, 1)
+	st := s.Stats()
+	if st.Accesses != 3 || st.Misses != 1 {
+		t.Fatalf("accesses %d misses %d, want 3/1", st.Accesses, st.Misses)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	s := mustNew(t, DefaultConfig, false)
+	a := addrspace.Addr(0x10000)
+	b := a + 8192 // same set, different tag
+	for i := 0; i < 10; i++ {
+		s.Access(a, 8, object.Global, 1)
+		s.Access(b, 8, object.Global, 2)
+	}
+	st := s.Stats()
+	if st.Misses != 20 {
+		t.Fatalf("alternating conflict should miss every access: %d/20", st.Misses)
+	}
+}
+
+func TestTwoWayAbsorbsConflict(t *testing.T) {
+	s := mustNew(t, Config{Size: 8192, BlockSize: 32, Assoc: 2}, false)
+	a := addrspace.Addr(0x10000)
+	b := a + 4096 // same set in a 128-set 2-way cache
+	for i := 0; i < 10; i++ {
+		s.Access(a, 8, object.Global, 1)
+		s.Access(b, 8, object.Global, 2)
+	}
+	st := s.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("2-way should hold both blocks: misses %d, want 2", st.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := mustNew(t, Config{Size: 8192, BlockSize: 32, Assoc: 2}, false)
+	a := addrspace.Addr(0x10000)
+	b := a + 4096
+	c := a + 8192
+	s.Access(a, 8, object.Global, 1) // miss
+	s.Access(b, 8, object.Global, 1) // miss
+	s.Access(a, 8, object.Global, 1) // hit; makes b the LRU
+	s.Access(c, 8, object.Global, 1) // miss, evicts b
+	s.Access(a, 8, object.Global, 1) // hit
+	s.Access(b, 8, object.Global, 1) // miss (was evicted)
+	st := s.Stats()
+	if st.Misses != 4 {
+		t.Fatalf("misses %d, want 4 (LRU must evict b)", st.Misses)
+	}
+}
+
+func TestSpanningAccess(t *testing.T) {
+	s := mustNew(t, DefaultConfig, false)
+	// 8 bytes straddling a 32-byte block boundary: two blocks touched,
+	// one access, up to two misses.
+	s.Access(addrspace.Addr(0x10000+28), 8, object.Global, 1)
+	st := s.Stats()
+	if st.Accesses != 1 {
+		t.Fatalf("accesses %d, want 1", st.Accesses)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("misses %d, want 2 (both blocks cold)", st.Misses)
+	}
+}
+
+func TestCategoryAttribution(t *testing.T) {
+	s := mustNew(t, DefaultConfig, false)
+	s.Access(0x10000, 8, object.Stack, 0)
+	s.Access(0x20000, 8, object.Heap, 1)
+	s.Access(0x20000, 8, object.Heap, 1)
+	st := s.Stats()
+	if st.CategoryMisses[object.Stack] != 1 || st.CategoryMisses[object.Heap] != 1 {
+		t.Fatalf("category misses %v", st.CategoryMisses)
+	}
+	if st.CategoryAccesses[object.Heap] != 2 {
+		t.Fatalf("heap accesses %d", st.CategoryAccesses[object.Heap])
+	}
+	// Category rates must sum to the overall rate.
+	var sum float64
+	for c := 0; c < object.NumCategories; c++ {
+		sum += st.CategoryMissRate(object.Category(c))
+	}
+	if diff := sum - st.MissRate(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("category rates sum %g != overall %g", sum, st.MissRate())
+	}
+}
+
+func TestPerObjectStats(t *testing.T) {
+	s := mustNew(t, DefaultConfig, false)
+	s.Access(0x10000, 8, object.Global, 3)
+	s.Access(0x10000, 8, object.Global, 3)
+	s.Access(0x30000, 8, object.Global, 7)
+	refs, misses := s.ObjectStats()
+	if refs[3] != 2 || misses[3] != 1 {
+		t.Fatalf("object 3: refs %d misses %d", refs[3], misses[3])
+	}
+	if refs[7] != 1 || misses[7] != 1 {
+		t.Fatalf("object 7: refs %d misses %d", refs[7], misses[7])
+	}
+}
+
+func TestMissClassification(t *testing.T) {
+	s := mustNew(t, DefaultConfig, true)
+	a := addrspace.Addr(0x10000)
+	b := a + 8192
+
+	s.Access(a, 8, object.Global, 1) // compulsory
+	s.Access(b, 8, object.Global, 2) // compulsory, evicts a in DM
+	s.Access(a, 8, object.Global, 1) // conflict: full-assoc would hold both
+	st := s.Stats()
+	if st.ClassMisses[Compulsory] != 2 {
+		t.Fatalf("compulsory %d, want 2", st.ClassMisses[Compulsory])
+	}
+	if st.ClassMisses[Conflict] != 1 {
+		t.Fatalf("conflict %d, want 1", st.ClassMisses[Conflict])
+	}
+	if st.ClassMisses[Capacity] != 0 {
+		t.Fatalf("capacity %d, want 0", st.ClassMisses[Capacity])
+	}
+}
+
+func TestCapacityClassification(t *testing.T) {
+	s := mustNew(t, DefaultConfig, true)
+	// Stream through 16 KB (twice the cache) twice: second pass misses
+	// are capacity misses (full-assoc LRU also evicts them).
+	for pass := 0; pass < 2; pass++ {
+		for off := int64(0); off < 16384; off += 32 {
+			s.Access(addrspace.Addr(0x100000)+addrspace.Addr(off), 8, object.Global, 1)
+		}
+	}
+	st := s.Stats()
+	if st.ClassMisses[Compulsory] != 512 {
+		t.Fatalf("compulsory %d, want 512", st.ClassMisses[Compulsory])
+	}
+	if st.ClassMisses[Capacity] != 512 {
+		t.Fatalf("capacity %d, want 512 (LRU streaming)", st.ClassMisses[Capacity])
+	}
+}
+
+func TestClassesSumToMisses(t *testing.T) {
+	if err := quick.Check(func(seed uint32) bool {
+		s, _ := New(Config{Size: 1024, BlockSize: 32, Assoc: 1}, true)
+		x := uint64(seed)
+		for i := 0; i < 500; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			addr := addrspace.Addr(0x10000 + (x>>33)%4096)
+			s.Access(addr, 4, object.Global, 1)
+		}
+		st := s.Stats()
+		var sum uint64
+		for _, c := range st.ClassMisses {
+			sum += c
+		}
+		return sum == st.Misses
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	s := mustNew(t, DefaultConfig, false)
+	s.Access(0x10000, 8, object.Global, 1)
+	s.Access(0x10000, 8, object.Global, 1) // hit
+	s.Flush()
+	s.Access(0x10000, 8, object.Global, 1) // miss again
+	if st := s.Stats(); st.Misses != 2 {
+		t.Fatalf("misses %d, want 2 after flush", st.Misses)
+	}
+}
+
+func TestFlushAssociative(t *testing.T) {
+	s := mustNew(t, Config{Size: 8192, BlockSize: 32, Assoc: 4}, false)
+	s.Access(0x10000, 8, object.Global, 1)
+	s.Flush()
+	s.Access(0x10000, 8, object.Global, 1)
+	if st := s.Stats(); st.Misses != 2 {
+		t.Fatalf("misses %d, want 2 after flush", st.Misses)
+	}
+}
+
+func TestMissRatePercent(t *testing.T) {
+	s := mustNew(t, DefaultConfig, false)
+	s.Access(0x10000, 8, object.Global, 1)
+	s.Access(0x10000, 8, object.Global, 1)
+	s.Access(0x10000, 8, object.Global, 1)
+	s.Access(0x10000, 8, object.Global, 1)
+	st := s.Stats()
+	if got := st.MissRate(); got != 25 {
+		t.Fatalf("miss rate %g, want 25", got)
+	}
+}
+
+func TestZeroSizeAccessCountsOnce(t *testing.T) {
+	s := mustNew(t, DefaultConfig, false)
+	s.Access(0x10000, 0, object.Global, 1)
+	st := s.Stats()
+	if st.Accesses != 1 || st.Misses != 1 {
+		t.Fatalf("zero-size access: %d/%d", st.Accesses, st.Misses)
+	}
+}
+
+// Direct-mapped fast path and the general associative path must agree for
+// assoc=1 semantics: cross-validate against a 1-way config forced through
+// the associative path by comparing against expected behaviour on a
+// pseudo-random trace replayed on two identical configs.
+func TestDirectMappedAgainstModel(t *testing.T) {
+	cfg := Config{Size: 2048, BlockSize: 32, Assoc: 1}
+	s := mustNew(t, cfg, false)
+	// Reference model: map set -> tag.
+	sets := make(map[uint64]uint64)
+	var modelMisses uint64
+	x := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		addr := addrspace.Addr(0x40000 + (x>>30)%16384)
+		s.Access(addr, 1, object.Global, 1)
+		blk := uint64(addr) / 32
+		set := blk % 64
+		if tag, ok := sets[set]; !ok || tag != blk {
+			modelMisses++
+			sets[set] = blk
+		}
+	}
+	if got := s.Stats().Misses; got != modelMisses {
+		t.Fatalf("simulator misses %d, reference model %d", got, modelMisses)
+	}
+}
+
+func TestFullyAssociativeLRUShadowAgreesWithSmallCache(t *testing.T) {
+	// A cache with one set and N ways is exactly a fully-associative LRU
+	// cache; the shadow used for classification must agree with it.
+	cfg := Config{Size: 256, BlockSize: 32, Assoc: 8} // 1 set, 8 ways
+	s := mustNew(t, cfg, false)
+	sh := newLRUShadow(8)
+	var simMisses, shadowMisses uint64
+	x := uint64(999)
+	for i := 0; i < 5000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		addr := addrspace.Addr(0x50000 + (x>>32)%1024)
+		before := s.Stats().Misses
+		s.Access(addr, 1, object.Global, 1)
+		if s.Stats().Misses > before {
+			simMisses++
+		}
+		if sh.touch(uint64(addr) / 32) {
+			shadowMisses++
+		}
+	}
+	if simMisses != shadowMisses {
+		t.Fatalf("1-set cache %d misses, shadow %d", simMisses, shadowMisses)
+	}
+}

@@ -1,0 +1,95 @@
+// Package core orchestrates the full CCDP optimization framework of the
+// paper's section 3: profile a workload, feed the Name and TRG profiles to
+// the placement optimizer, then re-simulate the program under the original,
+// optimized, and (optionally) random placements on the train and test
+// inputs. It is the programmatic surface behind every experiment in the
+// evaluation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Comparison holds every artifact of one workload's experiment.
+type Comparison struct {
+	Workload workload.Workload
+	Options  sim.Options
+
+	Profile   *sim.ProfileResult
+	Placement *placement.Map
+
+	// Results indexes evaluation passes by input label then layout.
+	Results map[string]map[sim.LayoutKind]*sim.EvalResult
+}
+
+// Result returns the evaluation for (inputLabel, layout), or nil.
+func (c *Comparison) Result(input string, kind sim.LayoutKind) *sim.EvalResult {
+	if m := c.Results[input]; m != nil {
+		return m[kind]
+	}
+	return nil
+}
+
+// Reduction returns the percent miss-rate reduction of CCDP versus the
+// natural placement on the given input (positive = CCDP better).
+func (c *Comparison) Reduction(input string) float64 {
+	orig := c.Result(input, sim.LayoutNatural)
+	ccdp := c.Result(input, sim.LayoutCCDP)
+	if orig == nil || ccdp == nil || orig.MissRate() == 0 {
+		return 0
+	}
+	return 100 * (orig.MissRate() - ccdp.MissRate()) / orig.MissRate()
+}
+
+// Run profiles w on its train input, computes the placement, and evaluates
+// each requested layout on each requested input. Passing no layouts
+// defaults to natural+CCDP; passing no inputs defaults to train+test.
+func Run(w workload.Workload, opts sim.Options, layouts []sim.LayoutKind, inputs []workload.Input) (*Comparison, error) {
+	if len(layouts) == 0 {
+		layouts = []sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP}
+	}
+	if len(inputs) == 0 {
+		inputs = []workload.Input{w.Train(), w.Test()}
+	}
+
+	pr, err := sim.ProfilePass(w, w.Train(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling %s: %w", w.Name(), err)
+	}
+	pm, err := sim.Place(w, pr, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: placing %s: %w", w.Name(), err)
+	}
+
+	c := &Comparison{
+		Workload:  w,
+		Options:   opts,
+		Profile:   pr,
+		Placement: pm,
+		Results:   make(map[string]map[sim.LayoutKind]*sim.EvalResult),
+	}
+	for _, in := range inputs {
+		byLayout := make(map[sim.LayoutKind]*sim.EvalResult, len(layouts))
+		var refsHint uint64
+		for _, kind := range layouts {
+			res, err := sim.EvalPass(w, in, kind, pr, pm, opts, refsHint)
+			if err != nil {
+				return nil, fmt.Errorf("core: evaluating %s/%s/%s: %w", w.Name(), in.Label, kind, err)
+			}
+			refsHint = res.Counter.Refs()
+			byLayout[kind] = res
+		}
+		c.Results[in.Label] = byLayout
+	}
+	return c, nil
+}
+
+// RunDefault runs the paper's standard experiment (natural + CCDP on train
+// and test inputs) with the default options.
+func RunDefault(w workload.Workload) (*Comparison, error) {
+	return Run(w, sim.DefaultOptions(), nil, nil)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func quickInputs(w workload.Workload, frac float64) []workload.Input {
+	tr, te := w.Train(), w.Test()
+	tr.Bursts = int(float64(tr.Bursts) * frac)
+	te.Bursts = int(float64(te.Bursts) * frac)
+	return []workload.Input{tr, te}
+}
+
+func TestRunProducesAllResults(t *testing.T) {
+	w, err := workload.Get("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Run(w, sim.DefaultOptions(),
+		[]sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP, sim.LayoutRandom},
+		quickInputs(w, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range []string{"train", "test"} {
+		for _, kind := range []sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP, sim.LayoutRandom} {
+			if cmp.Result(input, kind) == nil {
+				t.Errorf("missing result %s/%s", input, kind)
+			}
+		}
+	}
+	if cmp.Placement == nil || cmp.Profile == nil {
+		t.Fatal("missing profile or placement artifacts")
+	}
+}
+
+func TestRunDefaultsLayoutsAndInputs(t *testing.T) {
+	w, _ := workload.Get("mgrid")
+	opts := sim.DefaultOptions()
+	cmp, err := Run(w, opts, nil, quickInputs(w, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Result("train", sim.LayoutNatural) == nil || cmp.Result("train", sim.LayoutCCDP) == nil {
+		t.Fatal("default layouts missing")
+	}
+	if cmp.Result("train", sim.LayoutRandom) != nil {
+		t.Fatal("random layout evaluated without being requested")
+	}
+}
+
+func TestReductionComputation(t *testing.T) {
+	w, _ := workload.Get("m88ksim")
+	cmp, err := Run(w, sim.DefaultOptions(), nil, quickInputs(w, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := cmp.Reduction("train")
+	orig := cmp.Result("train", sim.LayoutNatural).MissRate()
+	ccdp := cmp.Result("train", sim.LayoutCCDP).MissRate()
+	want := 100 * (orig - ccdp) / orig
+	if red != want {
+		t.Fatalf("Reduction = %g, want %g", red, want)
+	}
+}
+
+func TestReductionMissingInput(t *testing.T) {
+	c := &Comparison{Results: map[string]map[sim.LayoutKind]*sim.EvalResult{}}
+	if got := c.Reduction("nope"); got != 0 {
+		t.Fatalf("Reduction on missing input = %g, want 0", got)
+	}
+}
+
+func TestResultMissing(t *testing.T) {
+	c := &Comparison{Results: map[string]map[sim.LayoutKind]*sim.EvalResult{}}
+	if c.Result("train", sim.LayoutCCDP) != nil {
+		t.Fatal("missing result should be nil")
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RunAll runs the full experiment for several workloads concurrently, up
+// to parallelism at a time (0 = GOMAXPROCS). Every workload's pipeline is
+// independent — profiling, placement, and evaluation share no state — so
+// this is a pure fan-out; results come back in input order, and any
+// failure cancels nothing but is reported for its workload.
+func RunAll(ws []workload.Workload, opts sim.Options, layouts []sim.LayoutKind, parallelism int) ([]*Comparison, []error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	cmps := make([]*Comparison, len(ws))
+	errs := make([]error, len(ws))
+
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cmps[i], errs[i] = Run(w, opts, layouts, nil)
+		}(i, w)
+	}
+	wg.Wait()
+	return cmps, errs
+}

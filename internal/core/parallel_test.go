@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// scaledWorkload wraps a workload with reduced inputs so parallel tests
+// stay fast.
+type scaledWorkload struct {
+	workload.Workload
+	frac float64
+}
+
+func (s scaledWorkload) Train() workload.Input { return s.Workload.Train().Scaled(s.frac) }
+func (s scaledWorkload) Test() workload.Input  { return s.Workload.Test().Scaled(s.frac) }
+
+func TestRunAllMatchesSequential(t *testing.T) {
+	var ws []workload.Workload
+	for _, name := range []string{"compress", "fpppp", "mgrid"} {
+		w, err := workload.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, scaledWorkload{Workload: w, frac: 0.05})
+	}
+	opts := sim.DefaultOptions()
+
+	par, errs := RunAll(ws, opts, nil, 3)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("workload %d: %v", i, err)
+		}
+	}
+	for i, w := range ws {
+		seq, err := Run(w, opts, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, input := range []string{"train", "test"} {
+			for _, kind := range []sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP} {
+				p := par[i].Result(input, kind)
+				s := seq.Result(input, kind)
+				if p.Stats.Misses != s.Stats.Misses || p.Stats.Accesses != s.Stats.Accesses {
+					t.Fatalf("%s %s/%s: parallel %d/%d vs sequential %d/%d — concurrency broke determinism",
+						w.Name(), input, kind,
+						p.Stats.Misses, p.Stats.Accesses, s.Stats.Misses, s.Stats.Accesses)
+				}
+			}
+		}
+	}
+}
+
+func TestRunAllDefaultParallelism(t *testing.T) {
+	w, err := workload.Get("mgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmps, errs := RunAll([]workload.Workload{scaledWorkload{Workload: w, frac: 0.02}},
+		sim.DefaultOptions(), nil, 0)
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if cmps[0].Result("train", sim.LayoutCCDP) == nil {
+		t.Fatal("missing result")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// End-to-end property tests over a family of seed-derived synthetic
+// programs: whatever shape the program takes, the pipeline must uphold its
+// invariants, and CCDP must never make things meaningfully worse — the
+// paper's claim that the algorithm "consistently improved data cache
+// performance" across experiments.
+
+func TestSyntheticFamilyPipelineInvariants(t *testing.T) {
+	var reductions []float64
+	for shape := uint64(1); shape <= 8; shape++ {
+		w := workload.NewSynthetic(shape)
+		opts := sim.DefaultOptions()
+		tr, te := w.Train(), w.Test()
+		tr.Bursts /= 2
+		te.Bursts /= 2
+		cmp, err := Run(w, opts, nil, []workload.Input{tr, te})
+		if err != nil {
+			t.Fatalf("shape %d: %v", shape, err)
+		}
+
+		// Invariant: every global is placed exactly once, non-overlapping.
+		pm := cmp.Placement
+		if len(pm.GlobalLayout) != len(w.Spec().Globals) {
+			t.Fatalf("shape %d: %d slots for %d globals",
+				shape, len(pm.GlobalLayout), len(w.Spec().Globals))
+		}
+		for i, a := range pm.GlobalLayout {
+			for j, b := range pm.GlobalLayout {
+				if i < j && a.Offset < b.Offset+b.Size && b.Offset < a.Offset+a.Size {
+					t.Fatalf("shape %d: slots %d/%d overlap", shape, i, j)
+				}
+			}
+		}
+
+		// Invariant: popular globals land exactly on their preferred
+		// cache offsets.
+		period := pm.Period()
+		for _, slot := range pm.GlobalLayout {
+			if pref, ok := pm.PreferredOffset[slot.Node]; ok {
+				if got := slot.Offset % period; got != pref {
+					t.Fatalf("shape %d: node %d at %d, preferred %d",
+						shape, slot.Node, got, pref)
+				}
+			}
+		}
+
+		// Property: CCDP never meaningfully worse than natural on the
+		// *test* input (tolerance for heap-allocator side effects the
+		// optimizer cannot see, per the paper's deltablue/espresso
+		// wobbles).
+		nat := cmp.Result("test", sim.LayoutNatural).MissRate()
+		opt := cmp.Result("test", sim.LayoutCCDP).MissRate()
+		if opt > nat*1.08 {
+			t.Errorf("shape %d: CCDP %.2f%% much worse than natural %.2f%%",
+				shape, opt, nat)
+		}
+		if nat > 0 {
+			reductions = append(reductions, 100*(nat-opt)/nat)
+		}
+	}
+
+	// Property: across the family, CCDP wins on average.
+	var sum float64
+	for _, r := range reductions {
+		sum += r
+	}
+	if avg := sum / float64(len(reductions)); avg <= 0 {
+		t.Errorf("family average reduction %.2f%%, want > 0", avg)
+	}
+}
+
+func TestSyntheticDeterministicShape(t *testing.T) {
+	a, b := workload.NewSynthetic(42), workload.NewSynthetic(42)
+	sa, sb := a.Spec(), b.Spec()
+	if len(sa.Globals) != len(sb.Globals) || sa.StackSize != sb.StackSize {
+		t.Fatal("same shape seed produced different programs")
+	}
+	for i := range sa.Globals {
+		if sa.Globals[i] != sb.Globals[i] {
+			t.Fatalf("global %d differs", i)
+		}
+	}
+	c := workload.NewSynthetic(43)
+	if len(c.Spec().Globals) == len(sa.Globals) && c.Spec().StackSize == sa.StackSize {
+		// Same counts can collide; require at least some field to differ.
+		same := true
+		for i := range sa.Globals {
+			if i < len(c.Spec().Globals) && sa.Globals[i] != c.Spec().Globals[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different shape seeds produced identical programs")
+		}
+	}
+}

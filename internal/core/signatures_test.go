@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Signature tests: each benchmark model must keep the characteristics the
+// paper reports for its namesake — the segment mix, the direction and
+// rough size of the CCDP win, and the per-class structure. These are the
+// reproduction's regression guards: a tuning change that breaks a model's
+// story fails here, not silently in EXPERIMENTS.md.
+
+type signature struct {
+	name string
+	// segment shares of references (fractions, inclusive bounds)
+	heapMin, heapMax   float64
+	stackMin, stackMax float64
+	// test-input reduction band (percent)
+	redMin, redMax float64
+}
+
+var signatures = []signature{
+	// deltablue: heap-dominated, CCDP ~neutral (paper: +2.2%).
+	{name: "deltablue", heapMin: 0.55, heapMax: 0.95, stackMin: 0.05, stackMax: 0.4, redMin: -6, redMax: 12},
+	// espresso: heap-heavy with a real global win (paper: +5.7%).
+	{name: "espresso", heapMin: 0.4, heapMax: 0.85, stackMin: 0.08, stackMax: 0.4, redMin: 0, redMax: 25},
+	// gcc: stack-heavy (paper: 49% stack), moderate win (paper: +18.1%).
+	{name: "gcc", heapMin: 0.15, heapMax: 0.6, stackMin: 0.35, stackMax: 0.7, redMin: 0, redMax: 30},
+	// groff: mixed C++ with constant traffic, moderate win (paper: +19.2%).
+	{name: "groff", heapMin: 0.2, heapMax: 0.65, stackMin: 0.15, stackMax: 0.55, redMin: 0, redMax: 30},
+	// compress: no heap, big global win (paper: +20.4%).
+	{name: "compress", heapMin: 0, heapMax: 0, stackMin: 0.2, stackMax: 0.6, redMin: 8, redMax: 45},
+	// go: no heap, global tables, win shrinks cross-input (paper: +11.0%).
+	{name: "go", heapMin: 0, heapMax: 0, stackMin: 0.05, stackMax: 0.35, redMin: 2, redMax: 40},
+	// m88ksim: the suite's largest win (paper: +74.4%).
+	{name: "m88ksim", heapMin: 0.01, heapMax: 0.25, stackMin: 0.1, stackMax: 0.45, redMin: 25, redMax: 85},
+	// fpppp: stack conflicts eliminated (paper: +62.8%).
+	{name: "fpppp", heapMin: 0, heapMax: 0, stackMin: 0.25, stackMax: 0.6, redMin: 25, redMax: 80},
+	// mgrid: one giant object, nothing to fix (paper: +0.0%).
+	{name: "mgrid", heapMin: 0, heapMax: 0, stackMin: 0, stackMax: 0.05, redMin: -2, redMax: 4},
+}
+
+func TestWorkloadSignatures(t *testing.T) {
+	for _, sig := range signatures {
+		sig := sig
+		t.Run(sig.name, func(t *testing.T) {
+			w, err := workload.Get(sig.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmp, err := Run(w, sim.DefaultOptions(), nil, quickInputs(w, 0.3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctr := cmp.Result("test", sim.LayoutNatural).Counter
+			refs := float64(ctr.Refs())
+			heap := float64(ctr.CategoryRefs[object.Heap]) / refs
+			stack := float64(ctr.CategoryRefs[object.Stack]) / refs
+			if heap < sig.heapMin || heap > sig.heapMax {
+				t.Errorf("heap share %.2f outside [%.2f, %.2f]", heap, sig.heapMin, sig.heapMax)
+			}
+			if stack < sig.stackMin || stack > sig.stackMax {
+				t.Errorf("stack share %.2f outside [%.2f, %.2f]", stack, sig.stackMin, sig.stackMax)
+			}
+			if red := cmp.Reduction("test"); red < sig.redMin || red > sig.redMax {
+				t.Errorf("test-input reduction %.1f%% outside [%.1f, %.1f]",
+					red, sig.redMin, sig.redMax)
+			}
+		})
+	}
+}
+
+// TestSuiteAverageReduction guards the headline: the cross-input average
+// reduction must stay in the band EXPERIMENTS.md reports against the
+// paper's 23.8%.
+func TestSuiteAverageReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run")
+	}
+	var sum float64
+	n := 0
+	for _, w := range workload.All() {
+		cmp, err := Run(w, sim.DefaultOptions(), nil, quickInputs(w, 0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += cmp.Reduction("test")
+		n++
+	}
+	avg := sum / float64(n)
+	if avg < 8 || avg > 35 {
+		t.Fatalf("suite average reduction %.1f%% left the reproduction band [8, 35]", avg)
+	}
+}

@@ -1,0 +1,66 @@
+package heapsim
+
+import "repro/internal/addrspace"
+
+// SizeClass is the allocator of the paper's citation [12] (Grunwald, Zorn
+// & Henderson): objects of similar sizes are mapped to the same regions of
+// memory, one free list per power-of-two size class. It serves as a
+// second baseline against first-fit and as the substrate CCDP's binned
+// allocator generalises (bins by temporal relationship rather than size).
+type SizeClass struct {
+	classes []*arena // class i serves blocks of exactly classSize(i) bytes
+	large   *arena   // fallback for allocations beyond the largest class
+	st      Stats
+}
+
+// sizeClasses are the supported block sizes.
+var sizeClasses = []int64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// NewSizeClass builds the allocator, one arena per class.
+func NewSizeClass() *SizeClass {
+	sc := &SizeClass{}
+	for i := range sizeClasses {
+		base := addrspace.HeapBase + addrspace.Addr((i+1)*binStride)
+		sc.classes = append(sc.classes, newArena(base, base+binStride))
+	}
+	largeBase := addrspace.HeapBase + addrspace.Addr((len(sizeClasses)+1)*binStride)
+	sc.large = newArena(largeBase, largeBase+binStride)
+	return sc
+}
+
+// classIndex returns the class serving size, or -1 for large allocations.
+func classIndex(size int64) int {
+	for i, cs := range sizeClasses {
+		if size <= cs {
+			return i
+		}
+	}
+	return -1
+}
+
+// Alloc implements Allocator. Within a class every block has the class
+// size, so first-fit is an exact fit and freed slots recycle immediately.
+func (sc *SizeClass) Alloc(size int64, _ uint64, now uint64) addrspace.Addr {
+	size = roundSize(size)
+	sc.st.Allocs++
+	if i := classIndex(size); i >= 0 {
+		sc.st.BytesCarved += uint64(sizeClasses[i])
+		return sc.classes[i].allocFirstFit(sizeClasses[i], now, &sc.st)
+	}
+	sc.st.BytesCarved += uint64(size)
+	return sc.large.allocFirstFit(size, now, &sc.st)
+}
+
+// Free implements Allocator.
+func (sc *SizeClass) Free(addr addrspace.Addr, size int64, now uint64) {
+	sc.st.Frees++
+	size = roundSize(size)
+	if i := classIndex(size); i >= 0 {
+		sc.classes[i].insertFree(addr, sizeClasses[i], now)
+		return
+	}
+	sc.large.insertFree(addr, size, now)
+}
+
+// Stats implements Allocator.
+func (sc *SizeClass) Stats() Stats { return sc.st }

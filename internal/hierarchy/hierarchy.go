@@ -1,0 +1,195 @@
+// Package hierarchy extends the evaluation below the first-level data
+// cache, following the paper's closing observation in section 5 that
+// "other levels of the memory hierarchy can benefit from data placement
+// optimizations as well": a second-level cache fed by L1 misses, and a
+// data TLB covering the same reference stream. Placement that packs the
+// working set into fewer blocks and pages shows up at every level.
+package hierarchy
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+	"repro/internal/object"
+)
+
+// Config describes the simulated hierarchy.
+type Config struct {
+	L1         cache.Config
+	L2         cache.Config
+	TLBEntries int // fully-associative data-TLB entries (0 disables)
+}
+
+// DefaultConfig pairs the paper's L1 with a plausible mid-90s L2 and TLB.
+func DefaultConfig() Config {
+	return Config{
+		L1:         cache.DefaultConfig,
+		L2:         cache.Config{Size: 96 * 1024, BlockSize: 32, Assoc: 3},
+		TLBEntries: 32,
+	}
+}
+
+// Validate checks all levels.
+func (c Config) Validate() error {
+	if err := c.L1.Validate(); err != nil {
+		return fmt.Errorf("hierarchy: L1: %w", err)
+	}
+	if err := c.L2.Validate(); err != nil {
+		return fmt.Errorf("hierarchy: L2: %w", err)
+	}
+	if c.L2.Size < c.L1.Size {
+		return fmt.Errorf("hierarchy: L2 (%d) smaller than L1 (%d)", c.L2.Size, c.L1.Size)
+	}
+	if c.TLBEntries < 0 {
+		return fmt.Errorf("hierarchy: negative TLB entries")
+	}
+	return nil
+}
+
+// Stats aggregates the per-level results.
+type Stats struct {
+	L1 cache.Stats
+	L2 cache.Stats // accesses = L1 block misses
+
+	TLBAccesses uint64
+	TLBMisses   uint64
+}
+
+// L2LocalMissRate returns L2 misses per L2 access (percent).
+func (s *Stats) L2LocalMissRate() float64 {
+	if s.L2.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.L2.Misses) / float64(s.L2.Accesses)
+}
+
+// L2GlobalMissRate returns L2 misses per original reference (percent).
+func (s *Stats) L2GlobalMissRate() float64 {
+	if s.L1.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.L2.Misses) / float64(s.L1.Accesses)
+}
+
+// TLBMissRate returns TLB misses per reference (percent).
+func (s *Stats) TLBMissRate() float64 {
+	if s.TLBAccesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.TLBMisses) / float64(s.TLBAccesses)
+}
+
+// Sim drives an L1 + L2 + TLB stack from one reference stream.
+type Sim struct {
+	cfg Config
+	l1  *cache.Sim
+	l2  *cache.Sim
+	tlb *tlb
+
+	tlbAccesses uint64
+	tlbMisses   uint64
+}
+
+// New builds the hierarchy simulator.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l1, err := cache.New(cfg.L1, false)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(cfg.L2, false)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg, l1: l1, l2: l2}
+	if cfg.TLBEntries > 0 {
+		s.tlb = newTLB(cfg.TLBEntries)
+	}
+	return s, nil
+}
+
+// Access simulates one read through every level and returns the number of
+// L1 block misses, matching cache.Sim's contract.
+func (s *Sim) Access(addr addrspace.Addr, size int64, cat object.Category, obj object.ID) int {
+	return s.access(addr, size, cat, obj, false)
+}
+
+// Write simulates one store through every level.
+func (s *Sim) Write(addr addrspace.Addr, size int64, cat object.Category, obj object.ID) int {
+	return s.access(addr, size, cat, obj, true)
+}
+
+func (s *Sim) access(addr addrspace.Addr, size int64, cat object.Category, obj object.ID, write bool) int {
+	var missed int
+	if write {
+		missed = s.l1.Write(addr, size, cat, obj)
+	} else {
+		missed = s.l1.Access(addr, size, cat, obj)
+	}
+	if missed > 0 {
+		// Refill the missed blocks from L2: model each missed L1 block
+		// as one L2 block access. Block sizes match by construction of
+		// DefaultConfig; with differing sizes this approximates.
+		blockBase := addr &^ addrspace.Addr(s.cfg.L1.BlockSize-1)
+		for i := 0; i < missed; i++ {
+			s.l2.Access(blockBase+addrspace.Addr(int64(i)*s.cfg.L1.BlockSize),
+				s.cfg.L1.BlockSize, cat, obj)
+		}
+	}
+	if s.tlb != nil {
+		s.tlbAccesses++
+		if s.tlb.touch(addr.Page()) {
+			s.tlbMisses++
+		}
+	}
+	return missed
+}
+
+// Stats returns the per-level statistics.
+func (s *Sim) Stats() Stats {
+	return Stats{
+		L1:          s.l1.Stats(),
+		L2:          s.l2.Stats(),
+		TLBAccesses: s.tlbAccesses,
+		TLBMisses:   s.tlbMisses,
+	}
+}
+
+// tlb is a fully-associative LRU translation buffer over page numbers.
+type tlb struct {
+	capacity int
+	slots    map[uint64]int // page -> index in order
+	order    []uint64       // LRU order, front = MRU
+}
+
+func newTLB(entries int) *tlb {
+	return &tlb{capacity: entries, slots: make(map[uint64]int, entries)}
+}
+
+// touch accesses a page; it returns true on a TLB miss.
+func (t *tlb) touch(page uint64) bool {
+	if idx, ok := t.slots[page]; ok {
+		// Move to front.
+		copy(t.order[1:idx+1], t.order[:idx])
+		t.order[0] = page
+		for i := 0; i <= idx; i++ {
+			t.slots[t.order[i]] = i
+		}
+		return false
+	}
+	if len(t.order) >= t.capacity {
+		victim := t.order[len(t.order)-1]
+		delete(t.slots, victim)
+		t.order = t.order[:len(t.order)-1]
+	}
+	t.order = append(t.order, 0)
+	copy(t.order[1:], t.order)
+	t.order[0] = page
+	for i, p := range t.order {
+		t.slots[p] = i
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/object"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.L2.Size = 4096 // smaller than L1
+	if bad.Validate() == nil {
+		t.Fatal("L2 < L1 accepted")
+	}
+	bad = DefaultConfig()
+	bad.TLBEntries = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative TLB accepted")
+	}
+}
+
+func TestL2CatchesL1ConflictMisses(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two blocks conflicting in the 8K direct-mapped L1 but co-resident
+	// in the 3-way L2: after warmup, every L1 miss hits in L2.
+	a := addrspace.Addr(0x100000)
+	b := a + 8192
+	for i := 0; i < 100; i++ {
+		s.Access(a, 8, object.Global, 1)
+		s.Access(b, 8, object.Global, 2)
+	}
+	st := s.Stats()
+	if st.L1.Misses != 200 {
+		t.Fatalf("L1 misses %d, want 200 (pure conflict)", st.L1.Misses)
+	}
+	if st.L2.Misses != 2 {
+		t.Fatalf("L2 misses %d, want 2 (compulsory only)", st.L2.Misses)
+	}
+	if st.L2.Accesses != 200 {
+		t.Fatalf("L2 accesses %d, want 200 (one per L1 miss)", st.L2.Accesses)
+	}
+}
+
+func TestL2NotTouchedOnL1Hit(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := addrspace.Addr(0x100000)
+	for i := 0; i < 50; i++ {
+		s.Access(a, 8, object.Global, 1)
+	}
+	st := s.Stats()
+	if st.L2.Accesses != 1 {
+		t.Fatalf("L2 accesses %d, want 1", st.L2.Accesses)
+	}
+}
+
+func TestTLBTracksPages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TLBEntries = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := addrspace.Addr(0)
+	p1 := addrspace.Addr(addrspace.PageSize)
+	p2 := addrspace.Addr(2 * addrspace.PageSize)
+
+	s.Access(p0, 8, object.Global, 1) // miss
+	s.Access(p1, 8, object.Global, 1) // miss
+	s.Access(p0, 8, object.Global, 1) // hit
+	s.Access(p2, 8, object.Global, 1) // miss, evicts p1 (LRU)
+	s.Access(p1, 8, object.Global, 1) // miss again
+	st := s.Stats()
+	if st.TLBMisses != 4 {
+		t.Fatalf("TLB misses %d, want 4", st.TLBMisses)
+	}
+	if st.TLBAccesses != 5 {
+		t.Fatalf("TLB accesses %d, want 5", st.TLBAccesses)
+	}
+}
+
+func TestTLBDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TLBEntries = 0
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(0, 8, object.Global, 1)
+	if st := s.Stats(); st.TLBAccesses != 0 {
+		t.Fatal("disabled TLB counted accesses")
+	}
+}
+
+func TestRates(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(0x100000, 8, object.Global, 1)
+	st := s.Stats()
+	if st.L2LocalMissRate() != 100 {
+		t.Fatalf("L2 local rate %g, want 100 (single compulsory)", st.L2LocalMissRate())
+	}
+	if st.L2GlobalMissRate() != 100 {
+		t.Fatalf("L2 global rate %g", st.L2GlobalMissRate())
+	}
+	if st.TLBMissRate() != 100 {
+		t.Fatalf("TLB rate %g", st.TLBMissRate())
+	}
+	var empty Stats
+	if empty.L2LocalMissRate() != 0 || empty.L2GlobalMissRate() != 0 || empty.TLBMissRate() != 0 {
+		t.Fatal("empty stats should rate 0")
+	}
+}

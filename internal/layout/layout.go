@@ -1,0 +1,160 @@
+// Package layout plays the role of the paper's modified linker: it turns a
+// placement decision into concrete virtual addresses for the stack and
+// every global variable. Constants never move (they live in the text
+// segment); heap addresses are produced at run time by internal/heapsim.
+//
+// Three layouts exist, matching the paper's experiments: the natural
+// layout (declaration order, the compiler/linker default), the CCDP layout
+// (from a placement.Map), and a random layout (the paper's control, which
+// shows natural placement is already better than chance).
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/object"
+	"repro/internal/placement"
+	"repro/internal/profile"
+	"repro/internal/rng"
+	"repro/internal/trg"
+)
+
+// GlobalAlign is the natural alignment the linker gives each global.
+const GlobalAlign = 8
+
+// Layout resolves the static addresses of one program image.
+type Layout struct {
+	Kind string // "natural", "ccdp", "random" — for reports
+
+	// addrs maps object IDs to assigned addresses. Constants keep their
+	// NaturalAddr and are not stored here.
+	addrs map[object.ID]addrspace.Addr
+
+	// StackStart is the lowest address of the stack object.
+	StackStart addrspace.Addr
+
+	// GlobalExtent is the total size of the laid-out global segment,
+	// including padding, for page-usage accounting.
+	GlobalExtent int64
+}
+
+// Addr returns the placed base address of obj (not valid for heap objects,
+// whose addresses come from the allocator).
+func (l *Layout) Addr(in *object.Info) addrspace.Addr {
+	switch in.Category {
+	case object.Constant:
+		return in.NaturalAddr
+	case object.Stack:
+		return l.StackStart
+	case object.Global:
+		if a, ok := l.addrs[in.ID]; ok {
+			return a
+		}
+		return in.NaturalAddr
+	default:
+		panic(fmt.Sprintf("layout: Addr of heap object %d", in.ID))
+	}
+}
+
+// Natural builds the declaration-order layout: globals packed sequentially
+// from the global base (8-byte aligned), stack at its natural position.
+// This matches the NaturalAddr values assigned at declaration time, so it
+// simply records them.
+func Natural(objs *object.Table) *Layout {
+	l := &Layout{Kind: "natural", addrs: make(map[object.ID]addrspace.Addr)}
+	var maxEnd addrspace.Addr = addrspace.GlobalBase
+	objs.ForEach(func(in *object.Info) {
+		switch in.Category {
+		case object.Global:
+			l.addrs[in.ID] = in.NaturalAddr
+			if end := in.NaturalAddr + addrspace.Addr(in.Size); end > maxEnd {
+				maxEnd = end
+			}
+		case object.Stack:
+			l.StackStart = in.NaturalAddr
+		}
+	})
+	l.GlobalExtent = int64(maxEnd - addrspace.GlobalBase)
+	return l
+}
+
+// FromPlacement builds the CCDP layout from a placement map. prof supplies
+// the object-to-node binding of the profiled run; because workload runs
+// are deterministic, global IDs in the evaluation run coincide.
+func FromPlacement(objs *object.Table, prof *profile.Profile, m *placement.Map) (*Layout, error) {
+	l := &Layout{
+		Kind:         "ccdp",
+		addrs:        make(map[object.ID]addrspace.Addr),
+		StackStart:   m.StackStart,
+		GlobalExtent: m.GlobalSegSize,
+	}
+	// Invert the global node binding.
+	objOf := make(map[trg.NodeID]object.ID)
+	objs.ForEach(func(in *object.Info) {
+		if in.Category != object.Global {
+			return
+		}
+		nd := prof.Node(in.ID)
+		if nd == trg.NoNode {
+			return
+		}
+		objOf[nd] = in.ID
+	})
+	for i, slot := range m.GlobalLayout {
+		oid, ok := objOf[slot.Node]
+		if !ok {
+			return nil, fmt.Errorf("layout: placement slot %d names unknown node %d", i, slot.Node)
+		}
+		l.addrs[oid] = m.GlobalAddr(i)
+	}
+	// Globals that never appeared in the placement map (declared in the
+	// evaluation run only — possible when inputs differ) go after the
+	// placed segment in declaration order.
+	cursor := addrspace.Align(m.GlobalSegStart+addrspace.Addr(m.GlobalSegSize), GlobalAlign)
+	objs.ForEach(func(in *object.Info) {
+		if in.Category != object.Global {
+			return
+		}
+		if _, ok := l.addrs[in.ID]; ok {
+			return
+		}
+		l.addrs[in.ID] = cursor
+		cursor = addrspace.Align(cursor+addrspace.Addr(in.Size), GlobalAlign)
+	})
+	l.GlobalExtent = int64(cursor - m.GlobalSegStart)
+	return l, nil
+}
+
+// Random builds the paper's control layout: globals in arbitrary order with
+// a random segment offset, and a random (page-aligned) stack start. It
+// models what placement-oblivious tooling could plausibly produce.
+func Random(objs *object.Table, seed uint64) *Layout {
+	r := rng.New(seed)
+	l := &Layout{Kind: "random", addrs: make(map[object.ID]addrspace.Addr)}
+	var globals []*object.Info
+	var stackSize int64
+	objs.ForEach(func(in *object.Info) {
+		switch in.Category {
+		case object.Global:
+			globals = append(globals, in)
+		case object.Stack:
+			stackSize = in.Size
+		}
+	})
+	r.Shuffle(len(globals), func(i, j int) { globals[i], globals[j] = globals[j], globals[i] })
+	cursor := addrspace.GlobalBase + addrspace.Addr(r.Intn(1024)*GlobalAlign)
+	for _, in := range globals {
+		// Arbitrary inter-object padding: unrelated variables land
+		// between logically-related ones, so the line sharing and
+		// modular grouping that natural declaration order provides is
+		// destroyed — this is what makes arbitrary placement lose.
+		cursor += addrspace.Addr(r.Intn(56) * GlobalAlign)
+		l.addrs[in.ID] = cursor
+		cursor = addrspace.Align(cursor+addrspace.Addr(in.Size), GlobalAlign)
+	}
+	l.GlobalExtent = int64(cursor - addrspace.GlobalBase)
+	natural := addrspace.StackTop - addrspace.Addr(stackSize)
+	l.StackStart = natural - addrspace.Addr(r.Intn(4096)*32)
+	return l
+}

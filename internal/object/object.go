@@ -1,0 +1,184 @@
+// Package object defines the data-object model shared by the profiler, the
+// placement algorithm, and the cache simulator.
+//
+// Following the paper, an "object" is any region of memory the program
+// views as one contiguous space: each global variable, each heap
+// allocation, each constant in the text segment, and the entire stack
+// (treated as a single object). Objects are identified by a dense ID so
+// per-object statistics can live in flat slices on the hot path.
+package object
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+)
+
+// ID is a dense object identifier. IDs are assigned in creation order by a
+// Table; ID 0 is always the stack object.
+type ID int32
+
+// None is the sentinel for "no object".
+const None ID = -1
+
+// Category classifies an object into the paper's four placement classes.
+type Category uint8
+
+// The four object categories of the paper (section 2).
+const (
+	Stack Category = iota
+	Global
+	Heap
+	Constant
+	NumCategories = 4
+)
+
+// String returns the category name used in the paper's tables.
+func (c Category) String() string {
+	switch c {
+	case Stack:
+		return "Stack"
+	case Global:
+		return "Global"
+	case Heap:
+		return "Heap"
+	case Constant:
+		return "Const"
+	default:
+		return fmt.Sprintf("Category(%d)", uint8(c))
+	}
+}
+
+// Info describes one data object.
+type Info struct {
+	ID       ID
+	Category Category
+	Name     string // symbolic name (globals/constants) or site label (heap)
+	Size     int64  // bytes
+
+	// NaturalAddr is the address the object receives under the original
+	// ("natural") program layout. For heap objects it is the address the
+	// default allocator handed out during the profiling run; placement
+	// never reads it for heap objects.
+	NaturalAddr addrspace.Addr
+
+	// XORName is the XOR-folded call-stack name for heap objects
+	// (0 for non-heap objects).
+	XORName uint64
+
+	// BirthRef and DeathRef bracket the object's lifetime, measured in
+	// data references processed so far. DeathRef is 0 while live.
+	BirthRef uint64
+	DeathRef uint64
+
+	// Refs counts loads+stores to this object.
+	Refs uint64
+}
+
+// Live reports whether the object has not yet been freed.
+func (in *Info) Live() bool { return in.DeathRef == 0 }
+
+// Table owns all objects created during one workload run. It is not safe
+// for concurrent use; a simulation run is single-goroutine by design so the
+// event hot path stays allocation-free.
+type Table struct {
+	objs []Info
+
+	// byXOR indexes live heap objects by XOR name so the profiler can
+	// detect concurrently-live same-name allocations (paper section 3.1).
+	byXOR map[uint64][]ID
+}
+
+// NewTable returns a table pre-populated with the stack object (ID 0) of
+// the given size.
+func NewTable(stackSize int64) *Table {
+	t := &Table{byXOR: make(map[uint64][]ID)}
+	t.objs = append(t.objs, Info{
+		ID:          0,
+		Category:    Stack,
+		Name:        "stack",
+		Size:        stackSize,
+		NaturalAddr: addrspace.StackTop - addrspace.Addr(stackSize),
+	})
+	return t
+}
+
+// StackID is the ID of the singleton stack object.
+const StackID ID = 0
+
+// Len returns the number of objects created so far.
+func (t *Table) Len() int { return len(t.objs) }
+
+// Get returns the object with the given ID. The pointer remains valid and
+// mutable until the next Add* call invalidates it, so callers must not
+// retain it across object creation.
+func (t *Table) Get(id ID) *Info {
+	return &t.objs[id]
+}
+
+// AddGlobal registers a global variable. Natural addresses for globals are
+// assigned later by the layout builder in declaration order.
+func (t *Table) AddGlobal(name string, size int64) ID {
+	return t.add(Info{Category: Global, Name: name, Size: size})
+}
+
+// AddConstant registers a constant object at a fixed text-segment address.
+func (t *Table) AddConstant(name string, size int64, addr addrspace.Addr) ID {
+	return t.add(Info{Category: Constant, Name: name, Size: size, NaturalAddr: addr})
+}
+
+// AddHeap registers a heap allocation with its XOR call-stack name. now is
+// the current reference count (the object's birth time).
+func (t *Table) AddHeap(name string, size int64, xorName uint64, now uint64) ID {
+	id := t.add(Info{Category: Heap, Name: name, Size: size, XORName: xorName, BirthRef: now})
+	t.byXOR[xorName] = append(t.byXOR[xorName], id)
+	return id
+}
+
+func (t *Table) add(in Info) ID {
+	id := ID(len(t.objs))
+	in.ID = id
+	t.objs = append(t.objs, in)
+	return id
+}
+
+// Free marks a heap object dead at reference time now.
+func (t *Table) Free(id ID, now uint64) {
+	in := &t.objs[id]
+	if in.Category != Heap {
+		panic(fmt.Sprintf("object: Free of non-heap object %d (%s)", id, in.Category))
+	}
+	if in.DeathRef != 0 {
+		panic(fmt.Sprintf("object: double free of object %d", id))
+	}
+	in.DeathRef = now
+	live := t.byXOR[in.XORName]
+	for i, oid := range live {
+		if oid == id {
+			live[i] = live[len(live)-1]
+			t.byXOR[in.XORName] = live[:len(live)-1]
+			break
+		}
+	}
+}
+
+// LiveWithXOR returns how many heap objects with the given XOR name are
+// currently live. The placement algorithm uses counts > 1 to demote names
+// whose instances could conflict with each other.
+func (t *Table) LiveWithXOR(xorName uint64) int { return len(t.byXOR[xorName]) }
+
+// ForEach calls fn for every object in ID order.
+func (t *Table) ForEach(fn func(*Info)) {
+	for i := range t.objs {
+		fn(&t.objs[i])
+	}
+}
+
+// CategoryCounts returns the number of objects per category.
+func (t *Table) CategoryCounts() [NumCategories]int {
+	var c [NumCategories]int
+	for i := range t.objs {
+		c[t.objs[i].Category]++
+	}
+	return c
+}

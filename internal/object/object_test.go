@@ -1,0 +1,134 @@
+package object
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+)
+
+func TestNewTableHasStack(t *testing.T) {
+	tbl := NewTable(4096)
+	if tbl.Len() != 1 {
+		t.Fatalf("new table has %d objects, want 1 (the stack)", tbl.Len())
+	}
+	st := tbl.Get(StackID)
+	if st.Category != Stack {
+		t.Fatalf("object 0 is %v, want Stack", st.Category)
+	}
+	if st.Size != 4096 {
+		t.Fatalf("stack size %d, want 4096", st.Size)
+	}
+	if st.NaturalAddr != addrspace.StackTop-4096 {
+		t.Fatalf("stack natural addr %#x", uint64(st.NaturalAddr))
+	}
+}
+
+func TestAddGlobalAndConstant(t *testing.T) {
+	tbl := NewTable(1024)
+	g := tbl.AddGlobal("g", 64)
+	c := tbl.AddConstant("c", 32, addrspace.TextBase+100)
+	if tbl.Get(g).Category != Global || tbl.Get(g).Size != 64 {
+		t.Error("global mis-registered")
+	}
+	if tbl.Get(c).Category != Constant || tbl.Get(c).NaturalAddr != addrspace.TextBase+100 {
+		t.Error("constant mis-registered")
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("table length %d, want 3", tbl.Len())
+	}
+}
+
+func TestHeapLifecycle(t *testing.T) {
+	tbl := NewTable(1024)
+	h := tbl.AddHeap("node", 48, 0xabc, 100)
+	in := tbl.Get(h)
+	if !in.Live() {
+		t.Fatal("fresh heap object not live")
+	}
+	if in.BirthRef != 100 {
+		t.Fatalf("birth ref %d, want 100", in.BirthRef)
+	}
+	if got := tbl.LiveWithXOR(0xabc); got != 1 {
+		t.Fatalf("LiveWithXOR = %d, want 1", got)
+	}
+	tbl.Free(h, 250)
+	in = tbl.Get(h)
+	if in.Live() || in.DeathRef != 250 {
+		t.Fatal("free did not record death")
+	}
+	if got := tbl.LiveWithXOR(0xabc); got != 0 {
+		t.Fatalf("LiveWithXOR after free = %d, want 0", got)
+	}
+}
+
+func TestLiveWithXORCountsConcurrent(t *testing.T) {
+	tbl := NewTable(1024)
+	a := tbl.AddHeap("a", 16, 7, 1)
+	b := tbl.AddHeap("b", 16, 7, 2)
+	if got := tbl.LiveWithXOR(7); got != 2 {
+		t.Fatalf("LiveWithXOR = %d, want 2", got)
+	}
+	tbl.Free(a, 3)
+	if got := tbl.LiveWithXOR(7); got != 1 {
+		t.Fatalf("LiveWithXOR = %d, want 1", got)
+	}
+	tbl.Free(b, 4)
+	if got := tbl.LiveWithXOR(7); got != 0 {
+		t.Fatalf("LiveWithXOR = %d, want 0", got)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	tbl := NewTable(1024)
+	h := tbl.AddHeap("x", 16, 1, 1)
+	tbl.Free(h, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	tbl.Free(h, 3)
+}
+
+func TestFreeNonHeapPanics(t *testing.T) {
+	tbl := NewTable(1024)
+	g := tbl.AddGlobal("g", 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("freeing a global did not panic")
+		}
+	}()
+	tbl.Free(g, 1)
+}
+
+func TestCategoryCounts(t *testing.T) {
+	tbl := NewTable(1024)
+	tbl.AddGlobal("g1", 8)
+	tbl.AddGlobal("g2", 8)
+	tbl.AddConstant("c", 8, addrspace.TextBase)
+	tbl.AddHeap("h", 8, 1, 0)
+	counts := tbl.CategoryCounts()
+	if counts[Stack] != 1 || counts[Global] != 2 || counts[Constant] != 1 || counts[Heap] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	tbl := NewTable(64)
+	tbl.AddGlobal("a", 8)
+	tbl.AddGlobal("b", 8)
+	var ids []ID
+	tbl.ForEach(func(in *Info) { ids = append(ids, in.ID) })
+	for i, id := range ids {
+		if id != ID(i) {
+			t.Fatalf("ForEach out of order: %v", ids)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Stack.String() != "Stack" || Global.String() != "Global" ||
+		Heap.String() != "Heap" || Constant.String() != "Const" {
+		t.Error("category names changed; the paper's tables use these labels")
+	}
+}

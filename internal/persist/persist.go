@@ -1,0 +1,349 @@
+// Package persist serializes profiles and placement maps to a stable,
+// line-oriented text format.
+//
+// In the paper's framework the profiling run, the placement optimizer, and
+// the modified linker are separate tools connected by files: the Name and
+// TRG profiles are "fed back into the compiler/linker", and the placement
+// map drives the link and the customized malloc of later runs. This
+// package provides those files, so `ccdp -save-profile` in one process and
+// `ccdp -load-profile` in another reproduce the paper's toolchain shape.
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+	"repro/internal/object"
+	"repro/internal/placement"
+	"repro/internal/profile"
+	"repro/internal/trg"
+)
+
+const (
+	profileMagic   = "ccdp-profile v1"
+	placementMagic = "ccdp-placement v1"
+)
+
+// WriteProfile serializes a profile. The output is deterministic for a
+// given profile, so files diff cleanly across runs.
+func WriteProfile(w io.Writer, p *profile.Profile) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, profileMagic)
+	fmt.Fprintf(bw, "config %d %d %g\n",
+		p.Config.ChunkSize, p.Config.QueueThreshold, p.Config.PopularityCutoff)
+	fmt.Fprintf(bw, "totalrefs %d\n", p.TotalRefs)
+
+	g := p.Graph
+	fmt.Fprintf(bw, "nodes %d\n", g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(trg.NodeID(i))
+		popular := 0
+		if n.Popular {
+			popular = 1
+		}
+		nonUnique := 0
+		if n.NonUniqueXOR {
+			nonUnique = 1
+		}
+		fmt.Fprintf(bw, "node %d %d %d %d %d %d %d %d %d %d %d %s\n",
+			n.ID, n.Category, n.Size, n.Refs, n.Popularity, popular,
+			n.XORName, nonUnique, n.AllocCount, n.AllocOrder,
+			uint64(n.Addr), strconv.Quote(n.Name))
+	}
+
+	fmt.Fprintf(bw, "nodeof %d\n", len(p.NodeOf))
+	for obj, nd := range p.NodeOf {
+		fmt.Fprintf(bw, "bind %d %d\n", obj, nd)
+	}
+
+	fmt.Fprintf(bw, "edges %d\n", g.NumEdges())
+	g.ForEachEdge(func(a, b trg.ChunkKey, wt uint64) {
+		fmt.Fprintf(bw, "edge %d %d %d\n", uint64(a), uint64(b), wt)
+	})
+	return bw.Flush()
+}
+
+// ReadProfile parses a profile written by WriteProfile.
+func ReadProfile(r io.Reader) (*profile.Profile, error) {
+	sc := newScanner(r)
+	if err := sc.expectLine(profileMagic); err != nil {
+		return nil, err
+	}
+	var cfg profile.Config
+	if err := sc.scanf("config %d %d %g",
+		&cfg.ChunkSize, &cfg.QueueThreshold, &cfg.PopularityCutoff); err != nil {
+		return nil, err
+	}
+	p := &profile.Profile{Config: cfg, HeapNode: make(map[uint64]trg.NodeID)}
+	if err := sc.scanf("totalrefs %d", &p.TotalRefs); err != nil {
+		return nil, err
+	}
+
+	var numNodes int
+	if err := sc.scanf("nodes %d", &numNodes); err != nil {
+		return nil, err
+	}
+	g := trg.NewGraph(cfg.ChunkSize)
+	for i := 0; i < numNodes; i++ {
+		fields, err := sc.fields("node", 12)
+		if err != nil {
+			return nil, err
+		}
+		var n trg.Node
+		id, err := parseNode(fields, &n)
+		if err != nil {
+			return nil, fmt.Errorf("persist: node %d: %w", i, err)
+		}
+		if got := g.AddNode(n); got != id {
+			return nil, fmt.Errorf("persist: node ids not dense: got %d want %d", got, id)
+		}
+		if n.Category == object.Heap {
+			p.HeapNode[n.XORName] = id
+		}
+	}
+
+	var numBinds int
+	if err := sc.scanf("nodeof %d", &numBinds); err != nil {
+		return nil, err
+	}
+	p.NodeOf = make([]trg.NodeID, numBinds)
+	for i := 0; i < numBinds; i++ {
+		var obj, nd int64
+		if err := sc.scanf("bind %d %d", &obj, &nd); err != nil {
+			return nil, err
+		}
+		if obj < 0 || obj >= int64(numBinds) {
+			return nil, fmt.Errorf("persist: bind object %d out of range", obj)
+		}
+		p.NodeOf[obj] = trg.NodeID(nd)
+	}
+
+	var numEdges int
+	if err := sc.scanf("edges %d", &numEdges); err != nil {
+		return nil, err
+	}
+	for i := 0; i < numEdges; i++ {
+		var a, b, wt uint64
+		if err := sc.scanf("edge %d %d %d", &a, &b, &wt); err != nil {
+			return nil, err
+		}
+		g.AddWeight(trg.ChunkKey(a), trg.ChunkKey(b), wt)
+	}
+	p.Graph = g
+	// Recompute popularity flags from the stored cutoff so the loaded
+	// profile is ready for placement.
+	g.Finalize(cfg.PopularityCutoff)
+	return p, nil
+}
+
+func parseNode(f []string, n *trg.Node) (trg.NodeID, error) {
+	ints := make([]uint64, 11)
+	for i := 0; i < 11; i++ {
+		v, err := strconv.ParseUint(f[i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("field %d: %w", i, err)
+		}
+		ints[i] = v
+	}
+	name, err := strconv.Unquote(strings.Join(f[11:], " "))
+	if err != nil {
+		return 0, fmt.Errorf("name: %w", err)
+	}
+	n.Category = object.Category(ints[1])
+	n.Size = int64(ints[2])
+	n.Refs = ints[3]
+	n.Popularity = ints[4]
+	n.Popular = ints[5] == 1
+	n.XORName = ints[6]
+	n.NonUniqueXOR = ints[7] == 1
+	n.AllocCount = ints[8]
+	n.AllocOrder = int(ints[9])
+	n.Addr = addrspace.Addr(ints[10])
+	n.Name = name
+	return trg.NodeID(ints[0]), nil
+}
+
+// WritePlacement serializes a placement map.
+func WritePlacement(w io.Writer, m *placement.Map) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, placementMagic)
+	fmt.Fprintf(bw, "cache %d %d %d\n", m.Cache.Size, m.Cache.BlockSize, m.Cache.Assoc)
+	fmt.Fprintf(bw, "segment %d %d\n", uint64(m.GlobalSegStart), m.GlobalSegSize)
+	fmt.Fprintf(bw, "stack %d\n", uint64(m.StackStart))
+	fmt.Fprintf(bw, "bins %d\n", m.NumBins)
+	fmt.Fprintf(bw, "conflict %d\n", m.PredictedConflict)
+
+	fmt.Fprintf(bw, "slots %d\n", len(m.GlobalLayout))
+	for _, s := range m.GlobalLayout {
+		fmt.Fprintf(bw, "slot %d %d %d\n", s.Node, s.Offset, s.Size)
+	}
+
+	// Deterministic plan order: sort by XOR name.
+	xors := make([]uint64, 0, len(m.HeapPlans))
+	for x := range m.HeapPlans {
+		xors = append(xors, x)
+	}
+	sortUint64(xors)
+	fmt.Fprintf(bw, "plans %d\n", len(xors))
+	for _, x := range xors {
+		pl := m.HeapPlans[x]
+		fmt.Fprintf(bw, "plan %d %d %d\n", x, pl.Bin, pl.PrefOffset)
+	}
+
+	nodes := make([]trg.NodeID, 0, len(m.PreferredOffset))
+	for nd := range m.PreferredOffset {
+		nodes = append(nodes, nd)
+	}
+	sortNodeIDs(nodes)
+	fmt.Fprintf(bw, "preferred %d\n", len(nodes))
+	for _, nd := range nodes {
+		fmt.Fprintf(bw, "pref %d %d\n", nd, m.PreferredOffset[nd])
+	}
+	return bw.Flush()
+}
+
+// ReadPlacement parses a placement map written by WritePlacement.
+func ReadPlacement(r io.Reader) (*placement.Map, error) {
+	sc := newScanner(r)
+	if err := sc.expectLine(placementMagic); err != nil {
+		return nil, err
+	}
+	m := &placement.Map{
+		HeapPlans:       make(map[uint64]placement.HeapPlan),
+		PreferredOffset: make(map[trg.NodeID]int64),
+	}
+	var cc cache.Config
+	if err := sc.scanf("cache %d %d %d", &cc.Size, &cc.BlockSize, &cc.Assoc); err != nil {
+		return nil, err
+	}
+	if err := cc.Validate(); err != nil {
+		return nil, err
+	}
+	m.Cache = cc
+	var segStart, stackStart uint64
+	if err := sc.scanf("segment %d %d", &segStart, &m.GlobalSegSize); err != nil {
+		return nil, err
+	}
+	m.GlobalSegStart = addrspace.Addr(segStart)
+	if err := sc.scanf("stack %d", &stackStart); err != nil {
+		return nil, err
+	}
+	m.StackStart = addrspace.Addr(stackStart)
+	if err := sc.scanf("bins %d", &m.NumBins); err != nil {
+		return nil, err
+	}
+	if err := sc.scanf("conflict %d", &m.PredictedConflict); err != nil {
+		return nil, err
+	}
+
+	var n int
+	if err := sc.scanf("slots %d", &n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var s placement.GlobalSlot
+		if err := sc.scanf("slot %d %d %d", &s.Node, &s.Offset, &s.Size); err != nil {
+			return nil, err
+		}
+		m.GlobalLayout = append(m.GlobalLayout, s)
+	}
+	if err := sc.scanf("plans %d", &n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var x uint64
+		var pl placement.HeapPlan
+		if err := sc.scanf("plan %d %d %d", &x, &pl.Bin, &pl.PrefOffset); err != nil {
+			return nil, err
+		}
+		m.HeapPlans[x] = pl
+	}
+	if err := sc.scanf("preferred %d", &n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var nd trg.NodeID
+		var off int64
+		if err := sc.scanf("pref %d %d", &nd, &off); err != nil {
+			return nil, err
+		}
+		m.PreferredOffset[nd] = off
+	}
+	return m, nil
+}
+
+// scanner wraps line-oriented parsing with location-aware errors.
+type scanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newScanner(r io.Reader) *scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	return &scanner{sc: sc}
+}
+
+func (s *scanner) next() (string, error) {
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("persist: unexpected end of file at line %d", s.line)
+	}
+	s.line++
+	return s.sc.Text(), nil
+}
+
+func (s *scanner) expectLine(want string) error {
+	got, err := s.next()
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("persist: line %d: got %q, want %q", s.line, got, want)
+	}
+	return nil
+}
+
+// scanf reads one line and parses it against format (Sscanf semantics,
+// requiring full consumption of the format's verbs).
+func (s *scanner) scanf(format string, args ...any) error {
+	line, err := s.next()
+	if err != nil {
+		return err
+	}
+	n, err := fmt.Sscanf(line, format, args...)
+	if err != nil || n != len(args) {
+		return fmt.Errorf("persist: line %d: %q does not match %q", s.line, line, format)
+	}
+	return nil
+}
+
+// fields reads one line that must start with prefix and have at least min
+// following fields; it returns those fields.
+func (s *scanner) fields(prefix string, min int) ([]string, error) {
+	line, err := s.next()
+	if err != nil {
+		return nil, err
+	}
+	f := strings.Fields(line)
+	if len(f) < min+1 || f[0] != prefix {
+		return nil, fmt.Errorf("persist: line %d: malformed %q record: %q", s.line, prefix, line)
+	}
+	return f[1:], nil
+}
+
+func sortUint64(v []uint64) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}
+
+func sortNodeIDs(v []trg.NodeID) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}

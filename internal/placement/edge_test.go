@@ -1,0 +1,196 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/trace"
+	"repro/internal/trg"
+)
+
+// Edge-case coverage for the placement algorithm: degenerate profiles,
+// objects larger than the cache, and constants-only programs must all
+// produce valid (if trivial) placements rather than panics.
+
+func TestEmptyProfile(t *testing.T) {
+	prof, _ := buildProfile(t, 1024, func(tbl *object.Table, em *trace.Emitter) {})
+	m, err := Compute(defaultCfg(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.GlobalLayout) != 0 {
+		t.Fatalf("empty profile produced %d slots", len(m.GlobalLayout))
+	}
+	if m.PredictedConflict != 0 {
+		t.Fatal("empty profile predicted conflict")
+	}
+	if m.StackStart == 0 {
+		t.Fatal("stack start unset")
+	}
+}
+
+func TestUntouchedProgram(t *testing.T) {
+	// Globals declared but never referenced: all unpopular, placed by
+	// reference count (all zero) without crashing.
+	prof, _ := buildProfile(t, 1024, func(tbl *object.Table, em *trace.Emitter) {
+		tbl.AddGlobal("a", 100)
+		tbl.AddGlobal("b", 200)
+		tbl.AddConstant("c", 64, 0x10000)
+	})
+	m, err := Compute(defaultCfg(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.GlobalLayout) != 2 {
+		t.Fatalf("%d slots, want 2", len(m.GlobalLayout))
+	}
+}
+
+func TestObjectLargerThanCache(t *testing.T) {
+	// A 32 KB hot object in an 8 KB cache: its chunks wrap the image
+	// four deep; the algorithm must still terminate with a valid slot.
+	prof, _ := buildProfile(t, 1024, func(tbl *object.Table, em *trace.Emitter) {
+		big := tbl.AddGlobal("big", 32*1024)
+		small := tbl.AddGlobal("small", 256)
+		for i := 0; i < 400; i++ {
+			em.Load(big, int64(i*73%32000)&^7, 8)
+			em.Load(small, int64(i%32)*8, 8)
+		}
+	})
+	m, err := Compute(defaultCfg(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.GlobalLayout) != 2 {
+		t.Fatalf("%d slots, want 2", len(m.GlobalLayout))
+	}
+	var total int64
+	for _, slot := range m.GlobalLayout {
+		if slot.Offset < 0 {
+			t.Fatalf("negative offset %d", slot.Offset)
+		}
+		total += slot.Size
+	}
+	if m.GlobalSegSize < total {
+		t.Fatalf("segment size %d smaller than members %d", m.GlobalSegSize, total)
+	}
+}
+
+func TestTwoCacheSizedObjects(t *testing.T) {
+	// Two hot 8 KB objects cannot avoid each other; the algorithm must
+	// terminate and still place both.
+	prof, _ := buildProfile(t, 512, func(tbl *object.Table, em *trace.Emitter) {
+		a := tbl.AddGlobal("a", 8192)
+		b := tbl.AddGlobal("b", 8192)
+		for i := 0; i < 300; i++ {
+			em.Load(a, int64(i*97%8192)&^7, 8)
+			em.Load(b, int64(i*61%8192)&^7, 8)
+		}
+	})
+	m, err := Compute(defaultCfg(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.GlobalLayout) != 2 {
+		t.Fatalf("%d slots, want 2", len(m.GlobalLayout))
+	}
+}
+
+func TestConstantsOnlyProgram(t *testing.T) {
+	prof, _ := buildProfile(t, 2048, func(tbl *object.Table, em *trace.Emitter) {
+		c := tbl.AddConstant("tbl", 512, 0x10000)
+		for i := 0; i < 100; i++ {
+			em.Load(c, int64(i%64)*8, 8)
+			em.Load(object.StackID, int64(i%128)*8, 8)
+		}
+	})
+	m, err := Compute(defaultCfg(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.GlobalLayout) != 0 {
+		t.Fatal("constants must not enter the global layout")
+	}
+}
+
+func TestUnpopularGlobalsOrderedByRefs(t *testing.T) {
+	// With no popular objects at all (uniform tiny traffic below any
+	// relationship), unpopular globals are appended most-referenced
+	// first — the paper's final ordering rule.
+	prof, _ := buildProfile(t, 1024, func(tbl *object.Table, em *trace.Emitter) {
+		cold := tbl.AddGlobal("cold", 64)
+		warm := tbl.AddGlobal("warm", 64)
+		em.Load(cold, 0, 8)
+		for i := 0; i < 10; i++ {
+			em.Load(warm, 0, 8)
+		}
+	})
+	m, err := Compute(defaultCfg(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prof.Graph
+	if len(m.GlobalLayout) != 2 {
+		t.Fatalf("%d slots", len(m.GlobalLayout))
+	}
+	// Whichever slot comes first must have >= refs of the later one,
+	// unless it was popular-placed (then PreferredOffset pins it).
+	first := g.Node(m.GlobalLayout[0].Node)
+	second := g.Node(m.GlobalLayout[1].Node)
+	if _, pinned := m.PreferredOffset[first.ID]; !pinned && first.Refs < second.Refs {
+		t.Fatalf("unpopular ordering wrong: %d refs before %d", first.Refs, second.Refs)
+	}
+}
+
+func TestPhase5GroupRespectsBlockBound(t *testing.T) {
+	// Three hot 16-byte globals: at most two fit one 32-byte line; the
+	// third must not be forced into the same block.
+	prof, _ := buildProfile(t, 1024, func(tbl *object.Table, em *trace.Emitter) {
+		a := tbl.AddGlobal("a", 16)
+		b := tbl.AddGlobal("b", 16)
+		c := tbl.AddGlobal("c", 16)
+		alternate(em, 250, a, b, c)
+	})
+	m, err := Compute(defaultCfg(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make(map[int64]int64) // line -> bytes
+	for _, slot := range m.GlobalLayout {
+		lines[slot.Offset/32] += slot.Size
+	}
+	for line, bytes := range lines {
+		if bytes > 32 {
+			t.Fatalf("line %d overfilled with %d bytes", line, bytes)
+		}
+	}
+}
+
+func TestRegisterChunksWraps(t *testing.T) {
+	prof, _ := buildProfile(t, 512, func(tbl *object.Table, em *trace.Emitter) {
+		g := tbl.AddGlobal("g", 1024)
+		em.Load(g, 0, 8)
+	})
+	p := &placer{
+		cfg:        defaultCfg(),
+		prof:       prof,
+		g:          prof.Graph,
+		lines:      256,
+		block:      32,
+		cacheBytes: 8192,
+		placedAt:   make(map[trg.ChunkKey]placedChunk),
+	}
+	var nd trg.NodeID
+	for i := 0; i < prof.Graph.NumNodes(); i++ {
+		if prof.Graph.Node(trg.NodeID(i)).Name == "g" {
+			nd = trg.NodeID(i)
+		}
+	}
+	// Register near the top of the cache so chunks wrap.
+	p.registerChunks(nd, 8000, 3)
+	for key, pc := range p.placedAt {
+		if pc.start < 0 || pc.start >= 8192 {
+			t.Fatalf("chunk %d start %d outside period", key, pc.start)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/addrspace"
+	"repro/internal/object"
+	"repro/internal/trg"
+)
+
+// Phase 7: choose the final ordering for the global data segment.
+//
+// The most popular global seeds the segment at its preferred cache offset.
+// Each following popular global is chosen so its preferred offset lies as
+// close as possible past the end of the previously placed one (preferring,
+// among equals, the candidate with the most temporal locality to its
+// predecessor); any gap this creates is filled with unpopular globals.
+// Remaining unpopular globals are appended in order of decreasing
+// reference count. The segment base is cache-aligned, so a global's
+// segment offset modulo the cache size *is* its cache offset.
+func (p *placer) phase7GlobalOrdering() *Map {
+	m := &Map{
+		Cache:           p.cfg.Cache,
+		GlobalSegStart:  addrspace.GlobalBase,
+		PreferredOffset: make(map[trg.NodeID]int64),
+	}
+
+	var populars, unpopulars []trg.NodeID
+	for i := 0; i < p.g.NumNodes(); i++ {
+		n := p.g.Node(trg.NodeID(i))
+		if n.Category != object.Global {
+			continue
+		}
+		if off := p.cacheOffsetOfNode(n.ID); off != NoPreference {
+			m.PreferredOffset[n.ID] = off
+			populars = append(populars, n.ID)
+		} else {
+			unpopulars = append(unpopulars, n.ID)
+		}
+	}
+	// Record heap preferred offsets too (for diagnostics and tests).
+	for _, nd := range p.g.PopularNodes() {
+		if p.g.Node(nd).Category == object.Heap {
+			if off := p.cacheOffsetOfNode(nd); off != NoPreference {
+				m.PreferredOffset[nd] = off
+			}
+		}
+	}
+
+	sort.Slice(populars, func(i, j int) bool {
+		a, b := p.g.Node(populars[i]), p.g.Node(populars[j])
+		if a.Popularity != b.Popularity {
+			return a.Popularity > b.Popularity
+		}
+		return a.ID < b.ID
+	})
+	// Unpopular fill pool: largest-first so big gaps swallow big objects.
+	sort.Slice(unpopulars, func(i, j int) bool {
+		a, b := p.g.Node(unpopulars[i]), p.g.Node(unpopulars[j])
+		if a.Size != b.Size {
+			return a.Size > b.Size
+		}
+		return a.ID < b.ID
+	})
+
+	var cursor int64
+	place := func(nd trg.NodeID, off int64) {
+		n := p.g.Node(nd)
+		m.GlobalLayout = append(m.GlobalLayout, GlobalSlot{Node: nd, Offset: off, Size: n.Size})
+		if end := off + n.Size; end > cursor {
+			cursor = end
+		}
+	}
+	// fillGap packs unpopular globals into [cursor, cursor+gap), best-fit
+	// largest-first, and returns consuming them from the pool.
+	fillGap := func(gap int64) {
+		for gap > 0 {
+			picked := -1
+			for i, nd := range unpopulars {
+				if p.g.Node(nd).Size <= gap {
+					picked = i
+					break
+				}
+			}
+			if picked < 0 {
+				return
+			}
+			nd := unpopulars[picked]
+			unpopulars = append(unpopulars[:picked], unpopulars[picked+1:]...)
+			sz := p.g.Node(nd).Size
+			place(nd, cursor)
+			gap -= sz
+		}
+	}
+
+	if len(populars) > 0 {
+		first := populars[0]
+		populars = populars[1:]
+		// Seed the segment so the first popular global hits its
+		// preferred cache offset exactly.
+		place(first, m.PreferredOffset[first])
+		prev := first
+		for len(populars) > 0 {
+			want := cursor % p.cacheBytes
+			bestIdx, bestGap := -1, int64(0)
+			var bestW uint64
+			for i, nd := range populars {
+				gap := (m.PreferredOffset[nd] - want) % p.cacheBytes
+				if gap < 0 {
+					gap += p.cacheBytes
+				}
+				w := p.pairW[trg.MakeNodePair(prev, nd)]
+				switch {
+				case bestIdx < 0, gap < bestGap, gap == bestGap && w > bestW:
+					bestIdx, bestGap, bestW = i, gap, w
+				}
+			}
+			nd := populars[bestIdx]
+			populars = append(populars[:bestIdx], populars[bestIdx+1:]...)
+			if bestGap > 0 {
+				fillGap(bestGap)
+			}
+			place(nd, cursor+remainingGap(cursor, m.PreferredOffset[nd], p.cacheBytes))
+			prev = nd
+		}
+	}
+
+	// Append whatever unpopular globals were not consumed as gap filler,
+	// most frequently referenced first.
+	sort.Slice(unpopulars, func(i, j int) bool {
+		a, b := p.g.Node(unpopulars[i]), p.g.Node(unpopulars[j])
+		if a.Refs != b.Refs {
+			return a.Refs > b.Refs
+		}
+		return a.ID < b.ID
+	})
+	for _, nd := range unpopulars {
+		place(nd, cursor)
+	}
+
+	m.GlobalSegSize = cursor
+	m.StackStart = p.stackStart()
+	return m
+}
+
+// remainingGap returns how many bytes past cursor the next preferred cache
+// offset lies (0 when already aligned).
+func remainingGap(cursor, pref, cacheBytes int64) int64 {
+	gap := (pref - cursor%cacheBytes) % cacheBytes
+	if gap < 0 {
+		gap += cacheBytes
+	}
+	return gap
+}
+
+// stackStart converts the phase-2 cache offset into a concrete stack base
+// address: the highest address not above the natural stack base whose
+// cache offset matches the chosen one.
+func (p *placer) stackStart() addrspace.Addr {
+	var stackSize int64
+	for i := 0; i < p.g.NumNodes(); i++ {
+		n := p.g.Node(trg.NodeID(i))
+		if n.Category == object.Stack {
+			stackSize = n.Size
+			break
+		}
+	}
+	natural := int64(uint64(addrspace.StackTop)) - stackSize
+	delta := (natural%p.cacheBytes - p.stackOffset) % p.cacheBytes
+	if delta < 0 {
+		delta += p.cacheBytes
+	}
+	return addrspace.Addr(natural - delta)
+}

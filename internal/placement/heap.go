@@ -1,0 +1,109 @@
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/object"
+	"repro/internal/trg"
+)
+
+// Phase 1: preprocess heap objects into allocation bins.
+//
+// Heap names with temporal use and allocation locality share a bin tag;
+// the custom allocator gives each tag its own free list so same-bin objects
+// are allocated near one another (paper section 3.4). Short-lived names
+// that never become popular still benefit from binning. Names observed
+// with multiple concurrently-live instances were already marked
+// NonUniqueXOR by the profiler and are excluded from conflict placement,
+// but keep their bin tag.
+func (p *placer) phase1HeapBins() {
+	p.bins = make(map[uint64]int)
+	if !p.cfg.HeapPlacement {
+		return
+	}
+	var heapNodes []trg.NodeID
+	for i := 0; i < p.g.NumNodes(); i++ {
+		if p.g.Node(trg.NodeID(i)).Category == object.Heap {
+			heapNodes = append(heapNodes, trg.NodeID(i))
+		}
+	}
+	if len(heapNodes) == 0 {
+		return
+	}
+	sort.Slice(heapNodes, func(i, j int) bool {
+		a, b := p.g.Node(heapNodes[i]), p.g.Node(heapNodes[j])
+		if a.AllocOrder != b.AllocOrder {
+			return a.AllocOrder < b.AllocOrder
+		}
+		return a.ID < b.ID
+	})
+
+	binOf := make(map[trg.NodeID]int)
+	threshold := p.cfg.BinAffinityThreshold
+	for i, nd := range heapNodes {
+		n := p.g.Node(nd)
+		// Allocation locality: stick with the previous name's bin when
+		// the two names are temporally related.
+		if i > 0 {
+			prev := heapNodes[i-1]
+			if p.pairW[trg.MakeNodePair(nd, prev)] >= threshold {
+				bin := binOf[prev]
+				binOf[nd] = bin
+				p.bins[n.XORName] = bin
+				continue
+			}
+		}
+		// Temporal use locality: join the already-binned name with the
+		// strongest relationship, if strong enough.
+		bestBin, bestW := -1, uint64(0)
+		for j := 0; j < i; j++ {
+			w := p.pairW[trg.MakeNodePair(nd, heapNodes[j])]
+			if w >= threshold && w > bestW {
+				bestW = w
+				bestBin = binOf[heapNodes[j]]
+			}
+		}
+		if bestBin >= 0 {
+			binOf[nd] = bestBin
+			p.bins[n.XORName] = bestBin
+			continue
+		}
+		bin := p.numBins
+		p.numBins++
+		binOf[nd] = bin
+		p.bins[n.XORName] = bin
+	}
+}
+
+// Phase 8 (heap half): emit the custom-malloc lookup table. Popular heap
+// names with unique XOR names carry the preferred cache offset chosen in
+// phase 6; every binned name carries its bin tag.
+func (p *placer) phase8Heap(m *Map) {
+	m.HeapPlans = make(map[uint64]HeapPlan)
+	m.NumBins = p.numBins
+	if !p.cfg.HeapPlacement {
+		return
+	}
+	// Deterministic iteration over heap nodes.
+	type nameNode struct {
+		xor uint64
+		nd  trg.NodeID
+	}
+	var names []nameNode
+	for xor, nd := range p.prof.HeapNode {
+		names = append(names, nameNode{xor: xor, nd: nd})
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].nd < names[j].nd })
+	for _, nn := range names {
+		plan := HeapPlan{Bin: -1, PrefOffset: NoPreference}
+		if bin, ok := p.bins[nn.xor]; ok {
+			plan.Bin = bin
+		}
+		if off := p.cacheOffsetOfNode(nn.nd); off != NoPreference {
+			plan.PrefOffset = off
+		}
+		if plan.Bin != -1 || plan.PrefOffset != NoPreference {
+			m.HeapPlans[nn.xor] = plan
+		}
+	}
+}

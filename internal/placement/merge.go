@@ -1,0 +1,371 @@
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/addrspace"
+	"repro/internal/object"
+	"repro/internal/trg"
+)
+
+// Phase 2: place the stack in relation to the constant objects.
+//
+// Constants stay at their fixed text-segment addresses; their chunks seed
+// the Stack_Const cache image. The stack (one large contiguous object) is
+// then slid across all candidate start lines, and the line with the lowest
+// TRGplace conflict cost against the constants wins. The placed stack
+// chunks join the Stack_Const image consulted by every later merge.
+func (p *placer) phase2StackConstants() {
+	var stackNode trg.NodeID = trg.NoNode
+	for i := 0; i < p.g.NumNodes(); i++ {
+		n := p.g.Node(trg.NodeID(i))
+		switch n.Category {
+		case object.Constant:
+			off := int64(uint64(n.Addr)) % p.cacheBytes
+			p.registerChunks(n.ID, off, stackConstTag)
+		case object.Stack:
+			stackNode = n.ID
+		}
+	}
+	if stackNode == trg.NoNode {
+		return
+	}
+	// Scan from the stack's natural cache offset: when the constant
+	// conflict costs tie (small or cold text segments), the stack keeps
+	// its natural position rather than drifting to line 0, which would
+	// trade planned-for conflicts for unplanned ones against the heap.
+	natural := int64(uint64(addrspace.StackTop)-uint64(p.g.Node(stackNode).Size)) % p.cacheBytes
+	naturalLine := int(natural / p.block)
+	costs := p.rotationCosts(p.nodeChunks(stackNode), stackConstTag)
+	bestLine := argminFrom(costs, naturalLine)
+	// Only relocate the stack when the predicted stack-constant conflict
+	// is significant relative to the stack's traffic; the profile cannot
+	// see the heap, so moving on noise risks trading a negligible
+	// planned conflict for an unplanned one.
+	if threshold := p.g.Node(stackNode).Refs / 50; costs[naturalLine] < threshold {
+		bestLine = naturalLine
+	}
+	p.stackOffset = int64(bestLine) * p.block
+	p.registerChunks(stackNode, p.stackOffset, stackConstTag)
+}
+
+// relChunk is a chunk of the compound being slid: its byte offset relative
+// to the compound origin, its length, and its identity.
+type relChunk struct {
+	key trg.ChunkKey
+	rel int64
+	len int64
+}
+
+// nodeChunks returns a node's chunks at relative offset base 0.
+func (p *placer) nodeChunks(nd trg.NodeID) []relChunk {
+	n := p.g.Node(nd)
+	chunks := n.Chunks(p.g.ChunkSize)
+	out := make([]relChunk, 0, chunks)
+	for c := 0; c < chunks; c++ {
+		clen := p.g.ChunkSize
+		if rem := n.Size - int64(c)*p.g.ChunkSize; rem < clen {
+			clen = rem
+		}
+		if clen <= 0 {
+			clen = 1
+		}
+		out = append(out, relChunk{key: trg.MakeChunkKey(nd, c), rel: int64(c) * p.g.ChunkSize, len: clen})
+	}
+	return out
+}
+
+// compoundChunks returns all chunks of a compound at its members' current
+// offsets.
+func (p *placer) compoundChunks(comp *trg.Compound) []relChunk {
+	var out []relChunk
+	for _, mem := range comp.Members {
+		for _, rc := range p.nodeChunks(mem.Node) {
+			rc.rel += mem.Offset
+			out = append(out, rc)
+		}
+	}
+	return out
+}
+
+// bestRotation implements the cost sweep of Figure 2. The chunks of the
+// sliding compound are rotated through every candidate start line; the cost
+// of a rotation is the total TRGplace weight between each sliding chunk and
+// every already-placed chunk (with tag allowTag or stackConstTag) that
+// shares a cache line with it at that rotation.
+//
+// Rather than scanning line-by-line per candidate (O(lines^2) with long
+// occupant lists), we exploit that a chunk's line span shifts rigidly with
+// the rotation: each (sliding chunk, placed neighbor, line pair) triple
+// contributes its edge weight to exactly one rotation. The resulting cost
+// vector is identical to the paper's doubly-nested scan.
+func (p *placer) bestRotation(sliding []relChunk, allowTag int, preferred int) int {
+	costs := p.rotationCosts(sliding, allowTag)
+	return argminFrom(costs, preferred)
+}
+
+// rotationCosts returns the conflict cost of every candidate rotation.
+func (p *placer) rotationCosts(sliding []relChunk, allowTag int) []uint64 {
+	L := p.lines
+	costs := make([]uint64, L)
+	for _, sc := range sliding {
+		jFirst := floorDiv(sc.rel, p.block)
+		jLast := floorDiv(sc.rel+sc.len-1, p.block)
+		p.g.Neighbors(sc.key, func(nb trg.ChunkKey, w uint64) {
+			pc, ok := p.placedAt[nb]
+			if !ok {
+				return
+			}
+			if pc.tag != allowTag && pc.tag != stackConstTag {
+				return
+			}
+			kFirst := pc.start / p.block
+			kLast := (pc.start + pc.len - 1) / p.block
+			for j := jFirst; j <= jLast; j++ {
+				for k := kFirst; k <= kLast; k++ {
+					rot := int((k - j) % int64(L))
+					if rot < 0 {
+						rot += L
+					}
+					costs[rot] += w
+				}
+			}
+		})
+	}
+	return costs
+}
+
+// argminFrom scans the cost vector starting at preferred, keeping the
+// earliest minimum — so cost ties resolve toward the preferred offset.
+func argminFrom(costs []uint64, preferred int) int {
+	L := len(costs)
+	start := preferred % L
+	if start < 0 {
+		start += L
+	}
+	best, bestCost := start, costs[start]
+	for i := 1; i < L; i++ {
+		cand := (start + i) % L
+		if costs[cand] < bestCost {
+			bestCost = costs[cand]
+			best = cand
+		}
+	}
+	return best
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b < 0 {
+		q--
+	}
+	return q
+}
+
+// Phase 3 + 5: create a compound node per popular object, then pack small
+// popular globals (size < block size) that share high temporal locality
+// into the same cache line so they benefit from line reuse and prefetch.
+func (p *placer) phase3n5Compounds() {
+	popular := p.g.PopularNodes()
+	for _, nd := range popular {
+		n := p.g.Node(nd)
+		if n.Category == object.Heap && (!p.cfg.HeapPlacement || n.NonUniqueXOR) {
+			// Heap names with duplicate live instances are excluded
+			// from conflict placement (paper section 3.4); with heap
+			// placement off, heap objects are not placed at all.
+			continue
+		}
+		id := p.nextComp
+		p.nextComp++
+		p.compounds[id] = trg.NewCompound(id, nd)
+		p.compoundOf[nd] = id
+		p.selectGraph.AddCompound(id)
+	}
+
+	// Phase 5: greedy line packing of small globals by pair weight.
+	type smallPair struct {
+		a, b trg.NodeID
+		w    uint64
+	}
+	var pairs []smallPair
+	for pair, w := range p.pairW {
+		na, nb := p.g.Node(pair.A), p.g.Node(pair.B)
+		if na.Category != object.Global || nb.Category != object.Global {
+			continue
+		}
+		if na.Size >= p.block || nb.Size >= p.block {
+			continue
+		}
+		if _, oka := p.compoundOf[pair.A]; !oka {
+			continue
+		}
+		if _, okb := p.compoundOf[pair.B]; !okb {
+			continue
+		}
+		pairs = append(pairs, smallPair{a: pair.A, b: pair.B, w: w})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].w != pairs[j].w {
+			return pairs[i].w > pairs[j].w
+		}
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	for _, pr := range pairs {
+		ca, cb := p.compoundOf[pr.a], p.compoundOf[pr.b]
+		if ca == cb {
+			continue
+		}
+		compA, compB := p.compounds[ca], p.compounds[cb]
+		extA, extB := compA.Extent(p.g), compB.Extent(p.g)
+		if extA+extB > p.block {
+			continue // combined group would spill out of one line
+		}
+		// Pack B directly after A inside the same line.
+		compB.Shift(extA, 0)
+		compA.Absorb(compB)
+		for _, mem := range compB.Members {
+			p.compoundOf[mem.Node] = ca
+		}
+		delete(p.compounds, cb)
+		p.selectGraph.Merge(ca, cb)
+	}
+}
+
+// Phase 4: project TRGplace node-pair weights onto TRGselect compound
+// edges. Only pairs where both endpoints own compounds (i.e. both popular
+// and placeable) produce edges.
+func (p *placer) phase4SelectEdges() {
+	type selPair struct {
+		a, b int
+		w    uint64
+	}
+	var edges []selPair
+	for pair, w := range p.pairW {
+		ca, oka := p.compoundOf[pair.A]
+		cb, okb := p.compoundOf[pair.B]
+		if !oka || !okb || ca == cb {
+			continue
+		}
+		edges = append(edges, selPair{a: ca, b: cb, w: w})
+	}
+	// Deterministic insertion order.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		if edges[i].b != edges[j].b {
+			return edges[i].b < edges[j].b
+		}
+		return edges[i].w > edges[j].w
+	})
+	for _, e := range edges {
+		p.selectGraph.AddWeight(e.a, e.b, e.w)
+	}
+}
+
+// Phase 6: the merge loop of Figure 2. Pull the maximum-weight TRGselect
+// edge, place its endpoints against the committed cache image, fuse them,
+// coalesce their edges, repeat until no edges remain.
+func (p *placer) phase6MergeLoop() {
+	for {
+		a, b, w, ok := p.selectGraph.MaxEdge()
+		if !ok {
+			break
+		}
+		p.mergeCompounds(a, b, w)
+		p.selectGraph.Merge(a, b)
+	}
+	// Compounds with no TRGselect edges (popular via edges to unpopular
+	// or excluded nodes only) still deserve a conflict-free slot.
+	ids := make([]int, 0, len(p.compounds))
+	for id := range p.compounds {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if comp := p.compounds[id]; !comp.Placed {
+			p.placeCompound(comp, stackConstTag)
+		}
+	}
+}
+
+// placeCompound fixes an unplaced compound against the Stack_Const image
+// (and, via allowTag, optionally one other compound's chunks).
+func (p *placer) placeCompound(comp *trg.Compound, allowTag int) {
+	chunks := p.compoundChunks(comp)
+	best := p.bestRotation(chunks, allowTag, p.preferredStart())
+	comp.Shift(int64(best)*p.block, p.cacheBytes)
+	comp.Placed = true
+	for _, mem := range comp.Members {
+		p.registerChunks(mem.Node, mem.Offset, comp.ID)
+	}
+}
+
+// preferredStart chooses the initial scan point: the line just past the
+// most recently committed chunk, which encourages dense packing when
+// several rotations tie on cost.
+func (p *placer) preferredStart() int {
+	var maxEnd int64
+	for _, pc := range p.placedAt {
+		if pc.tag == stackConstTag {
+			continue
+		}
+		if end := pc.start + pc.len; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	return int((maxEnd / p.block) % int64(p.lines))
+}
+
+// mergeCompounds implements merge_compound_nodes(n1, n2): ensure the fixed
+// side is placed (first against Stack_Const if fresh, per Figure 2), slide
+// the other side to the least-cost rotation against the fixed side plus
+// Stack_Const, then fuse both under compound id a.
+func (p *placer) mergeCompounds(a, b int, weight uint64) {
+	compA, compB := p.compounds[a], p.compounds[b]
+	if compA == nil || compB == nil {
+		return
+	}
+	// Decide which side stays fixed: a placed side always stays fixed;
+	// between two fresh (or two placed) sides, keep the larger fixed —
+	// rotating the smaller side finds the same relative placement at
+	// lower cost.
+	fixed, moving := compA, compB
+	switch {
+	case compA.Placed && !compB.Placed:
+		// defaults are right
+	case compB.Placed && !compA.Placed:
+		fixed, moving = compB, compA
+	default:
+		if len(compB.Members) > len(compA.Members) {
+			fixed, moving = compB, compA
+		}
+	}
+	if !fixed.Placed {
+		p.placeCompound(fixed, stackConstTag)
+	}
+
+	chunks := p.compoundChunks(moving)
+	best := p.bestRotation(chunks, fixed.ID, p.preferredStart())
+	moving.Shift(int64(best)*p.block, p.cacheBytes)
+	moving.Placed = true
+
+	// Fuse both into compound id a; id b disappears (matching
+	// SelectGraph.Merge, which the caller invokes next).
+	target, src := p.compounds[a], p.compounds[b]
+	for _, mem := range src.Members {
+		p.compoundOf[mem.Node] = a
+	}
+	target.Absorb(src)
+	target.Placed = true
+	delete(p.compounds, b)
+	for _, mem := range target.Members {
+		p.registerChunks(mem.Node, mem.Offset, a)
+	}
+	p.mergeLog = append(p.mergeLog, MergeStep{
+		A: a, B: b, Weight: weight, ChosenLine: best, Members: len(target.Members),
+	})
+}

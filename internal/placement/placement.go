@@ -1,0 +1,284 @@
+// Package placement implements the cache-conscious data placement
+// algorithm of the paper (Figure 1), phases 0 through 8:
+//
+//	PHASE 0  split objects into popular and unpopular sets
+//	PHASE 1  preprocess heap objects and assign allocation-bin tags
+//	PHASE 2  place the stack in relation to the constant objects
+//	PHASE 3  make popular objects into compound nodes
+//	PHASE 4  create TRGselect edges between compound nodes
+//	PHASE 5  pack small globals into shared cache lines for line reuse
+//	PHASE 6  merge compound nodes in decreasing TRGselect-edge order,
+//	         sliding each against the already-placed cache image to
+//	         minimise the TRGplace conflict metric (Figure 2)
+//	PHASE 7  choose the final global-segment ordering, filling gaps
+//	         between popular objects with unpopular ones
+//	PHASE 8  write the placement map (global layout, stack start, and
+//	         the custom-malloc table of bin tags / preferred offsets)
+//
+// The output Map is consumed by internal/layout (the "modified linker")
+// and internal/heapsim (the customized allocation routines).
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+	"repro/internal/profile"
+	"repro/internal/trg"
+)
+
+// Config controls the placement algorithm.
+type Config struct {
+	// Cache is the target geometry the placement optimises for
+	// (the paper's default: 8 KB direct-mapped, 32-byte lines).
+	Cache cache.Config
+	// HeapPlacement enables phase 1 and the custom-malloc table. The
+	// paper applies it to only 4 of the 9 programs.
+	HeapPlacement bool
+	// BinAffinityThreshold is the minimum aggregate TRG weight between
+	// two heap names for them to share an allocation bin.
+	BinAffinityThreshold uint64
+}
+
+// DefaultConfig targets the paper's cache.
+func DefaultConfig() Config {
+	return Config{Cache: cache.DefaultConfig, HeapPlacement: true, BinAffinityThreshold: 8}
+}
+
+// NoPreference marks an absent preferred cache offset.
+const NoPreference int64 = -1
+
+// HeapPlan is one custom-malloc table entry, keyed by XOR name: which bin
+// free list to allocate from and which cache offset the object's start
+// should map to.
+type HeapPlan struct {
+	Bin        int   // -1 = default free list
+	PrefOffset int64 // byte offset within the cache; NoPreference if none
+}
+
+// GlobalSlot fixes one global variable's byte offset inside the relaid
+// global data segment.
+type GlobalSlot struct {
+	Node   trg.NodeID
+	Offset int64
+	Size   int64
+}
+
+// Map is the placement solution (paper phase 8's "placement map").
+type Map struct {
+	Cache cache.Config
+
+	// GlobalLayout lists every global in its new segment order.
+	GlobalLayout []GlobalSlot
+	// GlobalSegSize is the total extent of the relaid segment.
+	GlobalSegSize int64
+	// GlobalSegStart is the new segment base (cache-aligned so segment
+	// offsets are cache offsets).
+	GlobalSegStart addrspace.Addr
+
+	// StackStart is the new lowest address of the stack object.
+	StackStart addrspace.Addr
+
+	// HeapPlans is the custom-malloc lookup table (empty when heap
+	// placement is disabled).
+	HeapPlans map[uint64]HeapPlan
+	// NumBins is the number of heap allocation bins assigned.
+	NumBins int
+
+	// PreferredOffset records the phase-6 cache offset per popular node
+	// (globals and heap), for diagnostics and tests.
+	PreferredOffset map[trg.NodeID]int64
+
+	// PredictedConflict is the TRGplace self-cost of the final cache
+	// image — the algorithm's own estimate of remaining conflict.
+	PredictedConflict uint64
+
+	// MergeLog records phase 6's decisions in order, for diagnostics:
+	// which compound pair merged and the line offset chosen for the
+	// sliding side.
+	MergeLog []MergeStep
+}
+
+// MergeStep is one entry of the phase-6 merge log.
+type MergeStep struct {
+	A, B       int    // compound ids (B absorbed into A)
+	Weight     uint64 // TRGselect edge weight that triggered the merge
+	ChosenLine int    // rotation picked for the sliding side
+	Members    int    // members of the merged compound afterwards
+}
+
+// GlobalAddr returns the placed address of the global in slot i.
+func (m *Map) GlobalAddr(i int) addrspace.Addr {
+	return m.GlobalSegStart + addrspace.Addr(m.GlobalLayout[i].Offset)
+}
+
+// Period returns the placement period in bytes: the cache size for a
+// direct-mapped target, one way's worth for an associative one. Cache
+// offsets in this map (preferred offsets, stack offset) are modulo this.
+func (m *Map) Period() int64 {
+	return int64(m.Cache.Sets()) * m.Cache.BlockSize
+}
+
+// PredictConflict evaluates the TRG conflict metric for an *arbitrary*
+// layout: every node with a known cache offset (bytes, modulo the target's
+// period) is drawn into a cache image, and the image's TRGplace self-cost
+// is returned. This is the quantity phase 6 minimises; computing it for
+// the natural layout lets callers compare the optimizer's prediction
+// against what it started from — and tests correlate it with measured
+// conflict misses to validate the metric itself.
+func PredictConflict(prof *profile.Profile, cc cache.Config, offsets map[trg.NodeID]int64) uint64 {
+	g := prof.Graph
+	lines := cc.Sets()
+	img := trg.NewCacheImage(lines, cc.BlockSize)
+	ids := make([]trg.NodeID, 0, len(offsets))
+	for nd := range offsets {
+		ids = append(ids, nd)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, nd := range ids {
+		img.AddNode(g, nd, offsets[nd])
+	}
+	return img.SelfCost(g)
+}
+
+// Compute runs phases 0-8 over a profile and returns the placement map.
+func Compute(cfg Config, prof *profile.Profile) (*Map, error) {
+	if err := cfg.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	if prof == nil || prof.Graph == nil {
+		return nil, fmt.Errorf("placement: nil profile")
+	}
+	// For a set-associative target, chunks are placed into cache *sets*
+	// instead of lines (paper section 5.2): the placement period is one
+	// way's worth of bytes, and the direct-mapped TRG supplies the
+	// conflict metric — the approximation the paper suggests suffices.
+	p := &placer{
+		cfg:   cfg,
+		prof:  prof,
+		g:     prof.Graph,
+		lines: cfg.Cache.Sets(),
+		block: cfg.Cache.BlockSize,
+	}
+	p.cacheBytes = int64(p.lines) * p.block
+	return p.run()
+}
+
+// placer carries the mutable state of one placement computation.
+type placer struct {
+	cfg        Config
+	prof       *profile.Profile
+	g          *trg.Graph
+	lines      int
+	block      int64
+	cacheBytes int64
+
+	pairW map[trg.NodePair]uint64
+
+	// placedAt records, for every chunk already fixed in the cache image,
+	// its absolute start byte (mod cache size), its length, and the
+	// compound that owns it. Tag stackConstTag marks phase-2 objects.
+	placedAt map[trg.ChunkKey]placedChunk
+
+	compounds   map[int]*trg.Compound
+	compoundOf  map[trg.NodeID]int
+	nextComp    int
+	selectGraph *trg.SelectGraph
+
+	stackOffset int64 // phase-2 result: cache offset of the stack base
+
+	bins    map[uint64]int // XOR name -> bin tag
+	numBins int
+
+	mergeLog []MergeStep
+}
+
+type placedChunk struct {
+	start int64 // absolute byte offset mod cacheBytes
+	len   int64
+	tag   int // owning compound id, or stackConstTag
+}
+
+const stackConstTag = -1
+
+func (p *placer) run() (*Map, error) {
+	p.pairW = p.g.NodePairWeights()
+	p.placedAt = make(map[trg.ChunkKey]placedChunk)
+	p.compounds = make(map[int]*trg.Compound)
+	p.compoundOf = make(map[trg.NodeID]int)
+	p.selectGraph = trg.NewSelectGraph()
+
+	p.phase1HeapBins()
+	p.phase2StackConstants()
+	p.phase3n5Compounds()
+	p.phase4SelectEdges()
+	p.phase6MergeLoop()
+	m := p.phase7GlobalOrdering()
+	p.phase8Heap(m)
+	m.PredictedConflict = p.predictedConflict()
+	m.MergeLog = p.mergeLog
+	return m, nil
+}
+
+// cacheOffsetOfNode returns the final cache offset of a popular node after
+// phase 6 (NoPreference if the node was never placed).
+func (p *placer) cacheOffsetOfNode(nd trg.NodeID) int64 {
+	cid, ok := p.compoundOf[nd]
+	if !ok {
+		return NoPreference
+	}
+	comp := p.compounds[cid]
+	if comp == nil || !comp.Placed {
+		return NoPreference
+	}
+	for _, mem := range comp.Members {
+		if mem.Node == nd {
+			off := mem.Offset % p.cacheBytes
+			if off < 0 {
+				off += p.cacheBytes
+			}
+			return off
+		}
+	}
+	return NoPreference
+}
+
+// predictedConflict rebuilds the final cache image and reports its
+// TRGplace self-cost.
+func (p *placer) predictedConflict() uint64 {
+	img := trg.NewCacheImage(p.lines, p.block)
+	// Rebuild deterministically from placedAt.
+	keys := make([]trg.ChunkKey, 0, len(p.placedAt))
+	for k := range p.placedAt {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		pc := p.placedAt[k]
+		img.AddChunkAt(k, pc.start, pc.len)
+	}
+	return img.SelfCost(p.g)
+}
+
+// registerChunks records every chunk of node nd, whose origin sits at
+// absolute cache byte start, as placed under tag.
+func (p *placer) registerChunks(nd trg.NodeID, start int64, tag int) {
+	n := p.g.Node(nd)
+	chunks := n.Chunks(p.g.ChunkSize)
+	for c := 0; c < chunks; c++ {
+		clen := p.g.ChunkSize
+		if rem := n.Size - int64(c)*p.g.ChunkSize; rem < clen {
+			clen = rem
+		}
+		if clen <= 0 {
+			clen = 1
+		}
+		abs := (start + int64(c)*p.g.ChunkSize) % p.cacheBytes
+		if abs < 0 {
+			abs += p.cacheBytes
+		}
+		p.placedAt[trg.MakeChunkKey(nd, c)] = placedChunk{start: abs, len: clen, tag: tag}
+	}
+}

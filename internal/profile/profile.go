@@ -1,0 +1,319 @@
+// Package profile implements the profiling stage of CCDP: it consumes the
+// reference stream once and produces the paper's two profiles (section 3):
+//
+//   - the Name profile: one record per placement object (id, reference
+//     count, size, lifetime), carried on the TRG nodes; and
+//   - the TRGplace graph: weighted edges between (object, chunk) pairs,
+//     where a weight estimates the cache misses that would occur if the two
+//     chunks shared a cache set.
+//
+// The TRG is built with a recency queue Q of the most recently accessed
+// chunks. When chunk c is referenced and found in Q, the edge (c, x) is
+// incremented for every entry x ahead of c, because a reference to x
+// occurred between two references to c — if they overlapped in a direct-
+// mapped cache, c would have missed. Q is capped at queue-threshold total
+// bytes (the paper uses twice the cache size): entries that fall off the
+// end would have been evicted by capacity anyway, so no relationship is
+// recorded for them.
+//
+// Placement identity: globals, constants, and the stack map to one node per
+// object; heap allocations map to one node per XOR call-stack name, because
+// that is the unit the custom allocator can steer.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/trace"
+	"repro/internal/trg"
+)
+
+// Config controls profiling granularity.
+type Config struct {
+	// ChunkSize is the placement granularity in bytes (paper: 256).
+	ChunkSize int64
+	// QueueThreshold caps the total bytes of chunks in the recency queue
+	// (paper: 2x the target cache size).
+	QueueThreshold int64
+	// PopularityCutoff is the fraction of total popularity covered by the
+	// popular set in phase 0 (paper: 0.99).
+	PopularityCutoff float64
+
+	// SampleWindow/SamplePeriod enable time-sampled TRG construction,
+	// the cost reduction the paper floats in section 5.2 ("alternative
+	// techniques for gathering this information such as time sampling"):
+	// out of every SamplePeriod references, only the first SampleWindow
+	// feed the recency queue. Reference counts and object metadata are
+	// always complete. Both zero = profile everything.
+	SampleWindow uint64
+	SamplePeriod uint64
+}
+
+// DefaultConfig returns the paper's parameters for a cache of cacheSize
+// bytes.
+func DefaultConfig(cacheSize int64) Config {
+	return Config{
+		ChunkSize:        trg.DefaultChunkSize,
+		QueueThreshold:   2 * cacheSize,
+		PopularityCutoff: 0.99,
+	}
+}
+
+// Validate rejects unusable parameters.
+func (c Config) Validate() error {
+	if c.ChunkSize <= 0 {
+		return fmt.Errorf("profile: chunk size %d <= 0", c.ChunkSize)
+	}
+	if c.QueueThreshold < c.ChunkSize {
+		return fmt.Errorf("profile: queue threshold %d < chunk size %d", c.QueueThreshold, c.ChunkSize)
+	}
+	if c.PopularityCutoff <= 0 || c.PopularityCutoff > 1 {
+		return fmt.Errorf("profile: popularity cutoff %g outside (0,1]", c.PopularityCutoff)
+	}
+	if (c.SampleWindow == 0) != (c.SamplePeriod == 0) {
+		return fmt.Errorf("profile: sample window and period must be set together")
+	}
+	if c.SamplePeriod > 0 && c.SampleWindow > c.SamplePeriod {
+		return fmt.Errorf("profile: sample window %d exceeds period %d", c.SampleWindow, c.SamplePeriod)
+	}
+	return nil
+}
+
+// Profile is the output of a profiling run.
+type Profile struct {
+	Config Config
+	Graph  *trg.Graph
+
+	// NodeOf maps object IDs from the profiled run to placement nodes.
+	// Because workload runs are deterministic, global/constant/stack IDs
+	// are identical across runs; heap objects are re-bound by XOR name.
+	NodeOf []trg.NodeID
+
+	// HeapNode maps XOR names to their placement node.
+	HeapNode map[uint64]trg.NodeID
+
+	// TotalRefs is the number of loads+stores profiled.
+	TotalRefs uint64
+}
+
+// Node returns the placement node for object id, or trg.NoNode.
+func (p *Profile) Node(id object.ID) trg.NodeID {
+	if int(id) >= len(p.NodeOf) {
+		return trg.NoNode
+	}
+	return p.NodeOf[id]
+}
+
+// Profiler consumes the event stream and builds a Profile. It implements
+// trace.Handler.
+type Profiler struct {
+	cfg   Config
+	objs  *object.Table
+	graph *trg.Graph
+
+	nodeOf   []trg.NodeID
+	heapNode map[uint64]trg.NodeID
+	allocSeq int
+
+	// recency queue
+	entries map[trg.ChunkKey]*qEntry
+	head    *qEntry // most recent
+	tail    *qEntry
+	qBytes  int64
+
+	refs uint64
+}
+
+type qEntry struct {
+	key        trg.ChunkKey
+	size       int64
+	prev, next *qEntry
+}
+
+// New creates a profiler over the given object table.
+func New(cfg Config, objs *object.Table) (*Profiler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Profiler{
+		cfg:      cfg,
+		objs:     objs,
+		graph:    trg.NewGraph(cfg.ChunkSize),
+		heapNode: make(map[uint64]trg.NodeID),
+		entries:  make(map[trg.ChunkKey]*qEntry),
+	}
+	return p, nil
+}
+
+// HandleEvent implements trace.Handler.
+func (p *Profiler) HandleEvent(ev trace.Event) {
+	switch ev.Kind {
+	case trace.Load, trace.Store:
+		p.refs++
+		nd := p.nodeFor(ev.Obj)
+		p.graph.Node(nd).Refs++
+		if p.cfg.SamplePeriod > 0 && p.refs%p.cfg.SamplePeriod >= p.cfg.SampleWindow {
+			// Time sampling: outside the sampling window the TRG queue
+			// is left untouched (but metadata above stays complete).
+			return
+		}
+		p.touchRange(nd, ev.Off, ev.Size)
+	case trace.Alloc:
+		p.noteAlloc(ev.Obj)
+	case trace.Free:
+		// Lifetime is tracked on the object table by the emitter; the
+		// heap placement node survives for future allocations.
+	}
+}
+
+// nodeFor resolves (creating if needed) the placement node of object id.
+func (p *Profiler) nodeFor(id object.ID) trg.NodeID {
+	for int(id) >= len(p.nodeOf) {
+		p.nodeOf = append(p.nodeOf, trg.NoNode)
+	}
+	if nd := p.nodeOf[id]; nd != trg.NoNode {
+		return nd
+	}
+	in := p.objs.Get(id)
+	var nd trg.NodeID
+	if in.Category == object.Heap {
+		nd = p.heapNodeFor(in)
+	} else {
+		nd = p.graph.AddNode(trg.Node{
+			Category: in.Category,
+			Name:     in.Name,
+			Size:     in.Size,
+			Addr:     in.NaturalAddr,
+		})
+	}
+	p.nodeOf[id] = nd
+	return nd
+}
+
+func (p *Profiler) heapNodeFor(in *object.Info) trg.NodeID {
+	if nd, ok := p.heapNode[in.XORName]; ok {
+		n := p.graph.Node(nd)
+		if in.Size > n.Size {
+			n.Size = in.Size
+		}
+		return nd
+	}
+	nd := p.graph.AddNode(trg.Node{
+		Category:   object.Heap,
+		Name:       in.Name,
+		Size:       in.Size,
+		XORName:    in.XORName,
+		AllocOrder: p.allocSeq,
+	})
+	p.heapNode[in.XORName] = nd
+	return nd
+}
+
+func (p *Profiler) noteAlloc(id object.ID) {
+	in := p.objs.Get(id)
+	nd := p.nodeFor(id)
+	n := p.graph.Node(nd)
+	n.AllocCount++
+	p.allocSeq++
+	if p.objs.LiveWithXOR(in.XORName) > 1 {
+		n.NonUniqueXOR = true
+	}
+}
+
+// touchRange feeds every chunk covered by [off, off+size) through the
+// recency queue.
+func (p *Profiler) touchRange(nd trg.NodeID, off, size int64) {
+	if size <= 0 {
+		size = 1
+	}
+	n := p.graph.Node(nd)
+	first := off / p.cfg.ChunkSize
+	last := (off + size - 1) / p.cfg.ChunkSize
+	for c := first; c <= last; c++ {
+		clen := p.cfg.ChunkSize
+		if rem := n.Size - c*p.cfg.ChunkSize; rem < clen {
+			clen = rem
+		}
+		if clen <= 0 {
+			clen = 1
+		}
+		p.touch(trg.MakeChunkKey(nd, int(c)), clen)
+	}
+}
+
+// touch is the TRG queue step from section 3.2.
+func (p *Profiler) touch(key trg.ChunkKey, size int64) {
+	if e, ok := p.entries[key]; ok {
+		// Record a temporal relationship with every chunk referenced
+		// since the last touch of key (the entries ahead of it).
+		for x := p.head; x != nil && x != e; x = x.next {
+			p.graph.AddWeight(key, x.key, 1)
+		}
+		p.moveToFront(e)
+		return
+	}
+	e := &qEntry{key: key, size: size}
+	p.entries[key] = e
+	p.pushFront(e)
+	p.qBytes += size
+	for p.qBytes > p.cfg.QueueThreshold && p.tail != nil && p.tail != p.head {
+		victim := p.tail
+		p.unlink(victim)
+		delete(p.entries, victim.key)
+		p.qBytes -= victim.size
+	}
+}
+
+func (p *Profiler) pushFront(e *qEntry) {
+	e.prev = nil
+	e.next = p.head
+	if p.head != nil {
+		p.head.prev = e
+	}
+	p.head = e
+	if p.tail == nil {
+		p.tail = e
+	}
+}
+
+func (p *Profiler) unlink(e *qEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		p.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		p.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (p *Profiler) moveToFront(e *qEntry) {
+	if p.head == e {
+		return
+	}
+	p.unlink(e)
+	p.pushFront(e)
+}
+
+// Finish creates nodes for declared-but-unreferenced globals and constants
+// (they still need placement slots), computes popularity, and returns the
+// completed profile.
+func (p *Profiler) Finish() *Profile {
+	p.objs.ForEach(func(in *object.Info) {
+		if in.Category == object.Global || in.Category == object.Constant {
+			p.nodeFor(in.ID)
+		}
+	})
+	p.graph.Finalize(p.cfg.PopularityCutoff)
+	return &Profile{
+		Config:    p.cfg,
+		Graph:     p.graph,
+		NodeOf:    p.nodeOf,
+		HeapNode:  p.heapNode,
+		TotalRefs: p.refs,
+	}
+}

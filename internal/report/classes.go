@@ -1,0 +1,90 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// ClassTable breaks misses into the three Cs (section 2 of the paper
+// motivates CCDP through them): conflict misses are what inter-object
+// placement removes; capacity misses respond to better line utilisation;
+// compulsory misses only to prefetch-friendly grouping. rows pairs results
+// per program as [natural, ccdp] and must come from classify-enabled runs.
+func ClassTable(rows map[string][2]*sim.EvalResult, order []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Miss classification (3 Cs), test input — rates as %% of all references\n")
+	fmt.Fprintf(&b, "%-10s | %7s %7s %7s | %7s %7s %7s | %9s\n",
+		"program", "compul", "capac", "confl", "compul", "capac", "confl", "confl red")
+	fmt.Fprintf(&b, "%-10s | %-23s | %-23s |\n", "", "        natural", "          CCDP")
+	for _, name := range order {
+		pair, ok := rows[name]
+		if !ok || pair[0] == nil || pair[1] == nil {
+			continue
+		}
+		n, c := pair[0], pair[1]
+		rate := func(r *sim.EvalResult, cls cache.MissClass) float64 {
+			if r.Stats.Accesses == 0 {
+				return 0
+			}
+			return 100 * float64(r.Stats.ClassMisses[cls]) / float64(r.Stats.Accesses)
+		}
+		confRed := 0.0
+		if nc := rate(n, cache.Conflict); nc > 0 {
+			confRed = 100 * (nc - rate(c, cache.Conflict)) / nc
+		}
+		fmt.Fprintf(&b, "%-10s | %6.2f%% %6.2f%% %6.2f%% | %6.2f%% %6.2f%% %6.2f%% | %8.1f%%\n",
+			name,
+			rate(n, cache.Compulsory), rate(n, cache.Capacity), rate(n, cache.Conflict),
+			rate(c, cache.Compulsory), rate(c, cache.Capacity), rate(c, cache.Conflict),
+			confRed)
+	}
+	return b.String()
+}
+
+// VictimTable compares CCDP against Jouppi's victim cache, the hardware
+// alternative the paper's introduction lists for the same conflict misses.
+// rows holds, per program, [natural, natural+victim, ccdp, ccdp+victim].
+func VictimTable(rows map[string][4]*sim.EvalResult, order []string, entries int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CCDP vs a %d-entry victim cache, test input\n", entries)
+	fmt.Fprintf(&b, "%-10s | %8s %8s | %8s %8s | %12s\n",
+		"program", "natural", "+victim", "ccdp", "+victim", "victim hits")
+	for _, name := range order {
+		quad, ok := rows[name]
+		if !ok || quad[0] == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s | %7.2f%% %7.2f%% | %7.2f%% %7.2f%% | %12d\n",
+			name,
+			quad[0].MissRate(), quad[1].MissRate(),
+			quad[2].MissRate(), quad[3].MissRate(),
+			quad[1].Stats.VictimHits)
+	}
+	return b.String()
+}
+
+// PrefetchTable shows the block-prefetch interaction the paper's phase 5
+// targets: packing temporally-related objects into adjacent blocks turns
+// next-block prefetches into hits. rows holds, per program,
+// [natural, natural+prefetch, ccdp, ccdp+prefetch].
+func PrefetchTable(rows map[string][4]*sim.EvalResult, order []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Next-block prefetch interaction, test input\n")
+	fmt.Fprintf(&b, "%-10s | %8s %8s | %8s %8s | %10s\n",
+		"program", "natural", "+pf", "ccdp", "+pf", "pf-hits(K)")
+	for _, name := range order {
+		quad, ok := rows[name]
+		if !ok || quad[0] == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s | %7.2f%% %7.2f%% | %7.2f%% %7.2f%% | %10.1f\n",
+			name,
+			quad[0].MissRate(), quad[1].MissRate(),
+			quad[2].MissRate(), quad[3].MissRate(),
+			float64(quad[3].Stats.PrefetchHits)/1000)
+	}
+	return b.String()
+}

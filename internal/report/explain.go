@@ -1,0 +1,148 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/object"
+	"repro/internal/placement"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trg"
+)
+
+// HierarchyTable renders the memory-hierarchy extension study: L1, L2, and
+// TLB miss rates under natural and CCDP placement. rows pairs results per
+// program as [natural, ccdp].
+func HierarchyTable(rows map[string][2]*sim.HierarchyResult, order []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Memory-hierarchy extension: L1 + L2 + data TLB, test input\n")
+	fmt.Fprintf(&b, "%-10s | %7s %7s %7s | %7s %7s %7s\n",
+		"program", "L1", "L2glob", "TLB", "L1", "L2glob", "TLB")
+	fmt.Fprintf(&b, "%-10s | %-23s | %-23s\n", "", "        natural", "          CCDP")
+	for _, name := range order {
+		pair, ok := rows[name]
+		if !ok || pair[0] == nil || pair[1] == nil {
+			continue
+		}
+		n, c := pair[0].Stats, pair[1].Stats
+		fmt.Fprintf(&b, "%-10s | %6.2f%% %6.2f%% %6.2f%% | %6.2f%% %6.2f%% %6.2f%%\n",
+			name,
+			n.L1.MissRate(), n.L2GlobalMissRate(), n.TLBMissRate(),
+			c.L1.MissRate(), c.L2GlobalMissRate(), c.TLBMissRate())
+	}
+	return b.String()
+}
+
+// TRGSummary renders the profile's Name and TRG contents: node counts per
+// category, the popular set, and the heaviest temporal relationships —
+// the data the placement algorithm works from.
+func TRGSummary(p *profile.Profile, topN int) string {
+	if topN <= 0 {
+		topN = 20
+	}
+	g := p.Graph
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile: %v over %d references\n", g, p.TotalRefs)
+
+	var counts [object.NumCategories]int
+	var popular, nonUnique int
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(trg.NodeID(i))
+		counts[n.Category]++
+		if n.Popular {
+			popular++
+		}
+		if n.NonUniqueXOR {
+			nonUnique++
+		}
+	}
+	fmt.Fprintf(&b, "nodes: %d stack, %d global, %d heap (%d non-unique XOR), %d const; %d popular\n",
+		counts[object.Stack], counts[object.Global],
+		counts[object.Heap], nonUnique, counts[object.Constant], popular)
+
+	type pw struct {
+		pair trg.NodePair
+		w    uint64
+	}
+	var pairs []pw
+	for pair, w := range g.NodePairWeights() {
+		pairs = append(pairs, pw{pair: pair, w: w})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].w != pairs[j].w {
+			return pairs[i].w > pairs[j].w
+		}
+		if pairs[i].pair.A != pairs[j].pair.A {
+			return pairs[i].pair.A < pairs[j].pair.A
+		}
+		return pairs[i].pair.B < pairs[j].pair.B
+	})
+	if len(pairs) > topN {
+		pairs = pairs[:topN]
+	}
+	fmt.Fprintf(&b, "\nheaviest temporal relationships (top %d):\n", len(pairs))
+	fmt.Fprintf(&b, "%10s  %-24s %-24s\n", "weight", "object A", "object B")
+	for _, e := range pairs {
+		na, nb := g.Node(e.pair.A), g.Node(e.pair.B)
+		fmt.Fprintf(&b, "%10d  %-24s %-24s\n", e.w,
+			nodeLabel(na), nodeLabel(nb))
+	}
+	return b.String()
+}
+
+func nodeLabel(n *trg.Node) string {
+	name := n.Name
+	if name == "" {
+		name = "?"
+	}
+	return fmt.Sprintf("%s/%s(%dB)", strings.ToLower(n.Category.String()), name, n.Size)
+}
+
+// PlacementSummary renders the placement decision: the stack move, the
+// relaid global segment with cache offsets, and the custom-malloc table.
+func PlacementSummary(p *profile.Profile, m *placement.Map) string {
+	var b strings.Builder
+	period := m.Period()
+	fmt.Fprintf(&b, "placement for %v (period %d bytes)\n", m.Cache, period)
+	fmt.Fprintf(&b, "stack start %#x (cache offset %d)\n",
+		uint64(m.StackStart), uint64(m.StackStart)%uint64(period))
+	fmt.Fprintf(&b, "global segment: %d objects over %d bytes from %#x\n",
+		len(m.GlobalLayout), m.GlobalSegSize, uint64(m.GlobalSegStart))
+	fmt.Fprintf(&b, "predicted residual conflict: %d\n\n", m.PredictedConflict)
+
+	fmt.Fprintf(&b, "%-5s %-20s %8s %8s %8s %6s %10s\n",
+		"slot", "object", "offset", "cacheoff", "size", "pop", "refs")
+	for i, slot := range m.GlobalLayout {
+		n := p.Graph.Node(slot.Node)
+		pop := ""
+		if n.Popular {
+			pop = "*"
+		}
+		fmt.Fprintf(&b, "%-5d %-20s %8d %8d %8d %6s %10d\n",
+			i, n.Name, slot.Offset, slot.Offset%period, slot.Size, pop, n.Refs)
+	}
+
+	if len(m.HeapPlans) > 0 {
+		fmt.Fprintf(&b, "\ncustom-malloc table: %d names, %d bins\n", len(m.HeapPlans), m.NumBins)
+		type planRow struct {
+			xor  uint64
+			plan placement.HeapPlan
+		}
+		rows := make([]planRow, 0, len(m.HeapPlans))
+		for x, pl := range m.HeapPlans {
+			rows = append(rows, planRow{xor: x, plan: pl})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].xor < rows[j].xor })
+		fmt.Fprintf(&b, "%-18s %5s %9s\n", "xor name", "bin", "prefoff")
+		for _, r := range rows {
+			pref := "-"
+			if r.plan.PrefOffset != placement.NoPreference {
+				pref = fmt.Sprintf("%d", r.plan.PrefOffset)
+			}
+			fmt.Fprintf(&b, "%#-18x %5d %9s\n", r.xor, r.plan.Bin, pref)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/sim"
+)
+
+// JSONResult is the machine-readable form of one evaluation pass, for
+// downstream plotting and analysis tools.
+type JSONResult struct {
+	Layout    string             `json:"layout"`
+	MissRate  float64            `json:"missRatePct"`
+	Accesses  uint64             `json:"accesses"`
+	Misses    uint64             `json:"misses"`
+	ByClass   map[string]float64 `json:"byObjectClassPct"`
+	TotalPage int                `json:"totalPages,omitempty"`
+	WorkSet   float64            `json:"workingSetPages,omitempty"`
+}
+
+// JSONProgram aggregates one workload's experiment.
+type JSONProgram struct {
+	Program    string                           `json:"program"`
+	HeapPlaced bool                             `json:"heapPlacement"`
+	Inputs     map[string]map[string]JSONResult `json:"inputs"` // input -> layout -> result
+	Reductions map[string]float64               `json:"reductionPct"`
+	Placement  struct {
+		Globals           int    `json:"globals"`
+		SegmentBytes      int64  `json:"segmentBytes"`
+		HeapPlans         int    `json:"heapPlans"`
+		Bins              int    `json:"bins"`
+		Merges            int    `json:"merges"`
+		PredictedConflict uint64 `json:"predictedConflict"`
+	} `json:"placement"`
+}
+
+// WriteJSON emits the full experiment suite as indented JSON.
+func WriteJSON(w io.Writer, cmps []*core.Comparison) error {
+	var out []JSONProgram
+	for _, c := range cmps {
+		jp := JSONProgram{
+			Program:    c.Workload.Name(),
+			HeapPlaced: c.Workload.HeapPlacement(),
+			Inputs:     make(map[string]map[string]JSONResult),
+			Reductions: make(map[string]float64),
+		}
+		jp.Placement.Globals = len(c.Placement.GlobalLayout)
+		jp.Placement.SegmentBytes = c.Placement.GlobalSegSize
+		jp.Placement.HeapPlans = len(c.Placement.HeapPlans)
+		jp.Placement.Bins = c.Placement.NumBins
+		jp.Placement.Merges = len(c.Placement.MergeLog)
+		jp.Placement.PredictedConflict = c.Placement.PredictedConflict
+		for input, byLayout := range c.Results {
+			jp.Reductions[input] = c.Reduction(input)
+			m := make(map[string]JSONResult, len(byLayout))
+			for kind, res := range byLayout {
+				m[string(kind)] = toJSONResult(res)
+			}
+			jp.Inputs[input] = m
+		}
+		out = append(out, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func toJSONResult(r *sim.EvalResult) JSONResult {
+	jr := JSONResult{
+		Layout:    string(r.Layout),
+		MissRate:  r.MissRate(),
+		Accesses:  r.Stats.Accesses,
+		Misses:    r.Stats.Misses,
+		ByClass:   make(map[string]float64, object.NumCategories),
+		TotalPage: r.TotalPages,
+		WorkSet:   r.WorkingSet,
+	}
+	for c := 0; c < object.NumCategories; c++ {
+		cat := object.Category(c)
+		jr.ByClass[cat.String()] = r.Stats.CategoryMissRate(cat)
+	}
+	return jr
+}

@@ -1,0 +1,341 @@
+// Package report renders the paper's tables and figures from experiment
+// results, matching the rows and columns of the evaluation section so a
+// reader can put the reproduction side by side with the original.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/sim"
+)
+
+// Table1 reproduces "Statistics for data sets used in gathering results":
+// per program and input, reference counts, load/store split, the share of
+// references per object class, and allocation statistics.
+func Table1(cmps []*core.Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: workload statistics per data set\n")
+	fmt.Fprintf(&b, "%-10s %-6s %8s %5s %5s | %5s %6s %5s %5s | %7s %7s %7s %7s\n",
+		"program", "input", "refs(K)", "%lds", "%sts",
+		"stack", "global", "heap", "const", "mallocs", "avg(B)", "frees", "avg(B)")
+	for _, c := range cmps {
+		for _, label := range []string{"train", "test"} {
+			r := c.Result(label, sim.LayoutNatural)
+			if r == nil {
+				continue
+			}
+			ct := r.Counter
+			refs := float64(ct.Refs())
+			pct := func(n uint64) float64 {
+				if refs == 0 {
+					return 0
+				}
+				return 100 * float64(n) / refs
+			}
+			fmt.Fprintf(&b, "%-10s %-6s %8.0f %5.1f %5.1f | %5.1f %6.1f %5.1f %5.1f | %7d %7.1f %7d %7.1f\n",
+				c.Workload.Name(), label, refs/1000,
+				pct(ct.Loads), pct(ct.Stores),
+				pct(ct.CategoryRefs[object.Stack]),
+				pct(ct.CategoryRefs[object.Global]),
+				pct(ct.CategoryRefs[object.Heap]),
+				pct(ct.CategoryRefs[object.Constant]),
+				ct.Allocs, ct.AvgAllocSize(), ct.Frees, ct.AvgFreeSize())
+		}
+	}
+	return b.String()
+}
+
+// missTable renders the shared shape of Tables 2 and 4: original vs CCDP
+// miss rates broken down by object category, plus percent reduction.
+func missTable(title, input string, cmps []*core.Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s | %7s %6s %6s %6s %6s | %7s %6s %6s %6s %6s | %7s\n",
+		"program",
+		"D-Miss", "Stack", "Global", "Heap", "Const",
+		"D-Miss", "Stack", "Global", "Heap", "Const", "%Red")
+	fmt.Fprintf(&b, "%-10s | %-35s | %-35s |\n", "", "        original placement", "          CCDP placement")
+	var sumOrig, sumCCDP, sumRed float64
+	n := 0
+	for _, c := range cmps {
+		orig := c.Result(input, sim.LayoutNatural)
+		ccdp := c.Result(input, sim.LayoutCCDP)
+		if orig == nil || ccdp == nil {
+			continue
+		}
+		red := c.Reduction(input)
+		fmt.Fprintf(&b, "%-10s | %7.2f %6.2f %6.2f %6.2f %6.2f | %7.2f %6.2f %6.2f %6.2f %6.2f | %6.2f%%\n",
+			c.Workload.Name(),
+			orig.MissRate(),
+			orig.Stats.CategoryMissRate(object.Stack),
+			orig.Stats.CategoryMissRate(object.Global),
+			orig.Stats.CategoryMissRate(object.Heap),
+			orig.Stats.CategoryMissRate(object.Constant),
+			ccdp.MissRate(),
+			ccdp.Stats.CategoryMissRate(object.Stack),
+			ccdp.Stats.CategoryMissRate(object.Global),
+			ccdp.Stats.CategoryMissRate(object.Heap),
+			ccdp.Stats.CategoryMissRate(object.Constant),
+			red)
+		sumOrig += orig.MissRate()
+		sumCCDP += ccdp.MissRate()
+		sumRed += red
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(&b, "%-10s | %7.2f %27s | %7.2f %27s | %6.2f%%\n",
+			"Average", sumOrig/float64(n), "", sumCCDP/float64(n), "", sumRed/float64(n))
+	}
+	return b.String()
+}
+
+// Table2 reproduces the same-input experiment: miss rates when the train
+// input both creates the placement and measures it.
+func Table2(cmps []*core.Comparison) string {
+	return missTable("Table 2: miss rates, train input for both profile and measurement (8K direct-mapped, 32B lines)", "train", cmps)
+}
+
+// Table4 reproduces the cross-input experiment (the paper's headline 24%):
+// placement from the train input, miss rates measured on the test input.
+func Table4(cmps []*core.Comparison) string {
+	return missTable("Table 4: miss rates on the test input, placement trained on the train input", "test", cmps)
+}
+
+// sizeBuckets are Table 3's column boundaries (bytes).
+var sizeBuckets = []int64{8, 128, 1024, 4096, 8192, 32768}
+
+var sizeBucketNames = []string{
+	"<=8", "8-128", "128-1K", "1K-4K", "4K-8K", "8K-32K", ">32K",
+}
+
+func bucketOf(size int64) int {
+	for i, hi := range sizeBuckets {
+		if size <= hi {
+			return i
+		}
+	}
+	return len(sizeBuckets)
+}
+
+// Table3 reproduces the object-size breakdown: per size bucket, the number
+// of referenced static objects (globals + heap), the percent of dynamic
+// references they absorb, and the average percent per object.
+func Table3(cmps []*core.Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: references by object size (train input, original placement)\n")
+	fmt.Fprintf(&b, "%-10s %7s |", "program", "objects")
+	for _, n := range sizeBucketNames {
+		fmt.Fprintf(&b, " %16s", n)
+	}
+	fmt.Fprintf(&b, "\n%-10s %7s |", "", "")
+	for range sizeBucketNames {
+		fmt.Fprintf(&b, " %16s", "n (refs%, avg%)")
+	}
+	b.WriteString("\n")
+	for _, c := range cmps {
+		r := c.Result("train", sim.LayoutNatural)
+		if r == nil {
+			continue
+		}
+		var counts [7]int
+		var refs [7]uint64
+		var total uint64
+		var statics int
+		r.Objects.ForEach(func(in *object.Info) {
+			if in.Category != object.Global && in.Category != object.Heap {
+				return
+			}
+			if in.Refs == 0 {
+				return
+			}
+			statics++
+			bk := bucketOf(in.Size)
+			counts[bk]++
+			refs[bk] += in.Refs
+			total += in.Refs
+		})
+		fmt.Fprintf(&b, "%-10s %7d |", c.Workload.Name(), statics)
+		for i := range counts {
+			var pct, avg float64
+			if total > 0 && counts[i] > 0 {
+				pct = 100 * float64(refs[i]) / float64(total)
+				avg = pct / float64(counts[i])
+			}
+			fmt.Fprintf(&b, " %5d (%4.1f,%3.1f)", counts[i], pct, avg)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table5 reproduces the paging study: total 8 KB pages used and average
+// working-set size (1% windows), original vs CCDP, for the heap programs.
+func Table5(cmps []*core.Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: page usage (8KB pages, working set over 1%% windows), test input\n")
+	fmt.Fprintf(&b, "%-10s | %7s %6s %8s | %7s %6s %8s\n",
+		"program", "D-Miss", "pages", "work.set", "D-Miss", "pages", "work.set")
+	fmt.Fprintf(&b, "%-10s | %-23s | %-23s\n", "", "       original", "         CCDP")
+	for _, c := range cmps {
+		if !c.Workload.HeapPlacement() {
+			continue
+		}
+		orig := c.Result("test", sim.LayoutNatural)
+		ccdp := c.Result("test", sim.LayoutCCDP)
+		if orig == nil || ccdp == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s | %7.2f %6d %8.1f | %7.2f %6d %8.1f\n",
+			c.Workload.Name(),
+			orig.MissRate(), orig.TotalPages, orig.WorkingSet,
+			ccdp.MissRate(), ccdp.TotalPages, ccdp.WorkingSet)
+	}
+	return b.String()
+}
+
+// RandomTable reproduces the section 5.1 control: natural vs random
+// placement (the paper found random increases misses 20%+).
+func RandomTable(cmps []*core.Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Random vs natural placement (test input)\n")
+	fmt.Fprintf(&b, "%-10s | %8s %8s %8s | %9s\n", "program", "natural", "random", "ccdp", "rand/nat")
+	var worseSum float64
+	n := 0
+	for _, c := range cmps {
+		nat := c.Result("test", sim.LayoutNatural)
+		rnd := c.Result("test", sim.LayoutRandom)
+		ccdp := c.Result("test", sim.LayoutCCDP)
+		if nat == nil || rnd == nil {
+			continue
+		}
+		ratio := 0.0
+		if nat.MissRate() > 0 {
+			ratio = rnd.MissRate() / nat.MissRate()
+		}
+		cc := 0.0
+		if ccdp != nil {
+			cc = ccdp.MissRate()
+		}
+		fmt.Fprintf(&b, "%-10s | %7.2f%% %7.2f%% %7.2f%% | %8.2fx\n",
+			c.Workload.Name(), nat.MissRate(), rnd.MissRate(), cc, ratio)
+		worseSum += ratio
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(&b, "%-10s | %28s | %8.2fx\n", "Average", "", worseSum/float64(n))
+	}
+	return b.String()
+}
+
+// Figure3 renders the heap-object scatter (miss rate vs reference count)
+// as an ASCII plot plus the bucket summary that carries the figure's
+// message: the high-miss-rate objects are the briefly-referenced ones.
+func Figure3(c *core.Comparison) string {
+	r := c.Result("train", sim.LayoutNatural)
+	if r == nil {
+		return ""
+	}
+	type pt struct {
+		refs uint64
+		rate float64
+	}
+	var pts []pt
+	r.Objects.ForEach(func(in *object.Info) {
+		if in.Category != object.Heap || int(in.ID) >= len(r.ObjRefs) {
+			return
+		}
+		refs := r.ObjRefs[in.ID]
+		if refs == 0 {
+			return
+		}
+		rate := 100 * float64(r.ObjMisses[in.ID]) / float64(refs)
+		pts = append(pts, pt{refs: refs, rate: rate})
+	})
+	sort.Slice(pts, func(i, j int) bool { return pts[i].refs < pts[j].refs })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 (%s): heap objects, miss rate vs references (train input, original placement)\n",
+		c.Workload.Name())
+	const W, H = 64, 16
+	var grid [H][W]int
+	logMax := 1.0
+	if len(pts) > 0 {
+		logMax = log10(float64(pts[len(pts)-1].refs))
+		if logMax < 1 {
+			logMax = 1
+		}
+	}
+	for _, p := range pts {
+		x := int(log10(float64(p.refs)) / logMax * float64(W-1))
+		y := int(p.rate / 100 * float64(H-1))
+		if x < 0 {
+			x = 0
+		}
+		if x >= W {
+			x = W - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= H {
+			y = H - 1
+		}
+		grid[H-1-y][x]++
+	}
+	for row := 0; row < H; row++ {
+		fmt.Fprintf(&b, "%5.0f%% |", float64(H-1-row)/(H-1)*100)
+		for col := 0; col < W; col++ {
+			switch n := grid[row][col]; {
+			case n == 0:
+				b.WriteByte(' ')
+			case n < 3:
+				b.WriteByte('.')
+			case n < 10:
+				b.WriteByte('o')
+			default:
+				b.WriteByte('#')
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "       +%s\n", strings.Repeat("-", W))
+	fmt.Fprintf(&b, "        1 reference %*s ~10^%.1f references (log scale)\n", W-32, "", logMax)
+
+	// Bucket summary: the figure's quantitative content.
+	fmt.Fprintf(&b, "%12s %8s %10s %12s\n", "refs bucket", "objects", "avg miss%", "total misses")
+	bounds := []uint64{10, 100, 1000, 10000, 1 << 62}
+	names := []string{"1-10", "11-100", "101-1K", "1K-10K", ">10K"}
+	idx := 0
+	var cnt int
+	var rateSum float64
+	var missSum uint64
+	flush := func() {
+		if cnt > 0 {
+			fmt.Fprintf(&b, "%12s %8d %9.1f%% %12d\n", names[idx], cnt, rateSum/float64(cnt), missSum)
+		}
+		cnt, rateSum, missSum = 0, 0, 0
+	}
+	for _, p := range pts {
+		for p.refs > bounds[idx] {
+			flush()
+			idx++
+		}
+		cnt++
+		rateSum += p.rate
+		missSum += uint64(p.rate / 100 * float64(p.refs))
+	}
+	flush()
+	return b.String()
+}
+
+func log10(x float64) float64 {
+	if x < 1 {
+		return 0
+	}
+	return math.Log10(x)
+}

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// smallComparisons runs two contrasting workloads at reduced scale, with
+// every layout and page tracking on, so each table has data.
+func smallComparisons(t *testing.T) []*core.Comparison {
+	t.Helper()
+	opts := sim.DefaultOptions()
+	opts.TrackPages = true
+	layouts := []sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP, sim.LayoutRandom}
+	var cmps []*core.Comparison
+	for _, name := range []string{"espresso", "compress"} {
+		w, err := workload.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, te := w.Train(), w.Test()
+		tr.Bursts /= 20
+		te.Bursts /= 20
+		cmp, err := core.Run(w, opts, layouts, []workload.Input{tr, te})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmps = append(cmps, cmp)
+	}
+	return cmps
+}
+
+func TestTablesRender(t *testing.T) {
+	cmps := smallComparisons(t)
+
+	t1 := Table1(cmps)
+	for _, want := range []string{"espresso", "compress", "train", "test", "mallocs"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, t1)
+		}
+	}
+
+	t2 := Table2(cmps)
+	if !strings.Contains(t2, "8K direct-mapped") || !strings.Contains(t2, "Average") {
+		t.Errorf("Table2 malformed:\n%s", t2)
+	}
+	if !strings.Contains(t2, "espresso") {
+		t.Error("Table2 missing program rows")
+	}
+
+	t3 := Table3(cmps)
+	if !strings.Contains(t3, ">32K") || !strings.Contains(t3, "compress") {
+		t.Errorf("Table3 malformed:\n%s", t3)
+	}
+
+	t4 := Table4(cmps)
+	if !strings.Contains(t4, "test input") {
+		t.Errorf("Table4 missing title:\n%s", t4)
+	}
+
+	t5 := Table5(cmps)
+	if !strings.Contains(t5, "espresso") {
+		t.Errorf("Table5 missing heap program:\n%s", t5)
+	}
+	if strings.Contains(t5, "compress") {
+		t.Error("Table5 must only list heap-placement programs")
+	}
+
+	rt := RandomTable(cmps)
+	if !strings.Contains(rt, "rand/nat") {
+		t.Errorf("RandomTable malformed:\n%s", rt)
+	}
+}
+
+func TestFigure3Renders(t *testing.T) {
+	cmps := smallComparisons(t)
+	fig := Figure3(cmps[0]) // espresso has heap objects
+	if !strings.Contains(fig, "Figure 3") {
+		t.Fatalf("figure missing title:\n%s", fig)
+	}
+	if !strings.Contains(fig, "refs bucket") {
+		t.Fatal("figure missing bucket summary")
+	}
+	// The scatter must contain at least one plotted point.
+	if !strings.ContainsAny(fig, ".o#") {
+		t.Fatal("figure plotted no points")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int64]int{
+		1: 0, 8: 0, 9: 1, 128: 1, 129: 2, 1024: 2,
+		1025: 3, 4096: 3, 4097: 4, 8192: 4, 8193: 5, 32768: 5, 32769: 6,
+	}
+	for size, want := range cases {
+		if got := bucketOf(size); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestLog10(t *testing.T) {
+	if log10(0.5) != 0 {
+		t.Error("log10 below 1 should clamp to 0")
+	}
+	if v := log10(1000); v < 2.99 || v > 3.01 {
+		t.Errorf("log10(1000) = %g", v)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	cmps := smallComparisons(t)
+	var buf strings.Builder
+	if err := WriteJSON(&buf, cmps); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []JSONProgram
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(decoded) != len(cmps) {
+		t.Fatalf("%d programs decoded, want %d", len(decoded), len(cmps))
+	}
+	for _, p := range decoded {
+		train, ok := p.Inputs["train"]
+		if !ok {
+			t.Fatalf("%s missing train input", p.Program)
+		}
+		nat, ok := train["natural"]
+		if !ok {
+			t.Fatalf("%s missing natural result", p.Program)
+		}
+		if nat.MissRate <= 0 || nat.Accesses == 0 {
+			t.Fatalf("%s natural result empty: %+v", p.Program, nat)
+		}
+		if len(nat.ByClass) != 4 {
+			t.Fatalf("%s class breakdown has %d entries", p.Program, len(nat.ByClass))
+		}
+		if p.Placement.Globals == 0 {
+			t.Fatalf("%s placement summary empty", p.Program)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used by workload models and the random-placement control.
+//
+// The simulator's results must be bit-for-bit reproducible across runs and
+// Go releases, so we implement our own generator (splitmix64 seeding an
+// xoshiro256** state) instead of depending on math/rand's unspecified
+// stream evolution.
+package rng
+
+// Source is a deterministic xoshiro256** generator.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64 so that nearby seeds
+// produce uncorrelated streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start from the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next value in the stream.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n called with n <= 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns an index in [0, len(weights)) with probability proportional
+// to weights[i]. Zero or negative total weight picks index 0.
+func (r *Source) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Geometric returns a value drawn from a geometric-ish distribution with
+// mean approximately mean (clamped to at least 1). Used for burst lengths.
+func (r *Source) Geometric(mean float64) int {
+	if mean < 1 {
+		mean = 1
+	}
+	n := 1
+	p := 1 - 1/mean
+	for r.Float64() < p && n < int(mean*16) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,173 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverge at step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collide %d/100 times", same)
+	}
+}
+
+func TestZeroSeedIsUsable(t *testing.T) {
+	r := New(0)
+	var orAll uint64
+	for i := 0; i < 64; i++ {
+		orAll |= r.Uint64()
+	}
+	if orAll == 0 {
+		t.Fatal("zero seed produced an all-zero stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n int) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		n = n%10000 + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestInt63nBounds(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Int63n(1 << 40)
+		if v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %g too far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		p := New(seed).Perm(64)
+		seen := make([]bool, 64)
+		for _, v := range p {
+			if v < 0 || v >= 64 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	r := New(5)
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle changed the multiset: sum %d", sum)
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	r := New(3)
+	weights := []float64{1, 0, 9}
+	counts := make([]int, 3)
+	for i := 0; i < 10000; i++ {
+		counts[r.Pick(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("picked zero-weight index %d times", counts[1])
+	}
+	if counts[2] < 8*counts[0] {
+		t.Fatalf("weight 9 picked only %d vs weight 1 %d", counts[2], counts[0])
+	}
+}
+
+func TestPickDegenerateWeights(t *testing.T) {
+	r := New(4)
+	if got := r.Pick([]float64{0, 0}); got != 0 {
+		t.Fatalf("zero-total Pick = %d, want 0", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(8)
+	var sum int
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(6)
+	}
+	mean := float64(sum) / n
+	if mean < 4 || mean > 8 {
+		t.Fatalf("Geometric(6) mean %g outside [4,8]", mean)
+	}
+}
+
+func TestGeometricMinimum(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 1000; i++ {
+		if v := r.Geometric(0.1); v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/heapsim"
+	"repro/internal/hierarchy"
+	"repro/internal/layout"
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+// HierarchyResult is the outcome of one multi-level evaluation pass.
+type HierarchyResult struct {
+	Workload string
+	Input    workload.Input
+	Layout   LayoutKind
+	Stats    hierarchy.Stats
+}
+
+// EvalHierarchy replays the workload through an L1+L2+TLB stack under the
+// given layout — the "other levels of the memory hierarchy" study the
+// paper sketches at the end of section 5.1.
+func EvalHierarchy(w workload.Workload, in workload.Input, kind LayoutKind, pr *ProfileResult, pm *placement.Map, hcfg hierarchy.Config, opts Options) (*HierarchyResult, error) {
+	sink := &resolver{}
+	table, prog := buildRun(w, in, sink, opts.NameDepth)
+
+	var lay *layout.Layout
+	var alloc heapsim.Allocator
+	switch kind {
+	case LayoutNatural:
+		lay = layout.Natural(table)
+		alloc = heapsim.NewFirstFit()
+	case LayoutRandom:
+		lay = layout.Random(table, opts.RandomSeed)
+		alloc = heapsim.NewRandomFit(opts.RandomSeed + 1)
+	case LayoutCCDP:
+		if pr == nil || pm == nil {
+			return nil, fmt.Errorf("sim: ccdp hierarchy evaluation requires a profile and placement")
+		}
+		var err error
+		lay, err = layout.FromPlacement(table, pr.Profile, pm)
+		if err != nil {
+			return nil, err
+		}
+		if w.HeapPlacement() {
+			alloc = heapsim.NewCustom(pm)
+		} else {
+			alloc = heapsim.NewFirstFit()
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown layout kind %q", kind)
+	}
+
+	hs, err := hierarchy.New(hcfg)
+	if err != nil {
+		return nil, err
+	}
+	sink.objs = table
+	sink.lay = lay
+	sink.alloc = alloc
+	sink.sim = hs
+
+	w.Run(in, prog)
+	return &HierarchyResult{
+		Workload: w.Name(),
+		Input:    in,
+		Layout:   kind,
+		Stats:    hs.Stats(),
+	}, nil
+}

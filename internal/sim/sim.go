@@ -1,0 +1,304 @@
+// Package sim is the end-to-end driver: it materialises a workload's
+// declared objects, runs the profiling pass, computes a placement, and
+// replays the workload under any layout/allocator combination through the
+// cache simulator — the same profile -> optimize -> re-simulate loop the
+// paper built out of ATOM, the modified linker, and their cache simulator.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+	"repro/internal/heapsim"
+	"repro/internal/layout"
+	"repro/internal/object"
+	"repro/internal/placement"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/vmpage"
+	"repro/internal/workload"
+	"repro/internal/xorname"
+)
+
+// Options bundles the knobs of one experiment.
+type Options struct {
+	Cache     cache.Config
+	Profile   profile.Config
+	Placement placement.Config
+
+	// Classify enables three-C miss classification (slower).
+	Classify bool
+	// TrackPages enables Table 5's page/working-set accounting.
+	TrackPages bool
+	// PageWindowFrac is the working-set window as a fraction of total
+	// references (paper: 1%).
+	PageWindowFrac float64
+	// NameDepth is the XOR naming depth (paper: 4).
+	NameDepth int
+	// RandomSeed seeds the random-layout control.
+	RandomSeed uint64
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	c := cache.DefaultConfig
+	return Options{
+		Cache:          c,
+		Profile:        profile.DefaultConfig(c.Size),
+		Placement:      placement.Config{Cache: c, HeapPlacement: true, BinAffinityThreshold: 8},
+		PageWindowFrac: 0.01,
+		NameDepth:      xorname.DefaultDepth,
+		RandomSeed:     0x5eed,
+	}
+}
+
+// specDecls computes the natural-address declarations for a spec: the
+// single source of truth for how the "compiler" lays objects out before
+// any placement runs, shared by live runs and trace files.
+func specDecls(spec workload.Spec) (globals, constants []trace.Decl) {
+	textCursor := addrspace.TextBase
+	for _, v := range spec.Constants {
+		constants = append(constants, trace.Decl{Name: v.Name, Size: v.Size, Addr: textCursor})
+		textCursor = addrspace.Align(textCursor+addrspace.Addr(v.Size), layout.GlobalAlign)
+		// Real text segments interleave code between constant islands.
+		textCursor += 96
+	}
+	globalCursor := addrspace.GlobalBase
+	for _, v := range spec.Globals {
+		globals = append(globals, trace.Decl{Name: v.Name, Size: v.Size, Addr: globalCursor})
+		globalCursor = addrspace.Align(globalCursor+addrspace.Addr(v.Size), layout.GlobalAlign)
+	}
+	return globals, constants
+}
+
+// buildRun materialises a workload spec into a fresh object table, with
+// natural addresses assigned in declaration order, and returns the Prog
+// wiring for a run whose events flow to h.
+func buildRun(w workload.Workload, in workload.Input, h trace.Handler, nameDepth int) (*object.Table, *workload.Prog) {
+	spec := w.Spec()
+	gdecls, cdecls := specDecls(spec)
+	objs := object.NewTable(spec.StackSize)
+
+	consts := make([]object.ID, 0, len(cdecls))
+	for _, d := range cdecls {
+		consts = append(consts, objs.AddConstant(d.Name, d.Size, d.Addr))
+	}
+	globals := make([]object.ID, 0, len(gdecls))
+	for _, d := range gdecls {
+		id := objs.AddGlobal(d.Name, d.Size)
+		objs.Get(id).NaturalAddr = d.Addr
+		globals = append(globals, id)
+	}
+
+	em := trace.NewEmitter(objs, h)
+	prog := workload.NewProg(em, globals, consts, spec.StackSize, in.Seed, nameDepth)
+	return objs, prog
+}
+
+// ProfileResult is the output of the profiling pass.
+type ProfileResult struct {
+	Profile *profile.Profile
+	Counter *trace.Counter
+	Objects *object.Table
+}
+
+// ProfilePass runs the workload once, collecting the Name profile and TRG.
+func ProfilePass(w workload.Workload, in workload.Input, opts Options) (*ProfileResult, error) {
+	// Two-stage construction: the profiler needs the same table the
+	// emitter populates, so wire through a mutable tee.
+	tee := make(trace.Tee, 0, 2)
+	table, prog := buildRun(w, in, &tee, opts.NameDepth)
+	prof, err := profile.New(opts.Profile, table)
+	if err != nil {
+		return nil, err
+	}
+	counter := trace.NewCounter(table)
+	tee = append(tee, counter, prof)
+
+	w.Run(in, prog)
+	return &ProfileResult{Profile: prof.Finish(), Counter: counter, Objects: table}, nil
+}
+
+// Place computes the CCDP placement for a profile, honouring the
+// workload's heap-placement setting as the paper did per program.
+func Place(w workload.Workload, pr *ProfileResult, opts Options) (*placement.Map, error) {
+	cfg := opts.Placement
+	cfg.Cache = opts.Cache
+	cfg.HeapPlacement = cfg.HeapPlacement && w.HeapPlacement()
+	return placement.Compute(cfg, pr.Profile)
+}
+
+// LayoutKind selects the evaluated placement.
+type LayoutKind string
+
+// The three placements the paper evaluates.
+const (
+	LayoutNatural LayoutKind = "natural"
+	LayoutCCDP    LayoutKind = "ccdp"
+	LayoutRandom  LayoutKind = "random"
+)
+
+// EvalResult is the outcome of one evaluation pass.
+type EvalResult struct {
+	Workload string
+	Input    workload.Input
+	Layout   LayoutKind
+
+	Stats   cache.Stats
+	Counter *trace.Counter
+	Objects *object.Table
+
+	// Per-object reference and miss counts (index: object ID).
+	ObjRefs   []uint64
+	ObjMisses []uint64
+
+	// Paging results (zero unless Options.TrackPages).
+	TotalPages int
+	WorkingSet float64
+
+	AllocStats heapsim.Stats
+}
+
+// MissRate returns the overall data-cache miss rate (percent).
+func (r *EvalResult) MissRate() float64 { return r.Stats.MissRate() }
+
+// EvalPass replays the workload under the given layout kind. For
+// LayoutCCDP, pr and pm supply the profile and placement; they are ignored
+// otherwise. refsHint sizes the working-set window; pass 0 to have the
+// pass count references first.
+func EvalPass(w workload.Workload, in workload.Input, kind LayoutKind, pr *ProfileResult, pm *placement.Map, opts Options, refsHint uint64) (*EvalResult, error) {
+	if opts.TrackPages && refsHint == 0 {
+		refsHint = CountRefs(w, in, opts)
+	}
+
+	sink := &resolver{}
+	table, prog := buildRun(w, in, sink, opts.NameDepth)
+
+	var lay *layout.Layout
+	var alloc heapsim.Allocator
+	switch kind {
+	case LayoutNatural:
+		lay = layout.Natural(table)
+		alloc = heapsim.NewFirstFit()
+	case LayoutRandom:
+		lay = layout.Random(table, opts.RandomSeed)
+		alloc = heapsim.NewRandomFit(opts.RandomSeed + 1)
+	case LayoutCCDP:
+		if pr == nil || pm == nil {
+			return nil, fmt.Errorf("sim: ccdp evaluation requires a profile and placement")
+		}
+		var err error
+		lay, err = layout.FromPlacement(table, pr.Profile, pm)
+		if err != nil {
+			return nil, err
+		}
+		if w.HeapPlacement() {
+			alloc = heapsim.NewCustom(pm)
+		} else {
+			alloc = heapsim.NewFirstFit()
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown layout kind %q", kind)
+	}
+
+	cs, err := cache.New(opts.Cache, opts.Classify)
+	if err != nil {
+		return nil, err
+	}
+	counter := trace.NewCounter(table)
+	sink.objs = table
+	sink.lay = lay
+	sink.alloc = alloc
+	sink.sim = cs
+	sink.counter = counter
+	if opts.TrackPages {
+		window := uint64(float64(refsHint) * opts.PageWindowFrac)
+		sink.pages = vmpage.NewTracker(window)
+	}
+
+	w.Run(in, prog)
+
+	res := &EvalResult{
+		Workload:   w.Name(),
+		Input:      in,
+		Layout:     kind,
+		Stats:      cs.Stats(),
+		Counter:    counter,
+		Objects:    table,
+		AllocStats: alloc.Stats(),
+	}
+	res.ObjRefs, res.ObjMisses = cs.ObjectStats()
+	if sink.pages != nil {
+		res.TotalPages = sink.pages.TotalPages()
+		res.WorkingSet = sink.pages.WorkingSet()
+	}
+	return res, nil
+}
+
+// CountRefs runs the workload with only a counter attached and returns the
+// total reference count (used to size working-set windows).
+func CountRefs(w workload.Workload, in workload.Input, opts Options) uint64 {
+	var counter *trace.Counter
+	tee := make(trace.Tee, 0, 1)
+	table, prog := buildRun(w, in, &tee, opts.NameDepth)
+	counter = trace.NewCounter(table)
+	tee = append(tee, counter)
+	w.Run(in, prog)
+	return counter.Refs()
+}
+
+// accessor is any cache model the resolver can drive (a single cache or a
+// multi-level hierarchy).
+type accessor interface {
+	Access(addr addrspace.Addr, size int64, cat object.Category, obj object.ID) int
+	Write(addr addrspace.Addr, size int64, cat object.Category, obj object.ID) int
+}
+
+// resolver converts logical events into simulated cache accesses, playing
+// the role of the paper's address-remapping simulation harness.
+type resolver struct {
+	objs     *object.Table
+	lay      *layout.Layout
+	alloc    heapsim.Allocator
+	sim      accessor
+	counter  *trace.Counter
+	pages    *vmpage.Tracker
+	heapAddr []addrspace.Addr
+	clock    uint64
+}
+
+// HandleEvent implements trace.Handler.
+func (r *resolver) HandleEvent(ev trace.Event) {
+	if r.counter != nil {
+		r.counter.HandleEvent(ev)
+	}
+	in := r.objs.Get(ev.Obj)
+	switch ev.Kind {
+	case trace.Load, trace.Store:
+		r.clock++
+		var base addrspace.Addr
+		if in.Category == object.Heap {
+			base = r.heapAddr[ev.Obj]
+		} else {
+			base = r.lay.Addr(in)
+		}
+		addr := base + addrspace.Addr(ev.Off)
+		if ev.Kind == trace.Store {
+			r.sim.Write(addr, ev.Size, in.Category, ev.Obj)
+		} else {
+			r.sim.Access(addr, ev.Size, in.Category, ev.Obj)
+		}
+		if r.pages != nil {
+			r.pages.Touch(addr, ev.Size)
+		}
+	case trace.Alloc:
+		addr := r.alloc.Alloc(ev.Size, in.XORName, r.clock)
+		for int(ev.Obj) >= len(r.heapAddr) {
+			r.heapAddr = append(r.heapAddr, 0)
+		}
+		r.heapAddr[ev.Obj] = addr
+	case trace.Free:
+		r.alloc.Free(r.heapAddr[ev.Obj], in.Size, r.clock)
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/heapsim"
+	"repro/internal/layout"
+	"repro/internal/placement"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// RecordTrace runs the workload once and writes its full event stream —
+// the ATOM trace-file analog — to out. The recorded trace can then be
+// profiled and evaluated any number of times without re-running the model.
+func RecordTrace(w workload.Workload, in workload.Input, out io.Writer, opts Options) error {
+	spec := w.Spec()
+	gdecls, cdecls := specDecls(spec)
+	hdr := trace.FileHeader{StackSize: spec.StackSize, Globals: gdecls, Constants: cdecls}
+
+	tee := make(trace.Tee, 0, 1)
+	table, prog := buildRun(w, in, &tee, opts.NameDepth)
+	tw, err := trace.NewWriter(out, hdr, table)
+	if err != nil {
+		return err
+	}
+	tee = append(tee, tw)
+	w.Run(in, prog)
+	return tw.Flush()
+}
+
+// ProfileFromTrace replays a recorded trace through the profiler.
+func ProfileFromTrace(r io.Reader, opts Options) (*ProfileResult, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profile.New(opts.Profile, tr.Objects())
+	if err != nil {
+		return nil, err
+	}
+	counter := trace.NewCounter(tr.Objects())
+	if err := tr.Replay(trace.Tee{counter, prof}); err != nil {
+		return nil, err
+	}
+	return &ProfileResult{Profile: prof.Finish(), Counter: counter, Objects: tr.Objects()}, nil
+}
+
+// EvalFromTrace replays a recorded trace through the cache simulator under
+// the given layout. customAlloc selects the CCDP custom allocator for
+// LayoutCCDP (mirroring the per-program heap-placement choice the live
+// pipeline takes from Workload.HeapPlacement).
+func EvalFromTrace(r io.Reader, kind LayoutKind, pr *ProfileResult, pm *placement.Map, customAlloc bool, opts Options) (*EvalResult, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	table := tr.Objects()
+
+	var lay *layout.Layout
+	var alloc heapsim.Allocator
+	switch kind {
+	case LayoutNatural:
+		lay = layout.Natural(table)
+		alloc = heapsim.NewFirstFit()
+	case LayoutRandom:
+		lay = layout.Random(table, opts.RandomSeed)
+		alloc = heapsim.NewRandomFit(opts.RandomSeed + 1)
+	case LayoutCCDP:
+		if pr == nil || pm == nil {
+			return nil, fmt.Errorf("sim: ccdp evaluation requires a profile and placement")
+		}
+		lay, err = layout.FromPlacement(table, pr.Profile, pm)
+		if err != nil {
+			return nil, err
+		}
+		if customAlloc {
+			alloc = heapsim.NewCustom(pm)
+		} else {
+			alloc = heapsim.NewFirstFit()
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown layout kind %q", kind)
+	}
+
+	cs, err := cache.New(opts.Cache, opts.Classify)
+	if err != nil {
+		return nil, err
+	}
+	counter := trace.NewCounter(table)
+	sink := &resolver{objs: table, lay: lay, alloc: alloc, sim: cs, counter: counter}
+	if err := tr.Replay(sink); err != nil {
+		return nil, err
+	}
+
+	res := &EvalResult{
+		Layout:     kind,
+		Stats:      cs.Stats(),
+		Counter:    counter,
+		Objects:    table,
+		AllocStats: alloc.Stats(),
+	}
+	res.ObjRefs, res.ObjMisses = cs.ObjectStats()
+	return res, nil
+}

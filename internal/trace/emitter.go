@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+)
+
+// Emitter is the single producer side of the event stream. Workload models
+// call its methods; it maintains the object table, the reference clock, and
+// per-object reference counts, then forwards each event to the attached
+// handler chain.
+type Emitter struct {
+	objs    *object.Table
+	handler Handler
+	refs    uint64
+}
+
+// NewEmitter wires a fresh emitter to an object table and handler.
+func NewEmitter(objs *object.Table, h Handler) *Emitter {
+	return &Emitter{objs: objs, handler: h}
+}
+
+// Objects exposes the table for handlers that need object metadata.
+func (e *Emitter) Objects() *object.Table { return e.objs }
+
+// Now returns the current reference clock (number of loads+stores so far).
+func (e *Emitter) Now() uint64 { return e.refs }
+
+// Load emits a load of size bytes at offset off within obj.
+func (e *Emitter) Load(obj object.ID, off, size int64) {
+	e.access(Load, obj, off, size)
+}
+
+// Store emits a store of size bytes at offset off within obj.
+func (e *Emitter) Store(obj object.ID, off, size int64) {
+	e.access(Store, obj, off, size)
+}
+
+func (e *Emitter) access(k Kind, obj object.ID, off, size int64) {
+	in := e.objs.Get(obj)
+	if off < 0 || off+size > in.Size {
+		panic(fmt.Sprintf("trace: %s of %s[%d:%d] outside object of size %d",
+			k, in.Name, off, off+size, in.Size))
+	}
+	e.refs++
+	in.Refs++
+	e.handler.HandleEvent(Event{Kind: k, Obj: obj, Off: off, Size: size})
+}
+
+// Malloc creates a heap object of the given size whose allocation site
+// folds to xorName, emits the Alloc event, and returns the new ID.
+func (e *Emitter) Malloc(name string, size int64, xorName uint64) object.ID {
+	if size <= 0 {
+		panic(fmt.Sprintf("trace: Malloc(%q, %d): non-positive size", name, size))
+	}
+	id := e.objs.AddHeap(name, size, xorName, e.refs)
+	e.handler.HandleEvent(Event{Kind: Alloc, Obj: id, Size: size})
+	return id
+}
+
+// Free releases a heap object and emits the Free event.
+func (e *Emitter) Free(id object.ID) {
+	e.objs.Free(id, e.refs)
+	e.handler.HandleEvent(Event{Kind: Free, Obj: id})
+}

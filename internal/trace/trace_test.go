@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/object"
+)
+
+func newTestTable() *object.Table {
+	return object.NewTable(1024)
+}
+
+func TestCounterLoadsStores(t *testing.T) {
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 64)
+	ctr := NewCounter(tbl)
+	em := NewEmitter(tbl, ctr)
+
+	em.Load(g, 0, 8)
+	em.Load(g, 8, 8)
+	em.Store(g, 0, 8)
+	em.Load(object.StackID, 0, 8)
+
+	if ctr.Loads != 3 || ctr.Stores != 1 {
+		t.Fatalf("loads %d stores %d, want 3/1", ctr.Loads, ctr.Stores)
+	}
+	if ctr.Refs() != 4 {
+		t.Fatalf("refs %d, want 4", ctr.Refs())
+	}
+	if ctr.CategoryRefs[object.Global] != 3 || ctr.CategoryRefs[object.Stack] != 1 {
+		t.Fatalf("category refs %v", ctr.CategoryRefs)
+	}
+}
+
+func TestCounterAllocStats(t *testing.T) {
+	tbl := newTestTable()
+	ctr := NewCounter(tbl)
+	em := NewEmitter(tbl, ctr)
+
+	a := em.Malloc("a", 100, 0x1)
+	em.Malloc("b", 50, 0x2)
+	em.Free(a)
+
+	if ctr.Allocs != 2 || ctr.Frees != 1 {
+		t.Fatalf("allocs %d frees %d", ctr.Allocs, ctr.Frees)
+	}
+	if ctr.AvgAllocSize() != 75 {
+		t.Fatalf("avg alloc %g, want 75", ctr.AvgAllocSize())
+	}
+	if ctr.AvgFreeSize() != 100 {
+		t.Fatalf("avg free %g, want 100", ctr.AvgFreeSize())
+	}
+}
+
+func TestCounterEmptyAverages(t *testing.T) {
+	ctr := NewCounter(newTestTable())
+	if ctr.AvgAllocSize() != 0 || ctr.AvgFreeSize() != 0 {
+		t.Fatal("empty averages should be 0")
+	}
+}
+
+func TestEmitterRefClockAndObjectRefs(t *testing.T) {
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 64)
+	em := NewEmitter(tbl, HandlerFunc(func(Event) {}))
+
+	if em.Now() != 0 {
+		t.Fatal("clock should start at 0")
+	}
+	em.Load(g, 0, 8)
+	em.Store(g, 8, 8)
+	if em.Now() != 2 {
+		t.Fatalf("clock %d, want 2", em.Now())
+	}
+	if tbl.Get(g).Refs != 2 {
+		t.Fatalf("object refs %d, want 2", tbl.Get(g).Refs)
+	}
+}
+
+func TestEmitterOutOfBoundsPanics(t *testing.T) {
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 16)
+	em := NewEmitter(tbl, HandlerFunc(func(Event) {}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds access did not panic")
+		}
+	}()
+	em.Load(g, 8, 16) // [8,24) outside 16-byte object
+}
+
+func TestEmitterMallocRejectsNonPositive(t *testing.T) {
+	tbl := newTestTable()
+	em := NewEmitter(tbl, HandlerFunc(func(Event) {}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Malloc(0) did not panic")
+		}
+	}()
+	em.Malloc("z", 0, 1)
+}
+
+func TestMallocRecordsLifetime(t *testing.T) {
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 64)
+	em := NewEmitter(tbl, HandlerFunc(func(Event) {}))
+
+	em.Load(g, 0, 8)
+	h := em.Malloc("h", 32, 0xbeef)
+	em.Load(h, 0, 8)
+	em.Free(h)
+
+	in := tbl.Get(h)
+	if in.BirthRef != 1 {
+		t.Fatalf("birth %d, want 1", in.BirthRef)
+	}
+	if in.DeathRef != 2 {
+		t.Fatalf("death %d, want 2", in.DeathRef)
+	}
+	if in.XORName != 0xbeef {
+		t.Fatalf("xor name %#x", in.XORName)
+	}
+}
+
+func TestTeeFansOutInOrder(t *testing.T) {
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 8)
+	var order []int
+	tee := Tee{
+		HandlerFunc(func(Event) { order = append(order, 1) }),
+		HandlerFunc(func(Event) { order = append(order, 2) }),
+	}
+	em := NewEmitter(tbl, tee)
+	em.Load(g, 0, 8)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("tee order %v", order)
+	}
+}
+
+func TestTeeLateAppendViaPointer(t *testing.T) {
+	// The sim driver wires handlers after constructing the emitter by
+	// passing *Tee and appending later; verify that works.
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 8)
+	tee := make(Tee, 0, 1)
+	em := NewEmitter(tbl, &tee)
+	hits := 0
+	tee = append(tee, HandlerFunc(func(Event) { hits++ }))
+	em.Load(g, 0, 8)
+	if hits != 1 {
+		t.Fatalf("late-appended handler saw %d events, want 1", hits)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	want := map[Kind]string{Load: "load", Store: "store", Alloc: "alloc", Free: "free"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestEventsCarryPayload(t *testing.T) {
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 64)
+	var got []Event
+	em := NewEmitter(tbl, HandlerFunc(func(ev Event) { got = append(got, ev) }))
+	em.Load(g, 16, 4)
+	em.Store(g, 24, 8)
+	h := em.Malloc("h", 40, 3)
+	em.Free(h)
+
+	if len(got) != 4 {
+		t.Fatalf("%d events, want 4", len(got))
+	}
+	if got[0] != (Event{Kind: Load, Obj: g, Off: 16, Size: 4}) {
+		t.Errorf("load event %+v", got[0])
+	}
+	if got[1] != (Event{Kind: Store, Obj: g, Off: 24, Size: 8}) {
+		t.Errorf("store event %+v", got[1])
+	}
+	if got[2].Kind != Alloc || got[2].Size != 40 {
+		t.Errorf("alloc event %+v", got[2])
+	}
+	if got[3].Kind != Free || got[3].Obj != h {
+		t.Errorf("free event %+v", got[3])
+	}
+}
+
+// *Tee must satisfy Handler for the driver's late-wiring pattern.
+var _ Handler = (*Tee)(nil)

@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/addrspace"
+	"repro/internal/object"
+)
+
+// Trace files are the ATOM analog: a profiled run captured once and
+// replayed many times (into the profiler, into cache simulations under
+// different placements) without re-running the program model. The format
+// is a compact varint-encoded binary stream: a header describing the
+// static objects, then the event stream.
+
+var traceMagic = []byte("ccdptrace1")
+
+// Decl describes one static object in a trace header.
+type Decl struct {
+	Name string
+	Size int64
+	Addr addrspace.Addr // natural address (constants: fixed text address)
+}
+
+// FileHeader carries the static shape of the traced program.
+type FileHeader struct {
+	StackSize int64
+	Globals   []Decl
+	Constants []Decl
+}
+
+// event tags on the wire.
+const (
+	tagLoad  = 1
+	tagStore = 2
+	tagAlloc = 3
+	tagFree  = 4
+	tagEnd   = 0xFF
+)
+
+// Writer records an event stream to an io.Writer. It implements Handler,
+// so it can be tee'd alongside any other consumer. Errors are sticky and
+// surfaced by Flush.
+type Writer struct {
+	bw   *bufio.Writer
+	objs *object.Table // for alloc metadata
+	err  error
+	buf  [binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the header and returns a recording handler. objs must
+// be the same table the emitter populates (alloc records need XOR names
+// and labels).
+func NewWriter(w io.Writer, hdr FileHeader, objs *object.Table) (*Writer, error) {
+	tw := &Writer{bw: bufio.NewWriter(w), objs: objs}
+	if _, err := tw.bw.Write(traceMagic); err != nil {
+		return nil, err
+	}
+	tw.uvarint(uint64(hdr.StackSize))
+	tw.decls(hdr.Globals)
+	tw.decls(hdr.Constants)
+	if tw.err != nil {
+		return nil, tw.err
+	}
+	return tw, nil
+}
+
+func (tw *Writer) decls(ds []Decl) {
+	tw.uvarint(uint64(len(ds)))
+	for _, d := range ds {
+		tw.str(d.Name)
+		tw.uvarint(uint64(d.Size))
+		tw.uvarint(uint64(d.Addr))
+	}
+}
+
+func (tw *Writer) uvarint(v uint64) {
+	if tw.err != nil {
+		return
+	}
+	n := binary.PutUvarint(tw.buf[:], v)
+	_, tw.err = tw.bw.Write(tw.buf[:n])
+}
+
+func (tw *Writer) byte(b byte) {
+	if tw.err != nil {
+		return
+	}
+	tw.err = tw.bw.WriteByte(b)
+}
+
+func (tw *Writer) str(s string) {
+	tw.uvarint(uint64(len(s)))
+	if tw.err != nil {
+		return
+	}
+	_, tw.err = tw.bw.WriteString(s)
+}
+
+// HandleEvent implements Handler.
+func (tw *Writer) HandleEvent(ev Event) {
+	switch ev.Kind {
+	case Load:
+		tw.byte(tagLoad)
+		tw.uvarint(uint64(ev.Obj))
+		tw.uvarint(uint64(ev.Off))
+		tw.uvarint(uint64(ev.Size))
+	case Store:
+		tw.byte(tagStore)
+		tw.uvarint(uint64(ev.Obj))
+		tw.uvarint(uint64(ev.Off))
+		tw.uvarint(uint64(ev.Size))
+	case Alloc:
+		in := tw.objs.Get(ev.Obj)
+		tw.byte(tagAlloc)
+		tw.uvarint(uint64(ev.Obj))
+		tw.uvarint(uint64(ev.Size))
+		tw.uvarint(in.XORName)
+		tw.str(in.Name)
+	case Free:
+		tw.byte(tagFree)
+		tw.uvarint(uint64(ev.Obj))
+	}
+}
+
+// Flush terminates and flushes the stream.
+func (tw *Writer) Flush() error {
+	tw.byte(tagEnd)
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.bw.Flush()
+}
+
+// Reader replays a recorded trace. Construction parses the header and
+// materialises the object table; Replay then drives a handler through an
+// Emitter, which re-validates every access and rebuilds reference counts
+// and lifetimes exactly as the original run produced them.
+type Reader struct {
+	br     *bufio.Reader
+	header FileHeader
+	objs   *object.Table
+	ids    struct {
+		globals   []object.ID
+		constants []object.ID
+	}
+}
+
+// NewReader parses the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	tr := &Reader{br: bufio.NewReader(r)}
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(tr.br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != string(traceMagic) {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	stackSize, err := binary.ReadUvarint(tr.br)
+	if err != nil {
+		return nil, err
+	}
+	tr.header.StackSize = int64(stackSize)
+	if tr.header.Globals, err = tr.readDecls(); err != nil {
+		return nil, err
+	}
+	if tr.header.Constants, err = tr.readDecls(); err != nil {
+		return nil, err
+	}
+
+	tr.objs = object.NewTable(tr.header.StackSize)
+	for _, d := range tr.header.Constants {
+		tr.ids.constants = append(tr.ids.constants, tr.objs.AddConstant(d.Name, d.Size, d.Addr))
+	}
+	for _, d := range tr.header.Globals {
+		id := tr.objs.AddGlobal(d.Name, d.Size)
+		tr.objs.Get(id).NaturalAddr = d.Addr
+		tr.ids.globals = append(tr.ids.globals, id)
+	}
+	return tr, nil
+}
+
+func (tr *Reader) readDecls() ([]Decl, error) {
+	n, err := binary.ReadUvarint(tr.br)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible declaration count %d", n)
+	}
+	ds := make([]Decl, 0, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := tr.readStr()
+		if err != nil {
+			return nil, err
+		}
+		size, err := binary.ReadUvarint(tr.br)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := binary.ReadUvarint(tr.br)
+		if err != nil {
+			return nil, err
+		}
+		ds = append(ds, Decl{Name: name, Size: int64(size), Addr: addrspace.Addr(addr)})
+	}
+	return ds, nil
+}
+
+func (tr *Reader) readStr() (string, error) {
+	n, err := binary.ReadUvarint(tr.br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("trace: implausible string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(tr.br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Header returns the parsed file header.
+func (tr *Reader) Header() FileHeader { return tr.header }
+
+// Objects returns the table the replay populates. Handlers wired to the
+// replay may consult it during and after Replay.
+func (tr *Reader) Objects() *object.Table { return tr.objs }
+
+// Replay drives h with the recorded event stream.
+func (tr *Reader) Replay(h Handler) error {
+	em := NewEmitter(tr.objs, h)
+	for {
+		tag, err := tr.br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trace: reading event tag: %w", err)
+		}
+		switch tag {
+		case tagEnd:
+			return nil
+		case tagLoad, tagStore:
+			obj, err1 := binary.ReadUvarint(tr.br)
+			off, err2 := binary.ReadUvarint(tr.br)
+			size, err3 := binary.ReadUvarint(tr.br)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return fmt.Errorf("trace: truncated access event")
+			}
+			if obj >= uint64(tr.objs.Len()) {
+				return fmt.Errorf("trace: access to undeclared object %d", obj)
+			}
+			if tag == tagLoad {
+				em.Load(object.ID(obj), int64(off), int64(size))
+			} else {
+				em.Store(object.ID(obj), int64(off), int64(size))
+			}
+		case tagAlloc:
+			obj, err1 := binary.ReadUvarint(tr.br)
+			size, err2 := binary.ReadUvarint(tr.br)
+			xor, err3 := binary.ReadUvarint(tr.br)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return fmt.Errorf("trace: truncated alloc event")
+			}
+			name, err := tr.readStr()
+			if err != nil {
+				return err
+			}
+			id := em.Malloc(name, int64(size), xor)
+			if uint64(id) != obj {
+				return fmt.Errorf("trace: alloc id drift: replay %d, recorded %d", id, obj)
+			}
+		case tagFree:
+			obj, err := binary.ReadUvarint(tr.br)
+			if err != nil {
+				return fmt.Errorf("trace: truncated free event")
+			}
+			if obj >= uint64(tr.objs.Len()) {
+				return fmt.Errorf("trace: free of undeclared object %d", obj)
+			}
+			em.Free(object.ID(obj))
+		default:
+			return fmt.Errorf("trace: unknown event tag %#x", tag)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package trg
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// SelectGraph is the TRGselect graph (paper phase 4): weighted edges
+// between compound nodes, built by coalescing TRGplace edges between
+// popular objects. Phase 6 repeatedly extracts the maximum-weight edge,
+// merges its endpoints, and coalesces their edges, until no edge remains.
+type SelectGraph struct {
+	adj   map[int]map[int]uint64 // compound id -> compound id -> weight
+	alive map[int]bool
+	pq    edgeHeap
+}
+
+// NewSelectGraph returns an empty TRGselect graph.
+func NewSelectGraph() *SelectGraph {
+	return &SelectGraph{
+		adj:   make(map[int]map[int]uint64),
+		alive: make(map[int]bool),
+	}
+}
+
+// AddCompound registers a compound id as a live endpoint.
+func (s *SelectGraph) AddCompound(id int) { s.alive[id] = true }
+
+// AddWeight accumulates weight w on the undirected edge (a, b). Self edges
+// are ignored.
+func (s *SelectGraph) AddWeight(a, b int, w uint64) {
+	if a == b || w == 0 {
+		return
+	}
+	s.bump(a, b, w)
+	s.bump(b, a, w)
+	heap.Push(&s.pq, selEdge{a: min(a, b), b: max(a, b), w: s.adj[a][b]})
+}
+
+func (s *SelectGraph) bump(from, to int, w uint64) {
+	m := s.adj[from]
+	if m == nil {
+		m = make(map[int]uint64, 4)
+		s.adj[from] = m
+	}
+	m[to] += w
+}
+
+// Weight returns the current weight of edge (a, b).
+func (s *SelectGraph) Weight(a, b int) uint64 { return s.adj[a][b] }
+
+// NumEdges returns the number of live undirected edges.
+func (s *SelectGraph) NumEdges() int {
+	n := 0
+	for a, m := range s.adj {
+		if !s.alive[a] {
+			continue
+		}
+		for b := range m {
+			if s.alive[b] {
+				n++
+			}
+		}
+	}
+	return n / 2
+}
+
+// MaxEdge pops the current maximum-weight live edge. Stale heap entries
+// (an endpoint died, or the weight changed since push) are discarded
+// lazily. ok is false when no edge remains.
+func (s *SelectGraph) MaxEdge() (a, b int, w uint64, ok bool) {
+	for s.pq.Len() > 0 {
+		e := heap.Pop(&s.pq).(selEdge)
+		if !s.alive[e.a] || !s.alive[e.b] {
+			continue
+		}
+		if cur := s.adj[e.a][e.b]; cur != e.w || cur == 0 {
+			continue // superseded by a later coalesce
+		}
+		return e.a, e.b, e.w, true
+	}
+	return 0, 0, 0, false
+}
+
+// Merge folds compound b into compound a: every edge (b, x) becomes
+// (a, x) with weights added — the paper's coalesce_outgoing_TRGselect_edges
+// — and b is removed from the graph.
+func (s *SelectGraph) Merge(a, b int) {
+	if a == b {
+		return
+	}
+	// Collect b's neighbors deterministically.
+	nbrs := make([]int, 0, len(s.adj[b]))
+	for x := range s.adj[b] {
+		nbrs = append(nbrs, x)
+	}
+	sort.Ints(nbrs)
+	for _, x := range nbrs {
+		w := s.adj[b][x]
+		delete(s.adj[x], b)
+		if x == a || !s.alive[x] {
+			continue
+		}
+		s.bump(a, x, w)
+		s.bump(x, a, w)
+		heap.Push(&s.pq, selEdge{a: min(a, x), b: max(a, x), w: s.adj[a][x]})
+	}
+	delete(s.adj, b)
+	delete(s.adj[a], b)
+	delete(s.alive, b)
+}
+
+type selEdge struct {
+	a, b int
+	w    uint64
+}
+
+type edgeHeap []selEdge
+
+func (h edgeHeap) Len() int { return len(h) }
+func (h edgeHeap) Less(i, j int) bool {
+	if h[i].w != h[j].w {
+		return h[i].w > h[j].w // max-heap on weight
+	}
+	if h[i].a != h[j].a { // deterministic order among equal weights
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h edgeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x any)   { *h = append(*h, x.(selEdge)) }
+func (h *edgeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,73 @@
+// Package vmpage tracks virtual-memory page usage and working-set size for
+// the paging study (Table 5 of the paper).
+//
+// The paper reports, per program, the total number of 8 KByte pages used
+// during execution and the working-set size computed over a window (tau)
+// of 1% of total execution time. We measure time in data references.
+package vmpage
+
+import "repro/internal/addrspace"
+
+// Tracker accumulates page statistics over an address stream.
+type Tracker struct {
+	window uint64 // references per working-set window
+
+	all     map[uint64]struct{} // every page ever touched
+	current map[uint64]struct{} // pages touched in the current window
+	inWin   uint64              // references so far in the current window
+
+	samples    uint64 // completed windows
+	sampledSum uint64 // sum of per-window distinct-page counts
+}
+
+// NewTracker creates a tracker with the given window length in references.
+// A window of 0 disables working-set sampling (total pages still counted).
+func NewTracker(window uint64) *Tracker {
+	return &Tracker{
+		window:  window,
+		all:     make(map[uint64]struct{}),
+		current: make(map[uint64]struct{}),
+	}
+}
+
+// Touch records one reference of size bytes at addr.
+func (t *Tracker) Touch(addr addrspace.Addr, size int64) {
+	if size <= 0 {
+		size = 1
+	}
+	first := addr.Page()
+	last := (addr + addrspace.Addr(size) - 1).Page()
+	for p := first; p <= last; p++ {
+		t.all[p] = struct{}{}
+		if t.window > 0 {
+			t.current[p] = struct{}{}
+		}
+	}
+	if t.window == 0 {
+		return
+	}
+	t.inWin++
+	if t.inWin >= t.window {
+		t.samples++
+		t.sampledSum += uint64(len(t.current))
+		clear(t.current)
+		t.inWin = 0
+	}
+}
+
+// TotalPages returns the number of distinct pages touched overall.
+func (t *Tracker) TotalPages() int { return len(t.all) }
+
+// WorkingSet returns the average number of distinct pages per window. A
+// final partial window is folded in so short runs still report something.
+func (t *Tracker) WorkingSet() float64 {
+	samples, sum := t.samples, t.sampledSum
+	if t.inWin > 0 && len(t.current) > 0 {
+		samples++
+		sum += uint64(len(t.current))
+	}
+	if samples == 0 {
+		return 0
+	}
+	return float64(sum) / float64(samples)
+}

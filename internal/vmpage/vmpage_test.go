@@ -1,0 +1,71 @@
+package vmpage
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+)
+
+func TestTotalPages(t *testing.T) {
+	tr := NewTracker(0)
+	tr.Touch(0, 8)
+	tr.Touch(addrspace.PageSize, 8)
+	tr.Touch(addrspace.PageSize+100, 8)
+	tr.Touch(3*addrspace.PageSize, 8)
+	if got := tr.TotalPages(); got != 3 {
+		t.Fatalf("total pages %d, want 3", got)
+	}
+}
+
+func TestSpanningTouch(t *testing.T) {
+	tr := NewTracker(0)
+	tr.Touch(addrspace.PageSize-4, 8) // straddles pages 0 and 1
+	if got := tr.TotalPages(); got != 2 {
+		t.Fatalf("total pages %d, want 2", got)
+	}
+}
+
+func TestWorkingSetWindows(t *testing.T) {
+	tr := NewTracker(4)
+	// Window 1: pages 0, 1 -> 2 distinct.
+	tr.Touch(0, 1)
+	tr.Touch(addrspace.PageSize, 1)
+	tr.Touch(0, 1)
+	tr.Touch(addrspace.PageSize, 1)
+	// Window 2: page 5 only -> 1 distinct.
+	for i := 0; i < 4; i++ {
+		tr.Touch(5*addrspace.PageSize, 1)
+	}
+	if got := tr.WorkingSet(); got != 1.5 {
+		t.Fatalf("working set %g, want 1.5", got)
+	}
+}
+
+func TestWorkingSetPartialWindow(t *testing.T) {
+	tr := NewTracker(100)
+	tr.Touch(0, 1)
+	tr.Touch(addrspace.PageSize, 1)
+	// Only a partial window: it should still report something.
+	if got := tr.WorkingSet(); got != 2 {
+		t.Fatalf("partial-window working set %g, want 2", got)
+	}
+}
+
+func TestWorkingSetDisabled(t *testing.T) {
+	tr := NewTracker(0)
+	tr.Touch(0, 1)
+	if got := tr.WorkingSet(); got != 0 {
+		t.Fatalf("disabled working set %g, want 0", got)
+	}
+	if tr.TotalPages() != 1 {
+		t.Fatal("total pages should still count with sampling disabled")
+	}
+}
+
+func TestZeroSizeTouch(t *testing.T) {
+	tr := NewTracker(0)
+	tr.Touch(42, 0)
+	if tr.TotalPages() != 1 {
+		t.Fatal("zero-size touch should count one page")
+	}
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"repro/internal/object"
+)
+
+// HotSetActivity returns an activity that touches a weighted working set of
+// globals in short sequential bursts — the classic phase behaviour that
+// creates inter-variable conflicts when hot variables collide in the cache.
+// idxs are global indices, weights their relative reference frequencies.
+func (p *Prog) HotSetActivity(name string, idxs []int, weights []float64, burstLen float64, writeFrac float64, weight float64) Activity {
+	ids := make([]object.ID, len(idxs))
+	for i, g := range idxs {
+		ids[i] = p.Global(g)
+	}
+	cursors := make([]int64, len(ids))
+	return Activity{
+		Name:   name,
+		Weight: weight,
+		Step: func(p *Prog) {
+			k := p.R.Pick(weights)
+			id := ids[k]
+			size := p.Size(id)
+			n := p.R.Geometric(burstLen)
+			for i := 0; i < n; i++ {
+				off := cursors[k]
+				sz := int64(8)
+				if sz > size {
+					sz = size
+				}
+				if off+sz > size {
+					off = 0
+				}
+				if p.R.Float64() < writeFrac {
+					p.Store(id, off, sz)
+				} else {
+					p.Load(id, off, sz)
+				}
+				cursors[k] = off + sz
+			}
+		},
+	}
+}
+
+// SweepActivity returns an activity that streams through one large global
+// array with a fixed stride, the behaviour of numeric kernels (mgrid,
+// compress's I/O buffers). Sweeps produce capacity and compulsory misses
+// that placement cannot remove — the paper's mgrid result.
+func (p *Prog) SweepActivity(name string, idx int, perStep int, stride int64, writeFrac float64, weight float64) Activity {
+	id := p.Global(idx)
+	size := p.Size(id)
+	var cursor int64
+	return Activity{
+		Name:   name,
+		Weight: weight,
+		Step: func(p *Prog) {
+			for i := 0; i < perStep; i++ {
+				sz := int64(8)
+				if cursor+sz > size {
+					cursor = 0
+				}
+				if p.R.Float64() < writeFrac {
+					p.Store(id, cursor, sz)
+				} else {
+					p.Load(id, cursor, sz)
+				}
+				cursor += stride
+				if cursor >= size {
+					cursor = cursor % size
+				}
+			}
+		},
+	}
+}
+
+// ConstActivity returns an activity that reads lookup tables in the text
+// segment (character classes, opcode tables): random probes with modest
+// spatial locality.
+func (p *Prog) ConstActivity(name string, idxs []int, burst int, weight float64) Activity {
+	ids := make([]object.ID, len(idxs))
+	for i, c := range idxs {
+		ids[i] = p.Const(c)
+	}
+	return Activity{
+		Name:   name,
+		Weight: weight,
+		Step: func(p *Prog) {
+			id := ids[p.R.Intn(len(ids))]
+			size := p.Size(id)
+			base := p.R.Int63n(maxi64(size-64, 1))
+			for i := 0; i < burst; i++ {
+				off := base + int64(i)*8
+				if off+8 > size {
+					break
+				}
+				p.Load(id, off, 8)
+			}
+		},
+	}
+}
+
+// StackActivity wraps Prog.StackBurst as a mixable activity.
+func (p *Prog) StackActivity(burst int, weight float64) Activity {
+	return Activity{
+		Name:   "stack",
+		Weight: weight,
+		Step:   func(p *Prog) { p.StackBurst(burst) },
+	}
+}
+
+// HeapKind parameterises one family of heap allocations: one call site (or
+// a set of call paths into it), a size range, a lifetime, and how often
+// live objects are revisited after initialisation.
+type HeapKind struct {
+	Site     uint64     // synthetic call-site address of the malloc
+	Label    string     // object label for diagnostics
+	Paths    [][]uint64 // alternative caller chains (vary the XOR name)
+	SizeMin  int64
+	SizeMax  int64
+	Lifetime float64 // mean lifetime in churn steps; <1 = die almost at once
+	PoolMax  int     // cap on concurrently live objects of this kind
+	Revisit  float64 // probability a step revisits instead of allocating
+	Burst    int     // accesses per revisit
+	// Sticky is the probability that a revisit stays with the same focus
+	// object as the previous one. High values model loop kernels that
+	// sweep one buffer repeatedly (espresso covers); low values model
+	// pointer chasing across a large live graph (deltablue).
+	Sticky float64
+}
+
+type liveObj struct {
+	id   object.ID
+	ttl  int
+	size int64
+}
+
+// HeapChurnActivity returns an activity that allocates, initialises,
+// revisits, and frees heap objects per the given kinds. Short-lived kinds
+// reproduce Figure 3's cloud of low-reference high-miss-rate objects;
+// long-lived revisited kinds are what CCDP's bins and preferred offsets
+// can actually help.
+func (p *Prog) HeapChurnActivity(name string, kinds []HeapKind, weight float64) Activity {
+	pools := make([][]liveObj, len(kinds))
+	focus := make([]int, len(kinds))
+	cursor := make([]int64, len(kinds))
+	kindW := make([]float64, len(kinds))
+	for i := range kinds {
+		kindW[i] = 1
+	}
+	return Activity{
+		Name:   name,
+		Weight: weight,
+		Step: func(p *Prog) {
+			ki := p.R.Pick(kindW)
+			k := &kinds[ki]
+			pool := pools[ki]
+
+			if len(pool) > 0 && p.R.Float64() < k.Revisit {
+				// Revisit live objects field by field, the way list
+				// traversals and buffer sweeps do. Sticky kinds resume
+				// the previous focus object where they left off;
+				// chasing kinds jump to a random live object.
+				if focus[ki] >= len(pool) || p.R.Float64() >= k.Sticky {
+					focus[ki] = p.R.Intn(len(pool))
+					cursor[ki] = 0
+				}
+				o := pool[focus[ki]]
+				off := cursor[ki]
+				for b := 0; b < k.Burst; b++ {
+					if off+8 > o.size {
+						// Chase a "pointer" to another live object.
+						focus[ki] = p.R.Intn(len(pool))
+						o = pool[focus[ki]]
+						off = 0
+					}
+					if p.R.Float64() < 0.25 {
+						p.Store(o.id, off, 8)
+					} else {
+						p.Load(o.id, off, 8)
+					}
+					off += 8
+				}
+				cursor[ki] = off
+			} else {
+				size := k.SizeMin
+				if k.SizeMax > k.SizeMin {
+					size += p.R.Int63n(k.SizeMax - k.SizeMin + 1)
+				}
+				var path []uint64
+				if len(k.Paths) > 0 {
+					path = k.Paths[p.R.Intn(len(k.Paths))]
+				}
+				for _, ra := range path {
+					p.cs.Push(ra)
+				}
+				id := p.Malloc(k.Site, k.Label, size)
+				for range path {
+					p.cs.Pop()
+				}
+				p.InitObject(id, 16)
+				ttl := p.R.Geometric(k.Lifetime)
+				pool = append(pool, liveObj{id: id, ttl: ttl, size: size})
+			}
+
+			// Age the pool; free the expired and enforce the cap.
+			out := pool[:0]
+			for _, o := range pool {
+				o.ttl--
+				if o.ttl <= 0 {
+					p.Free(o.id)
+					continue
+				}
+				out = append(out, o)
+			}
+			pool = out
+			for len(pool) > k.PoolMax {
+				p.Free(pool[0].id)
+				pool = pool[1:]
+			}
+			pools[ki] = pool
+		},
+	}
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/object"
+)
+
+// Distribution locks: Table 3 of the paper characterises each program by
+// where its references land across object sizes. These tests pin the
+// features EXPERIMENTS.md claims for our models.
+
+// refShareBySize returns the fraction of global+heap references hitting
+// objects with size in (lo, hi].
+func refShareBySize(t *testing.T, name string, lo, hi int64) float64 {
+	t.Helper()
+	w, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tbl := runOnce(t, w, scaled(w.Train(), 0.1))
+	var in, total uint64
+	tbl.ForEach(func(info *object.Info) {
+		if info.Category != object.Global && info.Category != object.Heap {
+			return
+		}
+		total += info.Refs
+		if info.Size > lo && info.Size <= hi {
+			in += info.Refs
+		}
+	})
+	if total == 0 {
+		t.Fatalf("%s: no global/heap references", name)
+	}
+	return float64(in) / float64(total)
+}
+
+func TestCompressHugeTablesShare(t *testing.T) {
+	// The two >32 KB hash tables absorb a visible but minority share
+	// (paper: 2 objects, 14% of references).
+	share := refShareBySize(t, "compress", 32768, 1<<40)
+	if share < 0.05 || share > 0.40 {
+		t.Fatalf(">32KB share %.2f outside [0.05, 0.40]", share)
+	}
+}
+
+func TestFpppCommonBlocksShare(t *testing.T) {
+	// The 1-4 KB common blocks dominate (paper: 84% of references).
+	share := refShareBySize(t, "fpppp", 1024, 4096)
+	if share < 0.6 {
+		t.Fatalf("1-4KB share %.2f, want > 0.6", share)
+	}
+}
+
+func TestMgridGiantObjectShare(t *testing.T) {
+	share := refShareBySize(t, "mgrid", 32768, 1<<40)
+	if share < 0.95 {
+		t.Fatalf(">32KB share %.2f, want ~all references", share)
+	}
+}
+
+func TestHeapProgramsSmallObjectCounts(t *testing.T) {
+	// The heap programs' object population is dominated by small
+	// allocations (paper Table 3: deltablue 30K+ of 37K objects are
+	// 8-128 bytes).
+	for _, name := range []string{"deltablue", "espresso", "gcc", "groff"} {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, tbl := runOnce(t, w, scaled(w.Train(), 0.1))
+		var small, all int
+		tbl.ForEach(func(info *object.Info) {
+			if info.Category != object.Heap {
+				return
+			}
+			all++
+			if info.Size <= 128 {
+				small++
+			}
+		})
+		if all == 0 {
+			t.Fatalf("%s allocated nothing", name)
+		}
+		if frac := float64(small) / float64(all); frac < 0.5 {
+			t.Errorf("%s: only %.2f of heap objects are <= 128B", name, frac)
+		}
+	}
+}
+
+func TestGoSpreadsAcrossManyTables(t *testing.T) {
+	// go touches many mid-size tables rather than one hot object: no
+	// single global absorbs more than half its references.
+	w, err := Get("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tbl := runOnce(t, w, scaled(w.Train(), 0.1))
+	var total, biggest uint64
+	tbl.ForEach(func(info *object.Info) {
+		if info.Category != object.Global {
+			return
+		}
+		total += info.Refs
+		if info.Refs > biggest {
+			biggest = info.Refs
+		}
+	})
+	if frac := float64(biggest) / float64(total); frac > 0.5 {
+		t.Fatalf("one global absorbs %.2f of go's global references", frac)
+	}
+}

@@ -1,0 +1,105 @@
+package workload
+
+func init() { Register(espresso{}) }
+
+// espresso models the two-level logic minimizer: cube records (bit-vector
+// rows) allocated and freed in torrents, cover sets that live across whole
+// minimization passes, and a moderate set of hot globals (cube geometry
+// descriptors) referenced from every inner loop.
+type espresso struct{}
+
+func (espresso) Name() string { return "espresso" }
+func (espresso) Description() string {
+	return "logic minimizer; torrents of short-lived cubes over persistent covers"
+}
+func (espresso) HeapPlacement() bool { return true }
+
+func (espresso) Train() Input { return Input{Label: "train", Seed: 0xe501, Bursts: 56000} }
+func (espresso) Test() Input  { return Input{Label: "test", Seed: 0xe502, Bursts: 72000} }
+
+func (espresso) Spec() Spec {
+	// First hot module: the cube geometry descriptors, textually
+	// grouped as a programmer would declare them.
+	gs := []Var{
+		{Name: "cube_struct", Size: 160},
+		{Name: "cdata", Size: 208},
+		{Name: "bit_count", Size: 1024},
+		{Name: "gasp_stats", Size: 96},
+		{Name: "opt_flags", Size: 48},
+	}
+	// Cold I/O and diagnostic bulk: ~6.7 KB of it, which pushes the
+	// second hot module to a segment offset that collides with the
+	// first one modulo the 8 KB cache.
+	gs = append(gs,
+		Var{Name: "cmdline_opts", Size: 720},
+		Var{Name: "io_buf", Size: 2048},
+		Var{Name: "error_msgs_state", Size: 880},
+		Var{Name: "pla_readbuf", Size: 3072},
+	)
+	// Second hot module: set-operation scratch.
+	gs = append(gs,
+		Var{Name: "temp_cubes", Size: 1024},
+		Var{Name: "set_ops_scratch", Size: 1024},
+	)
+	return Spec{
+		StackSize: 3 * 1024,
+		Globals:   gs,
+		Constants: []Var{
+			{Name: "bit_tables", Size: 1024},
+			{Name: "fmt_strings", Size: 768},
+		},
+	}
+}
+
+func (w espresso) Run(in Input, p *Prog) {
+	kinds := []HeapKind{
+		{
+			Site:  0x0046_1000,
+			Label: "cube",
+			Paths: [][]uint64{
+				{0x0047_0000, 0x0048_0000},
+				{0x0047_0040, 0x0048_0000},
+				{0x0047_0080, 0x0048_0040},
+				{0x0047_00c0, 0x0048_0080},
+				{0x0047_0100, 0x0048_0080},
+			},
+			SizeMin: 32, SizeMax: 96,
+			Lifetime: 2, PoolMax: 24,
+			Revisit: 0.35, Burst: 4, Sticky: 0.3,
+		},
+		{
+			Site:  0x0046_1100,
+			Label: "cover",
+			Paths: [][]uint64{
+				{0x0047_1000, 0x0048_0000},
+				{0x0047_1040, 0x0048_0040},
+			},
+			SizeMin: 512, SizeMax: 1536,
+			Lifetime: 1500, PoolMax: 4,
+			Revisit: 0.9, Burst: 18, Sticky: 0.93,
+		},
+		{
+			Site:  0x0046_1200,
+			Label: "node",
+			Paths: [][]uint64{
+				{0x0047_2000, 0x0048_0100},
+			},
+			SizeMin: 40, SizeMax: 64,
+			Lifetime: 150, PoolMax: 24,
+			Revisit: 0.62, Burst: 6, Sticky: 0.6,
+		},
+	}
+	acts := []Activity{
+		p.HeapChurnActivity("cubes", kinds, 4.6),
+		p.StackActivity(5, 2.9),
+		p.HotSetActivity("cube-geometry", []int{0, 1, 2, 3, 4, 9, 10},
+			[]float64{6, 5, 4, 1, 1, 3, 3}, 4, 0.25, 1.9),
+		p.ConstActivity("bit-tables", []int{0, 1}, 4, 0.3),
+	}
+	if in.Label == "test" {
+		// Larger PLA: covers grow and set operations dominate.
+		acts[0].Weight = 5.1
+		acts[2].Weight = 1.6
+	}
+	p.RunMix(acts, in.Bursts)
+}

@@ -1,0 +1,112 @@
+package workload
+
+func init() { Register(gccModel{}) }
+
+// gccModel models the GNU C compiler: deep recursive tree walks (the paper
+// reports ~49% of gcc's references hit the stack), RTL and tree nodes
+// allocated in waves per function compiled, obstack-like arenas that live
+// for a whole function body, and a broad set of hot compiler globals
+// (current function state, register tables, insn chains).
+type gccModel struct{}
+
+func (gccModel) Name() string { return "gcc" }
+func (gccModel) Description() string {
+	return "optimizing compiler; recursive tree walks, per-function allocation waves"
+}
+func (gccModel) HeapPlacement() bool { return true }
+
+func (gccModel) Train() Input { return Input{Label: "train", Seed: 0x6cc1, Bursts: 64000} }
+func (gccModel) Test() Input  { return Input{Label: "test", Seed: 0x6cc2, Bursts: 80000} }
+
+func (gccModel) Spec() Spec {
+	// First hot module: current-function state and register tables.
+	gs := []Var{
+		{Name: "cur_function", Size: 512},
+		{Name: "reg_rtx_table", Size: 1792},
+		{Name: "insn_chain_head", Size: 64},
+	}
+	// Cold tables push the second hot module ~6.4 KB up the segment,
+	// where it collides with the first module modulo the cache size.
+	gs = append(gs,
+		Var{Name: "lang_options", Size: 1408},
+		Var{Name: "diagnostic_buf", Size: 2048},
+		Var{Name: "dwarf_state", Size: 2944},
+	)
+	// Second hot module: tree-walk context and option flags.
+	gs = append(gs,
+		Var{Name: "tree_ctx", Size: 320},
+		Var{Name: "flag_vars", Size: 224},
+		Var{Name: "frame_info", Size: 176},
+		Var{Name: "label_counter", Size: 16},
+	)
+	gs = append(gs,
+		Var{Name: "builtin_decls", Size: 1664},
+		Var{Name: "reload_scratch", Size: 1120},
+		Var{Name: "sched_state", Size: 960},
+	)
+	return Spec{
+		StackSize: 6 * 1024,
+		Globals:   gs,
+		Constants: []Var{
+			{Name: "insn_data", Size: 3072},
+			{Name: "mode_tables", Size: 1024},
+			{Name: "keyword_tbl", Size: 512},
+		},
+	}
+}
+
+func (w gccModel) Run(in Input, p *Prog) {
+	kinds := []HeapKind{
+		{
+			Site:  0x0052_1000,
+			Label: "rtx",
+			Paths: [][]uint64{
+				{0x0053_0000, 0x0054_0000},
+				{0x0053_0040, 0x0054_0000},
+				{0x0053_0080, 0x0054_0040},
+				{0x0053_00c0, 0x0054_0080},
+				{0x0053_0100, 0x0054_00c0},
+				{0x0053_0140, 0x0054_00c0},
+			},
+			SizeMin: 24, SizeMax: 88,
+			Lifetime: 3, PoolMax: 32,
+			Revisit: 0.45, Burst: 4, Sticky: 0.5,
+		},
+		{
+			Site:  0x0052_1100,
+			Label: "tree_node",
+			Paths: [][]uint64{
+				{0x0053_1000, 0x0054_0000},
+				{0x0053_1040, 0x0054_0040},
+				{0x0053_1080, 0x0054_0080},
+			},
+			SizeMin: 48, SizeMax: 144,
+			Lifetime: 160, PoolMax: 48,
+			Revisit: 0.62, Burst: 5, Sticky: 0.7,
+		},
+		{
+			Site:  0x0052_1200,
+			Label: "obstack_chunk",
+			Paths: [][]uint64{
+				{0x0053_2000, 0x0054_0100},
+			},
+			SizeMin: 2048, SizeMax: 4096,
+			Lifetime: 900, PoolMax: 5,
+			Revisit: 0.82, Burst: 12, Sticky: 0.92,
+		},
+	}
+	acts := []Activity{
+		p.StackActivity(7, 5.0),
+		p.HeapChurnActivity("nodes", kinds, 1.9),
+		p.HotSetActivity("compiler-state", []int{0, 1, 2, 6, 7, 8, 9},
+			[]float64{6, 5, 1, 5, 3, 2, 1}, 4, 0.3, 2.7),
+		p.ConstActivity("insn-data", []int{0, 1, 2}, 3, 0.22),
+	}
+	if in.Label == "test" {
+		// A different source file: heavier optimisation passes, more
+		// tree traffic relative to parsing.
+		acts[1].Weight = 2.1
+		acts[2].Weight = 2.5
+	}
+	p.RunMix(acts, in.Bursts)
+}

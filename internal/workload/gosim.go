@@ -1,0 +1,85 @@
+package workload
+
+import "fmt"
+
+func init() { Register(goModel{}) }
+
+// goModel models SPEC95 go (the Go-playing program): over three hundred
+// global tables — board representations, pattern tables, influence maps,
+// group records — many in the 1-4 KB range, with the hot subset shifting
+// between positions (inputs). The hot working set exceeds the 8 KB cache,
+// so conflict placement matters, but the input-dependent hot set caps the
+// cross-input benefit, as the paper observed (35% train, 11% test).
+type goModel struct{}
+
+func (goModel) Name() string { return "go" }
+func (goModel) Description() string {
+	return "go-playing program; hundreds of board/pattern tables, shifting hot set"
+}
+func (goModel) HeapPlacement() bool { return false }
+
+func (goModel) Train() Input { return Input{Label: "train", Seed: 0x6001, Bursts: 60000} }
+func (goModel) Test() Input  { return Input{Label: "test", Seed: 0x6002, Bursts: 76000} }
+
+const (
+	goBoards   = 10 // 1-4 KB board/influence arrays
+	goPatterns = 24 // mid-size pattern tables
+	goScalars  = 40 // group counters, move state
+	goCold     = 36 // rarely-touched tables
+)
+
+func (goModel) Spec() Spec {
+	var gs []Var
+	for i := 0; i < goBoards; i++ {
+		gs = append(gs, Var{Name: fmt.Sprintf("board%d", i), Size: int64(1024 + (i%4)*768)})
+	}
+	for i := 0; i < goPatterns; i++ {
+		gs = append(gs, Var{Name: fmt.Sprintf("pat%d", i), Size: int64(192 + (i%6)*160)})
+	}
+	for i := 0; i < goScalars; i++ {
+		gs = append(gs, Var{Name: fmt.Sprintf("mv%d", i), Size: int64(8 + (i%3)*8)})
+	}
+	for i := 0; i < goCold; i++ {
+		gs = append(gs, Var{Name: fmt.Sprintf("tbl%d", i), Size: int64(256 + (i%9)*512)})
+	}
+	return Spec{
+		StackSize: 3 * 1024,
+		Globals:   gs,
+		Constants: []Var{
+			{Name: "dir_offsets", Size: 256},
+			{Name: "joseki_db", Size: 4096},
+		},
+	}
+}
+
+func (w goModel) Run(in Input, p *Prog) {
+	// The hot subset depends on the input (position): train and test use
+	// overlapping but different boards and patterns.
+	boards := []int{0, 1, 2, 3, 4}
+	pats := []int{goBoards, goBoards + 1, goBoards + 3, goBoards + 5, goBoards + 7, goBoards + 9}
+	if in.Label == "test" {
+		boards = []int{0, 1, 2, 5, 6}
+		pats = []int{goBoards, goBoards + 2, goBoards + 3, goBoards + 6, goBoards + 8, goBoards + 11}
+	}
+	scalars := make([]int, 0, 14)
+	scalarW := make([]float64, 0, 14)
+	for i := 0; i < 14; i++ {
+		scalars = append(scalars, goBoards+goPatterns+i)
+		scalarW = append(scalarW, float64(14-i))
+	}
+	coldIdx := make([]int, 0, goCold)
+	coldW := make([]float64, 0, goCold)
+	for i := 0; i < goCold; i++ {
+		coldIdx = append(coldIdx, goBoards+goPatterns+goScalars+i)
+		coldW = append(coldW, 1)
+	}
+	acts := []Activity{
+		p.StackActivity(4, 1.9),
+		p.HotSetActivity("boards", boards, []float64{6, 5, 4, 3, 2}, 7, 0.35, 4.1),
+		p.HotSetActivity("patterns", pats, []float64{5, 4, 4, 3, 2, 2}, 4, 0.1, 2.6),
+		p.HotSetActivity("move-state", scalars, scalarW, 2, 0.5, 1.5),
+		p.HotSetActivity("cold-tables", coldIdx, coldW, 3, 0.1, 0.35),
+		p.ConstActivity("joseki", []int{0, 1}, 3, 0.12),
+	}
+	p.RunMix(acts, in.Bursts)
+}

@@ -1,0 +1,99 @@
+package workload
+
+func init() { Register(groffModel{}) }
+
+// groffModel models the groff C++ typesetter: small node objects (one per
+// glyph/box) flowing through formatting pipelines, dictionaries and
+// environments that persist per document, noticeable constant traffic
+// (font metric tables compiled into the text segment), and C++-style deep
+// call chains.
+type groffModel struct{}
+
+func (groffModel) Name() string { return "groff" }
+func (groffModel) Description() string {
+	return "C++ typesetter; glyph node pipelines over persistent environments"
+}
+func (groffModel) HeapPlacement() bool { return true }
+
+func (groffModel) Train() Input { return Input{Label: "train", Seed: 0x9f01, Bursts: 56000} }
+func (groffModel) Test() Input  { return Input{Label: "test", Seed: 0x9f02, Bursts: 70000} }
+
+func (groffModel) Spec() Spec {
+	gs := []Var{
+		{Name: "cur_env", Size: 448},
+		{Name: "cur_diversion", Size: 256},
+		{Name: "charset_flags", Size: 128},
+		{Name: "units_scale", Size: 64},
+		{Name: "out_state", Size: 192},
+		{Name: "input_stack_hdr", Size: 112},
+	}
+	gs = append(gs,
+		Var{Name: "request_table", Size: 1920},
+		Var{Name: "macro_storage", Size: 2560},
+		Var{Name: "string_pool_hdr", Size: 832},
+		Var{Name: "device_desc", Size: 1344},
+	)
+	return Spec{
+		StackSize: 5 * 1024,
+		Globals:   gs,
+		Constants: []Var{
+			{Name: "font_metrics_R", Size: 4096},
+			{Name: "font_metrics_I", Size: 4096},
+			{Name: "char_classes", Size: 1024},
+			{Name: "hyphen_patterns", Size: 2048},
+		},
+	}
+}
+
+func (w groffModel) Run(in Input, p *Prog) {
+	kinds := []HeapKind{
+		{
+			Site:  0x0061_1000,
+			Label: "glyph_node",
+			Paths: [][]uint64{
+				{0x0062_0000, 0x0063_0000},
+				{0x0062_0040, 0x0063_0000},
+				{0x0062_0080, 0x0063_0040},
+				{0x0062_00c0, 0x0063_0080},
+			},
+			SizeMin: 32, SizeMax: 80,
+			Lifetime: 4, PoolMax: 28,
+			Revisit: 0.45, Burst: 4, Sticky: 0.45,
+		},
+		{
+			Site:  0x0061_1100,
+			Label: "env_dict",
+			Paths: [][]uint64{
+				{0x0062_1000, 0x0063_0000},
+				{0x0062_1040, 0x0063_0040},
+			},
+			SizeMin: 256, SizeMax: 768,
+			Lifetime: 1200, PoolMax: 8,
+			Revisit: 0.87, Burst: 10, Sticky: 0.9,
+		},
+		{
+			Site:  0x0061_1200,
+			Label: "string_buf",
+			Paths: [][]uint64{
+				{0x0062_2000, 0x0063_0080},
+				{0x0062_2040, 0x0063_00c0},
+			},
+			SizeMin: 64, SizeMax: 384,
+			Lifetime: 40, PoolMax: 32,
+			Revisit: 0.5, Burst: 5, Sticky: 0.6,
+		},
+	}
+	acts := []Activity{
+		p.StackActivity(6, 3.4),
+		p.HeapChurnActivity("nodes", kinds, 2.2),
+		p.HotSetActivity("environment", []int{0, 1, 2, 3, 4, 5},
+			[]float64{6, 4, 3, 3, 2, 2}, 4, 0.3, 2.9),
+		p.ConstActivity("font-metrics", []int{0, 1, 2, 3}, 5, 0.95),
+	}
+	if in.Label == "test" {
+		// A larger manuscript with more font changes.
+		acts[3].Weight = 1.1
+		acts[1].Weight = 2.4
+	}
+	p.RunMix(acts, in.Bursts)
+}

@@ -1,0 +1,72 @@
+package workload
+
+func init() { Register(mgridModel{}) }
+
+// mgridModel models the SPEC95 multigrid solver: essentially all references
+// go to one grid array far larger than the cache, swept with a stencil
+// access pattern. Nearly every miss is an intra-object capacity or
+// compulsory miss, so placement can do almost nothing — the paper reports
+// a 0.13% improvement on the train input and 0.00% cross-input, and this
+// model exists to verify the algorithm preserves that behaviour (it must
+// not *hurt*).
+type mgridModel struct{}
+
+func (mgridModel) Name() string { return "mgrid" }
+func (mgridModel) Description() string {
+	return "multigrid PDE solver; one giant array, stencil sweeps"
+}
+func (mgridModel) HeapPlacement() bool { return false }
+
+func (mgridModel) Train() Input { return Input{Label: "train", Seed: 0x3901, Bursts: 50000} }
+func (mgridModel) Test() Input  { return Input{Label: "test", Seed: 0x3902, Bursts: 64000} }
+
+func (mgridModel) Spec() Spec {
+	return Spec{
+		StackSize: 1536,
+		Globals: []Var{
+			{Name: "grid", Size: 96 * 1024},
+			{Name: "resid_norm", Size: 32},
+			{Name: "level_state", Size: 128},
+		},
+		Constants: []Var{
+			{Name: "stencil_coef", Size: 256},
+		},
+	}
+}
+
+func (w mgridModel) Run(in Input, p *Prog) {
+	grid := p.Global(0)
+	size := int64(96 * 1024)
+	var cursor int64
+	stencil := Activity{
+		Name:   "stencil",
+		Weight: 9.0,
+		Step: func(p *Prog) {
+			// One relaxation step: read left/centre/right neighbours,
+			// write the centre — 4 references landing in 1-2 lines.
+			for i := 0; i < 4; i++ {
+				if cursor < 8 {
+					cursor = 8
+				}
+				if cursor+16 >= size {
+					cursor = 8
+				}
+				p.Load(grid, cursor-8, 8)
+				p.Load(grid, cursor, 8)
+				p.Load(grid, cursor+8, 8)
+				p.Store(grid, cursor, 8)
+				cursor += 8
+			}
+		},
+	}
+	acts := []Activity{
+		stencil,
+		p.StackActivity(2, 0.35),
+		p.HotSetActivity("norms", []int{1, 2}, []float64{2, 1}, 2, 0.5, 0.18),
+		p.ConstActivity("coef", []int{0}, 2, 0.08),
+	}
+	if in.Label == "test" {
+		acts[0].Weight = 9.5
+	}
+	p.RunMix(acts, in.Bursts)
+}

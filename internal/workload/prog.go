@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/xorname"
+)
+
+// Prog is the handle a workload model drives during Run: it resolves the
+// declared symbols to object IDs, exposes the emitter, maintains the
+// synthetic call stack used for XOR heap naming, and carries the run's
+// random source.
+type Prog struct {
+	R  *rng.Source
+	em *trace.Emitter
+
+	globals   []object.ID
+	constants []object.ID
+	stackSize int64
+	nameDepth int
+
+	cs xorname.Stack
+	sp int64 // current stack depth (bytes from stack base top)
+}
+
+// NewProg binds a declared spec (already materialised into em's object
+// table, globals and constants in declaration order) to a run.
+func NewProg(em *trace.Emitter, globals, constants []object.ID, stackSize int64, seed uint64, nameDepth int) *Prog {
+	if nameDepth <= 0 {
+		nameDepth = xorname.DefaultDepth
+	}
+	return &Prog{
+		R:         rng.New(seed),
+		em:        em,
+		globals:   globals,
+		constants: constants,
+		stackSize: stackSize,
+		nameDepth: nameDepth,
+		sp:        stackSize / 2,
+	}
+}
+
+// Global returns the ID of the i'th declared global.
+func (p *Prog) Global(i int) object.ID { return p.globals[i] }
+
+// NumGlobals returns how many globals are declared.
+func (p *Prog) NumGlobals() int { return len(p.globals) }
+
+// Const returns the ID of the i'th declared constant.
+func (p *Prog) Const(i int) object.ID { return p.constants[i] }
+
+// NumConstants returns how many constants are declared.
+func (p *Prog) NumConstants() int { return len(p.constants) }
+
+// Size returns the size of an object.
+func (p *Prog) Size(id object.ID) int64 { return p.em.Objects().Get(id).Size }
+
+// Load emits a load.
+func (p *Prog) Load(id object.ID, off, size int64) { p.em.Load(id, off, size) }
+
+// Store emits a store.
+func (p *Prog) Store(id object.ID, off, size int64) { p.em.Store(id, off, size) }
+
+// Call runs fn inside a synthetic frame whose return address is ra, for
+// XOR-name realism, and charges frame-entry stack traffic.
+func (p *Prog) Call(ra uint64, fn func()) {
+	p.cs.Push(ra)
+	fn()
+	p.cs.Pop()
+}
+
+// Malloc allocates size bytes from the model's current call context. The
+// XOR name folds the malloc call site with the active return addresses,
+// exactly as the instrumented custom malloc would compute it.
+func (p *Prog) Malloc(site uint64, label string, size int64) object.ID {
+	p.cs.Push(site)
+	name := p.cs.Name(p.nameDepth)
+	p.cs.Pop()
+	return p.em.Malloc(label, size, name)
+}
+
+// Free releases a heap object.
+func (p *Prog) Free(id object.ID) { p.em.Free(id) }
+
+// InitObject writes an object sequentially (allocation-time initialisation,
+// word at a time up to cap words).
+func (p *Prog) InitObject(id object.ID, capWords int) {
+	size := p.Size(id)
+	words := int(size / 8)
+	if words < 1 {
+		words = 1
+	}
+	if capWords > 0 && words > capWords {
+		words = capWords
+	}
+	step := size / int64(words)
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < words; i++ {
+		off := int64(i) * step
+		sz := int64(8)
+		if off+sz > size {
+			sz = size - off
+		}
+		if sz <= 0 {
+			break
+		}
+		p.Store(id, off, sz)
+	}
+}
+
+// StackBurst models frame activity: a handful of loads and stores near the
+// current stack pointer, with the pointer taking a bounded random walk
+// (call/return depth changes). Stack references have the excellent
+// temporal and spatial locality the paper relies on.
+func (p *Prog) StackBurst(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		// Frame-local access window: 0..160 bytes above sp.
+		off := p.sp + int64(p.R.Intn(20))*8
+		if off >= p.stackSize {
+			off = p.stackSize - 8
+		}
+		if off < 0 {
+			off = 0
+		}
+		if p.R.Float64() < 0.35 {
+			p.Store(object.StackID, off, 8)
+		} else {
+			p.Load(object.StackID, off, 8)
+		}
+	}
+	// Depth random walk: call deeper or return shallower.
+	delta := int64(p.R.Intn(6)-3) * 48
+	p.sp += delta
+	if p.sp < 64 {
+		p.sp = 64
+	}
+	if p.sp > p.stackSize-256 {
+		p.sp = p.stackSize - 256
+	}
+}
+
+// activityMix runs a weighted mix of burst generators.
+type Activity struct {
+	Name   string
+	Weight float64
+	Step   func(p *Prog)
+}
+
+// RunMix executes bursts rounds, each drawn from acts by weight.
+func (p *Prog) RunMix(acts []Activity, bursts int) {
+	if len(acts) == 0 {
+		return
+	}
+	weights := make([]float64, len(acts))
+	for i, a := range acts {
+		if a.Step == nil {
+			panic(fmt.Sprintf("workload: activity %q has no Step", a.Name))
+		}
+		weights[i] = a.Weight
+	}
+	for i := 0; i < bursts; i++ {
+		acts[p.R.Pick(weights)].Step(p)
+	}
+}

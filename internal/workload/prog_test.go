@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/object"
+	"repro/internal/trace"
+)
+
+// progRig builds a Prog over a small hand-made table with a recording
+// handler attached.
+type progRig struct {
+	prog   *Prog
+	tbl    *object.Table
+	events []trace.Event
+}
+
+func newProgRig(t *testing.T, globalSizes []int64, constSizes []int64, stackSize int64) *progRig {
+	t.Helper()
+	r := &progRig{}
+	r.tbl = object.NewTable(stackSize)
+	var consts, globals []object.ID
+	for i, sz := range constSizes {
+		addr := addrspace.TextBase + addrspace.Addr(i*1024)
+		consts = append(consts, r.tbl.AddConstant("c", sz, addr))
+	}
+	for _, sz := range globalSizes {
+		globals = append(globals, r.tbl.AddGlobal("g", sz))
+	}
+	em := trace.NewEmitter(r.tbl, trace.HandlerFunc(func(ev trace.Event) {
+		r.events = append(r.events, ev)
+	}))
+	r.prog = NewProg(em, globals, consts, stackSize, 7, 4)
+	return r
+}
+
+func TestProgAccessors(t *testing.T) {
+	r := newProgRig(t, []int64{64, 128}, []int64{256}, 2048)
+	if r.prog.NumGlobals() != 2 || r.prog.NumConstants() != 1 {
+		t.Fatalf("accessors: %d globals, %d consts", r.prog.NumGlobals(), r.prog.NumConstants())
+	}
+	if r.prog.Size(r.prog.Global(1)) != 128 {
+		t.Fatal("Size lookup wrong")
+	}
+}
+
+func TestStackBurstStaysInBounds(t *testing.T) {
+	r := newProgRig(t, nil, nil, 1024)
+	for i := 0; i < 500; i++ {
+		r.prog.StackBurst(3)
+	}
+	for _, ev := range r.events {
+		if ev.Obj != object.StackID {
+			t.Fatalf("stack burst touched object %d", ev.Obj)
+		}
+		if ev.Off < 0 || ev.Off+ev.Size > 1024 {
+			t.Fatalf("stack access out of bounds: off %d size %d", ev.Off, ev.Size)
+		}
+	}
+	if len(r.events) != 1500 {
+		t.Fatalf("%d events, want 1500", len(r.events))
+	}
+}
+
+func TestHotSetActivityStaysInBounds(t *testing.T) {
+	r := newProgRig(t, []int64{40, 8}, nil, 1024)
+	act := r.prog.HotSetActivity("hs", []int{0, 1}, []float64{1, 1}, 3, 0.5, 1)
+	for i := 0; i < 400; i++ {
+		act.Step(r.prog)
+	}
+	for _, ev := range r.events {
+		size := r.tbl.Get(ev.Obj).Size
+		if ev.Off < 0 || ev.Off+ev.Size > size {
+			t.Fatalf("hot-set access out of bounds: obj size %d, off %d", size, ev.Off)
+		}
+	}
+	if len(r.events) == 0 {
+		t.Fatal("hot set produced no events")
+	}
+}
+
+func TestSweepActivityWraps(t *testing.T) {
+	r := newProgRig(t, []int64{100}, nil, 1024)
+	act := r.prog.SweepActivity("sw", 0, 5, 8, 0.2, 1)
+	for i := 0; i < 100; i++ {
+		act.Step(r.prog)
+	}
+	for _, ev := range r.events {
+		if ev.Off < 0 || ev.Off+ev.Size > 100 {
+			t.Fatalf("sweep out of bounds at off %d", ev.Off)
+		}
+	}
+	if len(r.events) != 500 {
+		t.Fatalf("%d events, want 500", len(r.events))
+	}
+}
+
+func TestConstActivityOnlyLoads(t *testing.T) {
+	r := newProgRig(t, nil, []int64{512, 128}, 1024)
+	act := r.prog.ConstActivity("ct", []int{0, 1}, 4, 1)
+	for i := 0; i < 200; i++ {
+		act.Step(r.prog)
+	}
+	for _, ev := range r.events {
+		if ev.Kind != trace.Load {
+			t.Fatalf("constants must be read-only; saw %v", ev.Kind)
+		}
+		if r.tbl.Get(ev.Obj).Category != object.Constant {
+			t.Fatal("const activity touched a non-constant")
+		}
+	}
+}
+
+func TestHeapChurnLifecycle(t *testing.T) {
+	r := newProgRig(t, nil, nil, 1024)
+	kinds := []HeapKind{{
+		Site:    0x1000,
+		Label:   "n",
+		SizeMin: 16, SizeMax: 64,
+		Lifetime: 3, PoolMax: 8,
+		Revisit: 0.3, Burst: 2, Sticky: 0.5,
+	}}
+	act := r.prog.HeapChurnActivity("hc", kinds, 1)
+	for i := 0; i < 300; i++ {
+		act.Step(r.prog)
+	}
+	allocs, frees, live := 0, 0, 0
+	for _, ev := range r.events {
+		switch ev.Kind {
+		case trace.Alloc:
+			allocs++
+			live++
+		case trace.Free:
+			frees++
+			live--
+		}
+		if live > 9 { // PoolMax plus the one just allocated this step
+			t.Fatalf("live heap objects %d exceed pool cap", live)
+		}
+	}
+	if allocs == 0 || frees == 0 {
+		t.Fatalf("churn did not cycle: %d allocs, %d frees", allocs, frees)
+	}
+	if frees > allocs {
+		t.Fatal("more frees than allocs")
+	}
+}
+
+func TestHeapChurnXORNamesVaryByPath(t *testing.T) {
+	r := newProgRig(t, nil, nil, 1024)
+	kinds := []HeapKind{{
+		Site:    0x1000,
+		Label:   "n",
+		Paths:   [][]uint64{{0x2000}, {0x2040}, {0x2080}},
+		SizeMin: 32, SizeMax: 32,
+		Lifetime: 1, PoolMax: 4,
+		Revisit: 0, Burst: 1,
+	}}
+	act := r.prog.HeapChurnActivity("hc", kinds, 1)
+	for i := 0; i < 120; i++ {
+		act.Step(r.prog)
+	}
+	names := make(map[uint64]bool)
+	r.tbl.ForEach(func(in *object.Info) {
+		if in.Category == object.Heap {
+			names[in.XORName] = true
+		}
+	})
+	if len(names) != 3 {
+		t.Fatalf("%d distinct XOR names, want 3 (one per caller path)", len(names))
+	}
+}
+
+func TestCallPushesAndPops(t *testing.T) {
+	r := newProgRig(t, nil, nil, 1024)
+	var inner, outer uint64
+	r.prog.Call(0xAAAA, func() {
+		inner = func() uint64 {
+			id := r.prog.Malloc(0x1111, "x", 16)
+			return r.tbl.Get(id).XORName
+		}()
+	})
+	outer = func() uint64 {
+		id := r.prog.Malloc(0x1111, "y", 16)
+		return r.tbl.Get(id).XORName
+	}()
+	if inner == outer {
+		t.Fatal("call context did not affect XOR names")
+	}
+}
+
+func TestInitObjectTouchesWholeSmallObject(t *testing.T) {
+	r := newProgRig(t, nil, nil, 1024)
+	id := r.prog.Malloc(0x1, "obj", 64)
+	start := len(r.events)
+	r.prog.InitObject(id, 0)
+	writes := r.events[start:]
+	if len(writes) != 8 {
+		t.Fatalf("%d init stores for 64 bytes, want 8", len(writes))
+	}
+	for _, ev := range writes {
+		if ev.Kind != trace.Store {
+			t.Fatal("init must store")
+		}
+	}
+}
+
+func TestInitObjectCapsLargeObject(t *testing.T) {
+	r := newProgRig(t, nil, nil, 1024)
+	id := r.prog.Malloc(0x1, "big", 4096)
+	start := len(r.events)
+	r.prog.InitObject(id, 16)
+	if got := len(r.events) - start; got != 16 {
+		t.Fatalf("%d init stores, want capped 16", got)
+	}
+}
+
+func TestRunMixRespectsWeights(t *testing.T) {
+	r := newProgRig(t, []int64{64}, nil, 1024)
+	var a, b int
+	acts := []Activity{
+		{Name: "a", Weight: 9, Step: func(*Prog) { a++ }},
+		{Name: "b", Weight: 1, Step: func(*Prog) { b++ }},
+	}
+	r.prog.RunMix(acts, 10000)
+	if a+b != 10000 {
+		t.Fatalf("steps %d, want 10000", a+b)
+	}
+	if a < 6*b {
+		t.Fatalf("weight-9 activity ran %d vs weight-1 %d", a, b)
+	}
+}
+
+func TestRunMixPanicsOnNilStep(t *testing.T) {
+	r := newProgRig(t, nil, nil, 1024)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil Step did not panic")
+		}
+	}()
+	r.prog.RunMix([]Activity{{Name: "broken", Weight: 1}}, 1)
+}

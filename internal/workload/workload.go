@@ -1,0 +1,133 @@
+// Package workload models the nine benchmark programs of the paper as
+// deterministic generators of data-reference streams.
+//
+// The paper instrumented SPEC95 binaries (plus deltablue, groff, espresso)
+// with ATOM to capture loads, stores, and allocation events. CCDP itself
+// only ever consumes that event stream — never instructions — so the
+// faithful Go substitute is a set of synthetic programs that reproduce the
+// *memory behaviour* the paper reports for each benchmark: the split of
+// references across stack/global/heap/constant segments (Table 1), the
+// object-size distribution of referenced data (Table 3), the allocation
+// statistics, and the locality structure (phased hot sets over globals,
+// streaming sweeps over large arrays, stack frame churn, short-lived heap
+// objects).
+//
+// Every model is deterministic given an Input, which is what lets one run
+// produce a profile and a later run be evaluated under a new placement —
+// and lets "train" and "test" inputs differ the way two datasets of the
+// same program do (same symbols and call sites; different dynamic mix).
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Input selects a dataset for one workload run.
+type Input struct {
+	// Label names the dataset ("train" or "test").
+	Label string
+	// Seed drives every random choice of the model.
+	Seed uint64
+	// Bursts is the number of activity bursts to run; references scale
+	// roughly linearly with it.
+	Bursts int
+}
+
+// Scaled returns a copy with the burst count multiplied by f — the knob
+// tests and benchmarks use to trade fidelity for runtime.
+func (in Input) Scaled(f float64) Input {
+	in.Bursts = int(float64(in.Bursts) * f)
+	return in
+}
+
+// Var declares a named static object.
+type Var struct {
+	Name string
+	Size int64
+}
+
+// Spec is the static shape of a program: its symbol table. It must not
+// depend on the input (programs are not recompiled between runs — the
+// paper's naming strategy relies on this).
+type Spec struct {
+	StackSize int64
+	Globals   []Var
+	Constants []Var
+}
+
+// Workload is one benchmark model.
+type Workload interface {
+	// Name is the benchmark's name as it appears in the paper's tables.
+	Name() string
+	// Description summarises what the model imitates.
+	Description() string
+	// HeapPlacement reports whether the paper applied CCDP heap
+	// placement to this program (true for deltablue, espresso, gcc,
+	// groff; false for the SPEC95 five).
+	HeapPlacement() bool
+	// Train and Test return the two datasets of Table 1.
+	Train() Input
+	Test() Input
+	// Spec returns the program's static shape.
+	Spec() Spec
+	// Run replays the program's memory behaviour into p.
+	Run(in Input, p *Prog)
+}
+
+var registry = map[string]Workload{}
+
+// Register adds a workload to the global registry; it panics on duplicate
+// names (models register from init functions).
+func Register(w Workload) {
+	if _, dup := registry[w.Name()]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration of %q", w.Name()))
+	}
+	registry[w.Name()] = w
+}
+
+// Get looks a workload up by name.
+func Get(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+	return w, nil
+}
+
+// Names returns all registered workload names, sorted as in the paper's
+// tables (heap programs first, then the SPEC95 five).
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	order := map[string]int{
+		"deltablue": 0, "espresso": 1, "gcc": 2, "groff": 3,
+		"compress": 4, "go": 5, "m88ksim": 6, "fpppp": 7, "mgrid": 8,
+	}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := order[names[i]]
+		oj, jok := order[names[j]]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+	return names
+}
+
+// All returns every registered workload in Names() order.
+func All() []Workload {
+	var ws []Workload
+	for _, n := range Names() {
+		ws = append(ws, registry[n])
+	}
+	return ws
+}

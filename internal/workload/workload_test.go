@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/addrspace"
+	"repro/internal/layout"
+	"repro/internal/object"
+	"repro/internal/trace"
+)
+
+// runOnce executes a workload against a counting handler and returns the
+// counter plus the object table.
+func runOnce(t *testing.T, w Workload, in Input) (*trace.Counter, *object.Table) {
+	t.Helper()
+	spec := w.Spec()
+	tbl := object.NewTable(spec.StackSize)
+	tee := make(trace.Tee, 0, 1)
+	textCursor := addrspace.TextBase
+	var consts []object.ID
+	for _, v := range spec.Constants {
+		consts = append(consts, tbl.AddConstant(v.Name, v.Size, textCursor))
+		textCursor = addrspace.Align(textCursor+addrspace.Addr(v.Size), layout.GlobalAlign) + 96
+	}
+	cursor := addrspace.GlobalBase
+	var globals []object.ID
+	for _, v := range spec.Globals {
+		id := tbl.AddGlobal(v.Name, v.Size)
+		tbl.Get(id).NaturalAddr = cursor
+		cursor = addrspace.Align(cursor+addrspace.Addr(v.Size), layout.GlobalAlign)
+		globals = append(globals, id)
+	}
+	em := trace.NewEmitter(tbl, &tee)
+	ctr := trace.NewCounter(tbl)
+	tee = append(tee, ctr)
+	prog := NewProg(em, globals, consts, spec.StackSize, in.Seed, 4)
+	w.Run(in, prog)
+	return ctr, tbl
+}
+
+func scaled(in Input, frac float64) Input {
+	in.Bursts = int(float64(in.Bursts) * frac)
+	return in
+}
+
+func TestRegistryHasAllNinePrograms(t *testing.T) {
+	want := []string{"deltablue", "espresso", "gcc", "groff",
+		"compress", "go", "m88ksim", "fpppp", "mgrid"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGetUnknownWorkload(t *testing.T) {
+	if _, err := Get("nonesuch"); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+}
+
+func TestHeapPlacementFlagsMatchPaper(t *testing.T) {
+	// The paper applies heap placement to exactly these four programs.
+	withHeap := map[string]bool{
+		"deltablue": true, "espresso": true, "gcc": true, "groff": true,
+		"compress": false, "go": false, "m88ksim": false, "fpppp": false, "mgrid": false,
+	}
+	for name, want := range withHeap {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.HeapPlacement() != want {
+			t.Errorf("%s heap placement = %v, want %v", name, w.HeapPlacement(), want)
+		}
+	}
+}
+
+func TestTrainAndTestInputsDiffer(t *testing.T) {
+	for _, w := range All() {
+		tr, te := w.Train(), w.Test()
+		if tr.Label != "train" || te.Label != "test" {
+			t.Errorf("%s input labels %q/%q", w.Name(), tr.Label, te.Label)
+		}
+		if tr.Seed == te.Seed {
+			t.Errorf("%s train and test share a seed", w.Name())
+		}
+	}
+}
+
+func TestRunsAreDeterministic(t *testing.T) {
+	for _, w := range All() {
+		in := scaled(w.Train(), 0.02)
+		c1, t1 := runOnce(t, w, in)
+		c2, t2 := runOnce(t, w, in)
+		if c1.Refs() != c2.Refs() {
+			t.Errorf("%s: refs %d vs %d across identical runs", w.Name(), c1.Refs(), c2.Refs())
+		}
+		if c1.Allocs != c2.Allocs {
+			t.Errorf("%s: allocs differ", w.Name())
+		}
+		if t1.Len() != t2.Len() {
+			t.Errorf("%s: object tables differ in size", w.Name())
+		}
+	}
+}
+
+func TestSpecIsInputIndependent(t *testing.T) {
+	// Programs are not recompiled between runs: the symbol table must be
+	// identical regardless of input (the naming strategy depends on it).
+	for _, w := range All() {
+		s1, s2 := w.Spec(), w.Spec()
+		if len(s1.Globals) != len(s2.Globals) || s1.StackSize != s2.StackSize {
+			t.Errorf("%s: Spec not stable", w.Name())
+		}
+	}
+}
+
+func TestEveryWorkloadTouchesDeclaredSegments(t *testing.T) {
+	for _, w := range All() {
+		ctr, _ := runOnce(t, w, scaled(w.Train(), 0.05))
+		if ctr.Refs() == 0 {
+			t.Errorf("%s produced no references", w.Name())
+			continue
+		}
+		if ctr.CategoryRefs[object.Stack] == 0 {
+			t.Errorf("%s never touches the stack", w.Name())
+		}
+		if ctr.CategoryRefs[object.Global] == 0 {
+			t.Errorf("%s never touches globals", w.Name())
+		}
+		if ctr.CategoryRefs[object.Constant] == 0 {
+			t.Errorf("%s never touches constants", w.Name())
+		}
+	}
+}
+
+func TestHeapProgramsAllocate(t *testing.T) {
+	for _, name := range []string{"deltablue", "espresso", "gcc", "groff", "m88ksim"} {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr, _ := runOnce(t, w, scaled(w.Train(), 0.05))
+		if ctr.Allocs == 0 {
+			t.Errorf("%s performed no allocations", name)
+		}
+		if ctr.Frees == 0 {
+			t.Errorf("%s performed no frees", name)
+		}
+	}
+}
+
+func TestPureStaticProgramsDoNotAllocate(t *testing.T) {
+	for _, name := range []string{"compress", "go", "fpppp", "mgrid"} {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr, _ := runOnce(t, w, scaled(w.Train(), 0.05))
+		if ctr.Allocs != 0 {
+			t.Errorf("%s allocated %d times; the paper's model has no heap use", name, ctr.Allocs)
+		}
+	}
+}
+
+func TestDeltablueIsHeapDominated(t *testing.T) {
+	w, _ := Get("deltablue")
+	ctr, _ := runOnce(t, w, scaled(w.Train(), 0.1))
+	heapFrac := float64(ctr.CategoryRefs[object.Heap]) / float64(ctr.Refs())
+	if heapFrac < 0.4 {
+		t.Errorf("deltablue heap share %.2f, want the dominant segment", heapFrac)
+	}
+}
+
+func TestMgridIsOneGiantObject(t *testing.T) {
+	w, _ := Get("mgrid")
+	ctr, tbl := runOnce(t, w, scaled(w.Train(), 0.1))
+	var gridRefs uint64
+	tbl.ForEach(func(in *object.Info) {
+		if in.Name == "grid" {
+			gridRefs = in.Refs
+			if in.Size <= 32768 {
+				t.Errorf("grid size %d, want > 32 KB (the paper's single huge object)", in.Size)
+			}
+		}
+	})
+	if frac := float64(gridRefs) / float64(ctr.Refs()); frac < 0.8 {
+		t.Errorf("grid absorbs %.2f of refs, want the overwhelming majority", frac)
+	}
+}
+
+func TestTestInputIsLarger(t *testing.T) {
+	// The paper's second datasets run longer; ours scale with Bursts.
+	for _, w := range All() {
+		if w.Test().Bursts <= w.Train().Bursts {
+			t.Errorf("%s test input not larger than train", w.Name())
+		}
+	}
+}
+
+func TestXORNamesAreSharedAcrossInputs(t *testing.T) {
+	// Heap naming must be input-stable: the same call sites produce the
+	// same XOR names on train and test inputs (the paper's constraint 1).
+	w, _ := Get("espresso")
+	collect := func(in Input) map[uint64]bool {
+		_, tbl := runOnce(t, w, scaled(in, 0.05))
+		names := make(map[uint64]bool)
+		tbl.ForEach(func(info *object.Info) {
+			if info.Category == object.Heap {
+				names[info.XORName] = true
+			}
+		})
+		return names
+	}
+	train := collect(w.Train())
+	test := collect(w.Test())
+	shared := 0
+	for n := range test {
+		if train[n] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no XOR names shared between train and test inputs")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(mgridModel{})
+}

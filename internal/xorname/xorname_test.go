@@ -1,0 +1,128 @@
+package xorname
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFoldDeterministic(t *testing.T) {
+	stack := []uint64{0x401000, 0x402000, 0x403000, 0x404000}
+	if Fold(stack, 4) != Fold(stack, 4) {
+		t.Fatal("Fold is not deterministic")
+	}
+}
+
+func TestFoldDepthLimits(t *testing.T) {
+	stack := []uint64{1, 2, 3, 4, 5, 6}
+	if Fold(stack, 2) == Fold(stack, 4) {
+		t.Fatal("different depths should (almost surely) differ here")
+	}
+	// Frames beyond the depth must not matter.
+	a := Fold([]uint64{1, 2, 3, 4, 99}, 4)
+	b := Fold([]uint64{1, 2, 3, 4, 77}, 4)
+	if a != b {
+		t.Fatal("frames beyond depth influenced the name")
+	}
+}
+
+func TestFoldDefaultDepth(t *testing.T) {
+	stack := []uint64{1, 2, 3, 4, 5}
+	if Fold(stack, 0) != Fold(stack, DefaultDepth) {
+		t.Fatal("depth 0 should fall back to the default depth")
+	}
+	if Fold(stack, -3) != Fold(stack, DefaultDepth) {
+		t.Fatal("negative depth should fall back to the default depth")
+	}
+}
+
+func TestFoldOrderSensitive(t *testing.T) {
+	a := Fold([]uint64{0x11, 0x22, 0x33}, 4)
+	b := Fold([]uint64{0x33, 0x22, 0x11}, 4)
+	if a == b {
+		t.Fatal("fold should distinguish call paths that reverse order")
+	}
+}
+
+func TestFoldShortStacks(t *testing.T) {
+	if Fold(nil, 4) != 0 {
+		t.Fatal("empty stack should fold to 0")
+	}
+	if Fold([]uint64{42}, 4) == 0 {
+		t.Fatal("single frame should produce a nonzero name")
+	}
+}
+
+func TestWithSizeDistinguishes(t *testing.T) {
+	n := Fold([]uint64{1, 2, 3, 4}, 4)
+	if WithSize(n, 16) == WithSize(n, 32) {
+		t.Fatal("WithSize should separate different sizes")
+	}
+}
+
+func TestStackPushPop(t *testing.T) {
+	var s Stack
+	if s.Depth() != 0 {
+		t.Fatal("fresh stack has nonzero depth")
+	}
+	s.Push(0x100)
+	s.Push(0x200)
+	if s.Depth() != 2 {
+		t.Fatalf("depth %d, want 2", s.Depth())
+	}
+	s.Pop()
+	if s.Depth() != 1 {
+		t.Fatalf("depth %d, want 1", s.Depth())
+	}
+	s.Pop()
+	s.Pop() // popping empty is a no-op
+	if s.Depth() != 0 {
+		t.Fatal("empty pop changed depth")
+	}
+}
+
+func TestStackNameInnermostFirst(t *testing.T) {
+	var s Stack
+	s.Push(0xAAA) // outer
+	s.Push(0xBBB) // inner
+	want := Fold([]uint64{0xBBB, 0xAAA}, 4)
+	if got := s.Name(4); got != want {
+		t.Fatalf("Name() = %#x, want %#x (innermost first)", got, want)
+	}
+}
+
+func TestStackNameEmptyIsZero(t *testing.T) {
+	var s Stack
+	if s.Name(4) != 0 {
+		t.Fatal("empty stack name should be 0")
+	}
+}
+
+func TestFoldCollisionRate(t *testing.T) {
+	// Distinct depth-4 call paths should essentially never collide.
+	seen := make(map[uint64]bool)
+	collisions := 0
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			for c := uint64(0); c < 16; c++ {
+				name := Fold([]uint64{0x400000 + a*64, 0x410000 + b*64, 0x420000 + c*64, 0x430000}, 4)
+				if seen[name] {
+					collisions++
+				}
+				seen[name] = true
+			}
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("%d collisions among 4096 call paths", collisions)
+	}
+}
+
+func TestFoldStableUnderTrailingFrames(t *testing.T) {
+	if err := quick.Check(func(a, b, c, d, extra uint64) bool {
+		base := []uint64{a, b, c, d}
+		ext := append(append([]uint64{}, base...), extra)
+		return Fold(base, 4) == Fold(ext, 4)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
