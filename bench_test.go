@@ -13,6 +13,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/benchsuite"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/profile"
@@ -22,36 +23,27 @@ import (
 	"repro/internal/xorname"
 )
 
-// benchScale trades fidelity for runtime in the bench harness.
-const benchScale = 0.15
+// benchScale trades fidelity for runtime in the bench harness. It is the
+// same reduced scale cmd/ccdpbench and the CI bench gate run at, so the
+// benchmarks here and the gated artifact measure identical pipelines.
+const benchScale = benchsuite.DefaultScale
 
 func scaledInputs(w workload.Workload, scale float64) []workload.Input {
-	tr, te := w.Train(), w.Test()
-	tr.Bursts = int(float64(tr.Bursts) * scale)
-	te.Bursts = int(float64(te.Bursts) * scale)
-	return []workload.Input{tr, te}
+	return benchsuite.ScaledInputs(w, scale)
 }
 
 // runSuite runs every workload through the pipeline with the given layouts.
 func runSuite(b *testing.B, opts sim.Options, layouts []sim.LayoutKind) []*core.Comparison {
 	b.Helper()
-	var cmps []*core.Comparison
-	for _, w := range workload.All() {
-		cmp, err := core.Run(w, opts, layouts, scaledInputs(w, benchScale))
-		if err != nil {
-			b.Fatal(err)
-		}
-		cmps = append(cmps, cmp)
+	cmps, err := benchsuite.RunSuite(opts, layouts, benchScale)
+	if err != nil {
+		b.Fatal(err)
 	}
 	return cmps
 }
 
 func avgReduction(cmps []*core.Comparison, input string) float64 {
-	var sum float64
-	for _, c := range cmps {
-		sum += c.Reduction(input)
-	}
-	return sum / float64(len(cmps))
+	return benchsuite.AvgReduction(cmps, input)
 }
 
 // BenchmarkTable1Stats regenerates Table 1: per-program, per-input workload

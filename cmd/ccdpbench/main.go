@@ -1,0 +1,145 @@
+// Command ccdpbench runs the reduced-scale benchmark suite (the same one
+// bench_test.go drives) with full pipeline instrumentation, writes a
+// versioned machine-readable artifact, and optionally gates the result
+// against a committed baseline.
+//
+// Exit status: 0 on success, 1 when the baseline gate fails, 2 on any
+// other error. CI runs:
+//
+//	go run ./cmd/ccdpbench -baseline bench_baseline.json
+//
+// and a regression in the headline miss-rate reduction (or any single
+// workload's) beyond tolerance fails the build. Refresh the baseline
+// after an intentional change with:
+//
+//	go run ./cmd/ccdpbench -update-baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro/internal/benchsuite"
+	"repro/internal/metrics"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		scale        = flag.Float64("scale", benchsuite.DefaultScale, "trace scale (fraction of full burst counts)")
+		workloads    = flag.String("workloads", "", "comma-separated workload subset (default: all nine)")
+		out          = flag.String("out", "", "artifact path (default BENCH_<sha>.json)")
+		baselinePath = flag.String("baseline", "", "baseline artifact to gate against (empty = no gate)")
+		updateBase   = flag.String("update-baseline", "", "write a fresh baseline to this path and exit (skips the artifact and gate)")
+		headlineTol  = flag.Float64("tolerance", benchsuite.DefaultTolerances.Headline, "max allowed drop in avg test reduction, percentage points")
+		perWorkTol   = flag.Float64("workload-tolerance", benchsuite.DefaultTolerances.PerWorkload, "max allowed per-workload drop, percentage points")
+		sha          = flag.String("sha", "", "commit id stamped into the artifact (default: $GITHUB_SHA, then git HEAD, then \"dev\")")
+		quiet        = flag.Bool("q", false, "suppress the per-workload table")
+	)
+	flag.Parse()
+
+	var names []string
+	if *workloads != "" {
+		names = strings.Split(*workloads, ",")
+	}
+
+	mc := metrics.New()
+	start := time.Now()
+	cmps, effScale, err := benchsuite.Config{Scale: *scale, Workloads: names, Metrics: mc}.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpbench:", err)
+		return 2
+	}
+	art := benchsuite.BuildArtifact(resolveSHA(*sha), effScale, cmps, mc.Snapshot())
+
+	if !*quiet {
+		printSummary(art, time.Since(start), mc)
+	}
+
+	if *updateBase != "" {
+		if err := art.Baseline().WriteFile(*updateBase); err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench:", err)
+			return 2
+		}
+		fmt.Println("baseline written:", *updateBase)
+		return 0
+	}
+
+	outPath := *out
+	if outPath == "" {
+		outPath = "BENCH_" + art.SHA + ".json"
+	}
+	if err := art.WriteFile(outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpbench:", err)
+		return 2
+	}
+	fmt.Println("artifact written:", outPath)
+
+	if *baselinePath == "" {
+		return 0
+	}
+	base, err := benchsuite.LoadArtifact(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpbench:", err)
+		return 2
+	}
+	gate := benchsuite.Gate(base, art, benchsuite.Tolerances{Headline: *headlineTol, PerWorkload: *perWorkTol})
+	for _, note := range gate.Notes {
+		fmt.Println("note:", note)
+	}
+	if !gate.OK() {
+		for _, f := range gate.Failures {
+			fmt.Fprintln(os.Stderr, "GATE FAIL:", f)
+		}
+		return 1
+	}
+	fmt.Printf("gate OK: avg test reduction %.2f%% (baseline %.2f%%, tolerance %.2f)\n",
+		art.AvgTestReductionPct, base.AvgTestReductionPct, *headlineTol)
+	return 0
+}
+
+// resolveSHA picks the commit id for the artifact name: flag, CI env, git.
+func resolveSHA(flagSHA string) string {
+	if flagSHA != "" {
+		return short(flagSHA)
+	}
+	if env := os.Getenv("GITHUB_SHA"); env != "" {
+		return short(env)
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		if s := strings.TrimSpace(string(out)); s != "" {
+			return s
+		}
+	}
+	return "dev"
+}
+
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+func printSummary(a *benchsuite.Artifact, elapsed time.Duration, mc *metrics.Collector) {
+	fmt.Printf("suite: %d workloads at scale %g in %v\n", len(a.Workloads), a.Scale, elapsed.Round(time.Millisecond))
+	fmt.Printf("%-12s %10s %10s\n", "workload", "train red%", "test red%")
+	for _, wr := range a.Workloads {
+		fmt.Printf("%-12s %10.2f %10.2f\n", wr.Name, wr.TrainReductionPct, wr.TestReductionPct)
+	}
+	fmt.Printf("%-12s %10.2f %10.2f\n", "avg", a.AvgTrainReductionPct, a.AvgTestReductionPct)
+	fmt.Printf("pipeline: %d trace events, %d TRG edges, %d queue evictions, %d sim accesses\n",
+		mc.Get(metrics.TraceEvents), mc.Get(metrics.TRGEdges),
+		mc.Get(metrics.QueueEvictions), mc.Get(metrics.SimAccesses))
+	for _, st := range []metrics.Stage{metrics.StageProfile, metrics.StagePlace, metrics.StageEval} {
+		fmt.Printf("stage %-8s %3d runs, total %v\n", st, mc.StageCount(st),
+			mc.StageTotal(st).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,102 @@
+// Package benchsuite is the shared benchmark harness behind both the
+// repository's `go test -bench` file and cmd/ccdpbench: it runs every
+// workload through the full pipeline (profile -> placement -> evaluation)
+// at a reduced trace scale and aggregates the headline quantities the
+// paper's evaluation reports. Keeping it in one package guarantees the
+// Go benchmarks and the CI bench gate measure the same thing.
+package benchsuite
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// DefaultScale is the fidelity/runtime trade-off both the bench harness
+// and the CI gate run at: the fraction of each input's full burst count.
+const DefaultScale = 0.15
+
+// ScaledInputs returns the workload's train and test inputs with their
+// burst counts scaled by scale (1.0 = the full reproduction scale).
+func ScaledInputs(w workload.Workload, scale float64) []workload.Input {
+	tr, te := w.Train(), w.Test()
+	tr.Bursts = int(float64(tr.Bursts) * scale)
+	te.Bursts = int(float64(te.Bursts) * scale)
+	return []workload.Input{tr, te}
+}
+
+// RunWorkloads runs the named workloads (nil = all nine) through the
+// pipeline with the given options and layouts at the given scale, in
+// workload order.
+func RunWorkloads(names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64) ([]*core.Comparison, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("benchsuite: scale %g <= 0", scale)
+	}
+	var ws []workload.Workload
+	if len(names) == 0 {
+		ws = workload.All()
+	} else {
+		for _, name := range names {
+			w, err := workload.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			ws = append(ws, w)
+		}
+	}
+	var cmps []*core.Comparison
+	for _, w := range ws {
+		cmp, err := core.Run(w, opts, layouts, ScaledInputs(w, scale))
+		if err != nil {
+			return nil, fmt.Errorf("benchsuite: %s: %w", w.Name(), err)
+		}
+		cmps = append(cmps, cmp)
+	}
+	return cmps, nil
+}
+
+// RunSuite runs the full suite (all workloads, default layouts) at the
+// given scale — the reduced-scale suite bench_test.go is built on.
+func RunSuite(opts sim.Options, layouts []sim.LayoutKind, scale float64) ([]*core.Comparison, error) {
+	return RunWorkloads(nil, opts, layouts, scale)
+}
+
+// AvgReduction averages the CCDP miss-rate reduction over the comparisons
+// for one input label ("train" or "test").
+func AvgReduction(cmps []*core.Comparison, input string) float64 {
+	if len(cmps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cmps {
+		sum += c.Reduction(input)
+	}
+	return sum / float64(len(cmps))
+}
+
+// Config parameterises one gate/artifact run of the suite.
+type Config struct {
+	// Scale is the trace scale (0 selects DefaultScale).
+	Scale float64
+	// Workloads restricts the suite (nil = all).
+	Workloads []string
+	// Metrics receives pipeline instrumentation for the artifact's
+	// observability section (nil = none collected).
+	Metrics *metrics.Collector
+}
+
+// Run executes the suite per cfg with the paper's default options and
+// returns the comparisons alongside the effective scale.
+func (cfg Config) Run() ([]*core.Comparison, float64, error) {
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = DefaultScale
+	}
+	opts := sim.DefaultOptions()
+	opts.Metrics = cfg.Metrics
+	cmps, err := RunWorkloads(cfg.Workloads, opts, nil, scale)
+	return cmps, scale, err
+}

@@ -1,0 +1,202 @@
+package benchsuite
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// runTiny runs a two-workload suite at a very small scale, shared across
+// the tests here.
+func runTiny(t *testing.T, mc *metrics.Collector) *Artifact {
+	t.Helper()
+	opts := sim.DefaultOptions()
+	opts.Metrics = mc
+	cmps, err := RunWorkloads([]string{"compress", "mgrid"}, opts, nil, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildArtifact("testsha", 0.02, cmps, mc.Snapshot())
+}
+
+func TestSuiteAndArtifact(t *testing.T) {
+	mc := metrics.New()
+	a := runTiny(t, mc)
+	if len(a.Workloads) != 2 {
+		t.Fatalf("got %d workload reports, want 2", len(a.Workloads))
+	}
+	for _, wr := range a.Workloads {
+		byLayout, ok := wr.MissRatePct[TestInput]
+		if !ok {
+			t.Fatalf("%s: no test-input results", wr.Name)
+		}
+		if byLayout[string(sim.LayoutNatural)] <= 0 {
+			t.Errorf("%s: natural miss rate %g, want > 0", wr.Name, byLayout[string(sim.LayoutNatural)])
+		}
+		if _, ok := byLayout[string(sim.LayoutCCDP)]; !ok {
+			t.Errorf("%s: no ccdp result", wr.Name)
+		}
+	}
+
+	// The metrics section must reflect the run: events flowed, the TRG
+	// materialized, every stage has timings.
+	if a.Metrics.Counters[metrics.TraceEvents.String()] == 0 {
+		t.Error("no trace events counted")
+	}
+	if a.Metrics.Counters[metrics.TRGEdges.String()] == 0 {
+		t.Error("no TRG edges counted")
+	}
+	for _, st := range []metrics.Stage{metrics.StagePipeline, metrics.StageProfile, metrics.StagePlace, metrics.StageEval} {
+		if a.Metrics.Stages[st.String()].Count == 0 {
+			t.Errorf("stage %s has no timings", st)
+		}
+	}
+	if a.Metrics.Named["sim.misses."+string(sim.LayoutNatural)] == 0 {
+		t.Error("no per-layout miss counts")
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	a := runTiny(t, metrics.New())
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SHA != "testsha" || back.Scale != 0.02 || len(back.Workloads) != 2 {
+		t.Errorf("round trip mangled artifact: %+v", back)
+	}
+	if back.AvgTestReductionPct != a.AvgTestReductionPct {
+		t.Errorf("headline drifted: %g vs %g", back.AvgTestReductionPct, a.AvgTestReductionPct)
+	}
+}
+
+func TestLoadArtifactRejectsWrongSchema(t *testing.T) {
+	a := runTiny(t, nil)
+	a.SchemaVersion = SchemaVersion + 1
+	path := filepath.Join(t.TempDir(), "stale.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifact(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("stale schema accepted: err = %v", err)
+	}
+}
+
+func TestBaselineStripsObservability(t *testing.T) {
+	a := runTiny(t, metrics.New())
+	b := a.Baseline()
+	if b.SHA != "baseline" || b.Metrics.Counters != nil || b.Metrics.Stages != nil {
+		t.Errorf("baseline kept observability: %+v", b.Metrics)
+	}
+	if a.Metrics.Counters == nil {
+		t.Error("Baseline mutated the original artifact")
+	}
+	if b.AvgTestReductionPct != a.AvgTestReductionPct || len(b.Workloads) != len(a.Workloads) {
+		t.Error("baseline dropped results")
+	}
+}
+
+func TestGatePassesOnIdenticalRun(t *testing.T) {
+	a := runTiny(t, nil)
+	g := Gate(a.Baseline(), a, DefaultTolerances)
+	if !g.OK() {
+		t.Errorf("identical run failed the gate: %v", g.Failures)
+	}
+}
+
+// TestGateCatchesInjectedRegression is the contract the CI job relies on:
+// a drop in the headline reduction beyond tolerance must fail the gate.
+func TestGateCatchesInjectedRegression(t *testing.T) {
+	a := runTiny(t, nil)
+	base := a.Baseline()
+
+	hurt := *a
+	hurt.AvgTestReductionPct -= DefaultTolerances.Headline + 0.5
+	g := Gate(base, &hurt, DefaultTolerances)
+	if g.OK() {
+		t.Fatal("injected headline regression passed the gate")
+	}
+	if !strings.Contains(strings.Join(g.Failures, "\n"), "headline") {
+		t.Errorf("failure does not name the headline: %v", g.Failures)
+	}
+}
+
+func TestGateCatchesPerWorkloadCollapse(t *testing.T) {
+	a := runTiny(t, nil)
+	base := a.Baseline()
+
+	hurt := *a
+	hurt.Workloads = append([]WorkloadReport(nil), a.Workloads...)
+	hurt.Workloads[0].TestReductionPct -= DefaultTolerances.PerWorkload + 1
+	g := Gate(base, &hurt, DefaultTolerances)
+	if g.OK() {
+		t.Fatal("single-workload collapse passed the gate")
+	}
+}
+
+func TestGateFailsOnScaleMismatch(t *testing.T) {
+	a := runTiny(t, nil)
+	base := a.Baseline()
+	other := *a
+	other.Scale = a.Scale * 2
+	if g := Gate(base, &other, DefaultTolerances); g.OK() {
+		t.Fatal("scale mismatch passed the gate")
+	}
+}
+
+func TestGateFailsOnMissingWorkload(t *testing.T) {
+	a := runTiny(t, nil)
+	base := a.Baseline()
+	short := *a
+	short.Workloads = a.Workloads[:1]
+	if g := Gate(base, &short, DefaultTolerances); g.OK() {
+		t.Fatal("missing workload passed the gate")
+	}
+}
+
+func TestGateNotesImprovement(t *testing.T) {
+	a := runTiny(t, nil)
+	base := a.Baseline()
+	better := *a
+	better.AvgTestReductionPct += DefaultTolerances.Headline + 2
+	g := Gate(base, &better, DefaultTolerances)
+	if !g.OK() {
+		t.Fatalf("improvement failed the gate: %v", g.Failures)
+	}
+	if len(g.Notes) == 0 {
+		t.Error("improvement produced no re-baseline note")
+	}
+}
+
+func TestRunWorkloadsRejectsBadInput(t *testing.T) {
+	opts := sim.DefaultOptions()
+	if _, err := RunWorkloads([]string{"nosuch"}, opts, nil, 0.02); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := RunWorkloads(nil, opts, nil, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestScaledInputs(t *testing.T) {
+	opts := sim.DefaultOptions()
+	_ = opts
+	cfg := Config{Scale: 0.02, Workloads: []string{"mgrid"}}
+	cmps, scale, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 0.02 || len(cmps) != 1 {
+		t.Errorf("Config.Run: scale=%g cmps=%d", scale, len(cmps))
+	}
+	if _, defScale, err := (Config{Workloads: []string{"mgrid"}, Scale: 0}).Run(); err != nil || defScale != DefaultScale {
+		t.Errorf("default scale = %g, err=%v", defScale, err)
+	}
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -49,6 +50,9 @@ func (c *Comparison) Reduction(input string) float64 {
 // each requested layout on each requested input. Passing no layouts
 // defaults to natural+CCDP; passing no inputs defaults to train+test.
 func Run(w workload.Workload, opts sim.Options, layouts []sim.LayoutKind, inputs []workload.Input) (*Comparison, error) {
+	span := opts.Metrics.Start(metrics.StagePipeline)
+	defer span.Stop()
+
 	if len(layouts) == 0 {
 		layouts = []sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP}
 	}

@@ -1,0 +1,393 @@
+// Package metrics is the pipeline-wide observability layer: cheap atomic
+// counters, stage timers, and power-of-two histogram sketches shared by
+// every stage of the CCDP pipeline (trace emission, TRG construction,
+// placement, cache simulation).
+//
+// The design constraint is the hot path: the trace emitter and the TRG
+// recency queue run once per simulated memory reference, so instrumentation
+// must cost one predictable branch when disabled and one uncontended atomic
+// when enabled. Every method on *Collector is safe on a nil receiver and
+// does nothing there — callers hold a plain `*metrics.Collector` field and
+// never test it for nil themselves.
+//
+// A Collector is safe for concurrent use (core.RunAll drives several
+// pipelines at once); Snapshot may be taken while stages are still running
+// and observes a consistent-enough view for reporting.
+package metrics
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one pipeline-wide monotonic counter.
+type Counter int
+
+// The fixed counter set, one per load-bearing pipeline quantity.
+const (
+	// TraceEvents counts every event the emitter produces
+	// (loads, stores, allocs, frees).
+	TraceEvents Counter = iota
+	// TraceAllocs counts heap allocation events.
+	TraceAllocs
+	// QueueEvictions counts recency-queue capacity evictions during
+	// TRG construction (entries dropped past the queue threshold).
+	QueueEvictions
+	// TRGEdges counts distinct chunk-pair edges materialized in the TRG.
+	TRGEdges
+	// TRGWeight accumulates the total TRG edge weight added.
+	TRGWeight
+	// SimAccesses and SimMisses accumulate cache-simulator totals across
+	// evaluation passes (per-layout splits live in the named counters).
+	SimAccesses
+	SimMisses
+	// PlacementMerges counts phase-6 compound merges.
+	PlacementMerges
+
+	NumCounters int = iota
+)
+
+var counterNames = [NumCounters]string{
+	TraceEvents:     "trace.events",
+	TraceAllocs:     "trace.allocs",
+	QueueEvictions:  "profile.queue_evictions",
+	TRGEdges:        "trg.edges",
+	TRGWeight:       "trg.weight",
+	SimAccesses:     "sim.accesses",
+	SimMisses:       "sim.misses",
+	PlacementMerges: "placement.merges",
+}
+
+// String returns the counter's export name.
+func (c Counter) String() string {
+	if c < 0 || int(c) >= NumCounters {
+		return "invalid"
+	}
+	return counterNames[c]
+}
+
+// Stage identifies a timed pipeline stage.
+type Stage int
+
+// The timed stages: the three pipeline passes, the whole-workload pipeline,
+// and the placement phases of the paper's Figure 1 (3 and 5 share an
+// implementation pass, as do 0 and 4's popularity work inside them).
+const (
+	StagePipeline Stage = iota // one core.Run end to end
+	StageProfile               // profiling pass (TRG construction)
+	StagePlace                 // placement.Compute, phases 0-8
+	StageEval                  // one evaluation pass (cache simulation)
+
+	StagePhaseHeapBins       // phase 1: heap preprocessing + bin tags
+	StagePhaseStackConstants // phase 2: stack vs constants
+	StagePhaseCompounds      // phases 3+5: compound nodes + line packing
+	StagePhaseSelectEdges    // phase 4: TRGselect edge construction
+	StagePhaseMerge          // phase 6: merge loop
+	StagePhaseGlobalOrder    // phase 7: final global-segment ordering
+	StagePhaseHeapPlans      // phase 8: custom-malloc table
+
+	NumStages int = iota
+)
+
+var stageNames = [NumStages]string{
+	StagePipeline:            "pipeline",
+	StageProfile:             "profile",
+	StagePlace:               "place",
+	StageEval:                "eval",
+	StagePhaseHeapBins:       "place.phase1_heap_bins",
+	StagePhaseStackConstants: "place.phase2_stack_constants",
+	StagePhaseCompounds:      "place.phase3_5_compounds",
+	StagePhaseSelectEdges:    "place.phase4_select_edges",
+	StagePhaseMerge:          "place.phase6_merge",
+	StagePhaseGlobalOrder:    "place.phase7_global_order",
+	StagePhaseHeapPlans:      "place.phase8_heap_plans",
+}
+
+// String returns the stage's export name.
+func (s Stage) String() string {
+	if s < 0 || int(s) >= NumStages {
+		return "invalid"
+	}
+	return stageNames[s]
+}
+
+// Hist identifies one histogram sketch.
+type Hist int
+
+// The fixed histogram set.
+const (
+	// HistAllocSize sketches heap allocation sizes in bytes.
+	HistAllocSize Hist = iota
+	// HistAccessSize sketches load/store widths in bytes.
+	HistAccessSize
+	// HistMergeMembers sketches compound sizes (members) after each
+	// phase-6 merge.
+	HistMergeMembers
+
+	NumHists int = iota
+)
+
+var histNames = [NumHists]string{
+	HistAllocSize:    "alloc_size_bytes",
+	HistAccessSize:   "access_size_bytes",
+	HistMergeMembers: "merge_members",
+}
+
+// String returns the histogram's export name.
+func (h Hist) String() string {
+	if h < 0 || int(h) >= NumHists {
+		return "invalid"
+	}
+	return histNames[h]
+}
+
+// stageStat accumulates one stage's timing atomically.
+type stageStat struct {
+	count atomic.Uint64
+	nanos atomic.Uint64
+	max   atomic.Uint64
+}
+
+// numBuckets covers bits.Len64 outputs 0..64: bucket i holds values whose
+// bit length is i, i.e. the power-of-two range [2^(i-1), 2^i).
+const numBuckets = 65
+
+// histogram is a lock-free power-of-two bucket sketch.
+type histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+func (h *histogram) observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// quantile returns an upper bound for the q-quantile (q in [0,1]): the top
+// of the first bucket whose cumulative count reaches q of the total.
+func (h *histogram) quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var run uint64
+	for i := 0; i < numBuckets; i++ {
+		run += h.buckets[i].Load()
+		if run >= target {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return 1<<63 - 1
+}
+
+// Collector gathers all pipeline metrics. The zero value is ready to use;
+// a nil *Collector is the disabled collector and every method no-ops.
+type Collector struct {
+	counters [NumCounters]atomic.Uint64
+	stages   [NumStages]stageStat
+	hists    [NumHists]histogram
+
+	mu    sync.Mutex
+	named map[string]uint64
+}
+
+// New returns an enabled collector.
+func New() *Collector { return &Collector{} }
+
+// Add increments counter ctr by v.
+func (c *Collector) Add(ctr Counter, v uint64) {
+	if c == nil {
+		return
+	}
+	c.counters[ctr].Add(v)
+}
+
+// Get returns the current value of counter ctr (0 on a nil collector).
+func (c *Collector) Get(ctr Counter) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.counters[ctr].Load()
+}
+
+// Observe records v into histogram h.
+func (c *Collector) Observe(h Hist, v uint64) {
+	if c == nil {
+		return
+	}
+	c.hists[h].observe(v)
+}
+
+// AddNamed increments a dynamically-named counter (e.g. per-layout
+// simulator totals). It takes a mutex and must stay off per-event paths.
+func (c *Collector) AddNamed(name string, v uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.named == nil {
+		c.named = make(map[string]uint64)
+	}
+	c.named[name] += v
+	c.mu.Unlock()
+}
+
+// GetNamed returns the value of a named counter (0 if absent or nil).
+func (c *Collector) GetNamed(name string) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.named[name]
+}
+
+// Span is an in-flight stage timing. The zero Span (from a nil collector)
+// is valid and Stop on it does nothing.
+type Span struct {
+	c     *Collector
+	stage Stage
+	start time.Time
+}
+
+// Start begins timing one execution of stage s.
+func (c *Collector) Start(s Stage) Span {
+	if c == nil {
+		return Span{}
+	}
+	return Span{c: c, stage: s, start: time.Now()}
+}
+
+// Stop records the span's duration on its stage.
+func (sp Span) Stop() {
+	if sp.c == nil {
+		return
+	}
+	d := uint64(time.Since(sp.start).Nanoseconds())
+	st := &sp.c.stages[sp.stage]
+	st.count.Add(1)
+	st.nanos.Add(d)
+	for {
+		old := st.max.Load()
+		if d <= old || st.max.CompareAndSwap(old, d) {
+			return
+		}
+	}
+}
+
+// StageTotal returns the accumulated duration of stage s.
+func (c *Collector) StageTotal(s Stage) time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(c.stages[s].nanos.Load())
+}
+
+// StageCount returns how many times stage s completed.
+func (c *Collector) StageCount(s Stage) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.stages[s].count.Load()
+}
+
+// StageSnapshot is the exported view of one stage's timings.
+type StageSnapshot struct {
+	Count      uint64 `json:"count"`
+	TotalNanos uint64 `json:"totalNanos"`
+	AvgNanos   uint64 `json:"avgNanos"`
+	MaxNanos   uint64 `json:"maxNanos"`
+}
+
+// HistSnapshot is the exported view of one histogram sketch. Quantiles are
+// power-of-two upper bounds.
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+}
+
+// Snapshot is a point-in-time export of every non-empty metric, shaped for
+// JSON artifacts.
+type Snapshot struct {
+	Counters map[string]uint64        `json:"counters,omitempty"`
+	Named    map[string]uint64        `json:"named,omitempty"`
+	Stages   map[string]StageSnapshot `json:"stages,omitempty"`
+	Hists    map[string]HistSnapshot  `json:"histograms,omitempty"`
+}
+
+// Snapshot exports the collector's current state. A nil collector returns
+// the zero Snapshot.
+func (c *Collector) Snapshot() Snapshot {
+	var s Snapshot
+	if c == nil {
+		return s
+	}
+	for i := 0; i < NumCounters; i++ {
+		if v := c.counters[i].Load(); v != 0 {
+			if s.Counters == nil {
+				s.Counters = make(map[string]uint64)
+			}
+			s.Counters[Counter(i).String()] = v
+		}
+	}
+	for i := 0; i < NumStages; i++ {
+		st := &c.stages[i]
+		n := st.count.Load()
+		if n == 0 {
+			continue
+		}
+		if s.Stages == nil {
+			s.Stages = make(map[string]StageSnapshot)
+		}
+		total := st.nanos.Load()
+		s.Stages[Stage(i).String()] = StageSnapshot{
+			Count:      n,
+			TotalNanos: total,
+			AvgNanos:   total / n,
+			MaxNanos:   st.max.Load(),
+		}
+	}
+	for i := 0; i < NumHists; i++ {
+		h := &c.hists[i]
+		n := h.count.Load()
+		if n == 0 {
+			continue
+		}
+		if s.Hists == nil {
+			s.Hists = make(map[string]HistSnapshot)
+		}
+		sum := h.sum.Load()
+		s.Hists[Hist(i).String()] = HistSnapshot{
+			Count: n,
+			Sum:   sum,
+			Mean:  float64(sum) / float64(n),
+			P50:   h.quantile(0.50),
+			P90:   h.quantile(0.90),
+			P99:   h.quantile(0.99),
+		}
+	}
+	c.mu.Lock()
+	if len(c.named) > 0 {
+		s.Named = make(map[string]uint64, len(c.named))
+		for k, v := range c.named {
+			s.Named[k] = v
+		}
+	}
+	c.mu.Unlock()
+	return s
+}

@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	c := New()
+	c.Add(TraceEvents, 3)
+	c.Add(TraceEvents, 2)
+	c.Add(SimMisses, 7)
+	if got := c.Get(TraceEvents); got != 5 {
+		t.Errorf("TraceEvents = %d, want 5", got)
+	}
+	if got := c.Get(SimMisses); got != 7 {
+		t.Errorf("SimMisses = %d, want 7", got)
+	}
+	if got := c.Get(TRGEdges); got != 0 {
+		t.Errorf("untouched counter = %d, want 0", got)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Add(TraceEvents, 1)
+				c.Observe(HistAccessSize, 8)
+				c.AddNamed("sim.hits.natural", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(TraceEvents); got != workers*per {
+		t.Errorf("TraceEvents = %d, want %d", got, workers*per)
+	}
+	if got := c.GetNamed("sim.hits.natural"); got != workers*per {
+		t.Errorf("named = %d, want %d", got, workers*per)
+	}
+	if got := c.Snapshot().Hists[HistAccessSize.String()].Count; got != workers*per {
+		t.Errorf("hist count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestStageSpans(t *testing.T) {
+	c := New()
+	for i := 0; i < 3; i++ {
+		sp := c.Start(StageProfile)
+		time.Sleep(time.Millisecond)
+		sp.Stop()
+	}
+	if got := c.StageCount(StageProfile); got != 3 {
+		t.Fatalf("StageCount = %d, want 3", got)
+	}
+	if total := c.StageTotal(StageProfile); total < 3*time.Millisecond {
+		t.Errorf("StageTotal = %v, want >= 3ms", total)
+	}
+	snap := c.Snapshot()
+	st, ok := snap.Stages[StageProfile.String()]
+	if !ok {
+		t.Fatal("profile stage missing from snapshot")
+	}
+	if st.MaxNanos < uint64(time.Millisecond) || st.MaxNanos > st.TotalNanos {
+		t.Errorf("MaxNanos = %d outside [1ms, total=%d]", st.MaxNanos, st.TotalNanos)
+	}
+	if st.AvgNanos != st.TotalNanos/3 {
+		t.Errorf("AvgNanos = %d, want %d", st.AvgNanos, st.TotalNanos/3)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	c := New()
+	// 90 small values and 10 large ones: p50 must bound 16, p99 must
+	// reach the large bucket.
+	for i := 0; i < 90; i++ {
+		c.Observe(HistAllocSize, 16)
+	}
+	for i := 0; i < 10; i++ {
+		c.Observe(HistAllocSize, 4096)
+	}
+	h := c.Snapshot().Hists[HistAllocSize.String()]
+	if h.Count != 100 || h.Sum != 90*16+10*4096 {
+		t.Fatalf("count/sum = %d/%d", h.Count, h.Sum)
+	}
+	if h.P50 < 16 || h.P50 > 31 {
+		t.Errorf("P50 = %d, want in [16,31]", h.P50)
+	}
+	if h.P99 < 4096 || h.P99 > 8191 {
+		t.Errorf("P99 = %d, want in [4096,8191]", h.P99)
+	}
+	if h.Mean != float64(h.Sum)/100 {
+		t.Errorf("Mean = %g", h.Mean)
+	}
+}
+
+func TestHistogramZero(t *testing.T) {
+	c := New()
+	c.Observe(HistAllocSize, 0)
+	h := c.Snapshot().Hists[HistAllocSize.String()]
+	if h.P50 != 0 || h.Count != 1 {
+		t.Errorf("zero-value observation: P50=%d Count=%d", h.P50, h.Count)
+	}
+}
+
+// TestNilCollector exercises every method on the disabled collector: all
+// must no-op without panicking.
+func TestNilCollector(t *testing.T) {
+	var c *Collector
+	c.Add(TraceEvents, 1)
+	c.Observe(HistAllocSize, 1)
+	c.AddNamed("x", 1)
+	sp := c.Start(StageProfile)
+	sp.Stop()
+	if c.Get(TraceEvents) != 0 || c.GetNamed("x") != 0 {
+		t.Error("nil collector returned nonzero")
+	}
+	if c.StageTotal(StageProfile) != 0 || c.StageCount(StageProfile) != 0 {
+		t.Error("nil collector recorded a stage")
+	}
+	snap := c.Snapshot()
+	if snap.Counters != nil || snap.Stages != nil || snap.Hists != nil || snap.Named != nil {
+		t.Error("nil collector snapshot not empty")
+	}
+}
+
+// TestDisabledCollectorZeroAllocs is the hot-path contract: with metrics
+// disabled (nil collector), instrumentation must allocate nothing.
+func TestDisabledCollectorZeroAllocs(t *testing.T) {
+	var c *Collector
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(TraceEvents, 1)
+		c.Observe(HistAccessSize, 8)
+		sp := c.Start(StageEval)
+		sp.Stop()
+		c.AddNamed("sim.misses.natural", 1)
+	}); n != 0 {
+		t.Errorf("disabled collector: %v allocs/op, want 0", n)
+	}
+}
+
+// TestEnabledHotOpsZeroAllocs keeps the enabled fast path (counters,
+// histograms, spans) allocation-free too — only AddNamed may allocate, and
+// only on first use of a key.
+func TestEnabledHotOpsZeroAllocs(t *testing.T) {
+	c := New()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(TraceEvents, 1)
+		c.Observe(HistAccessSize, 8)
+		sp := c.Start(StageEval)
+		sp.Stop()
+	}); n != 0 {
+		t.Errorf("enabled hot ops: %v allocs/op, want 0", n)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for i := 0; i < NumCounters; i++ {
+		if Counter(i).String() == "" || Counter(i).String() == "invalid" {
+			t.Errorf("counter %d has no name", i)
+		}
+	}
+	for i := 0; i < NumStages; i++ {
+		if Stage(i).String() == "" || Stage(i).String() == "invalid" {
+			t.Errorf("stage %d has no name", i)
+		}
+	}
+	for i := 0; i < NumHists; i++ {
+		if Hist(i).String() == "" || Hist(i).String() == "invalid" {
+			t.Errorf("hist %d has no name", i)
+		}
+	}
+	if Counter(-1).String() != "invalid" || Stage(NumStages).String() != "invalid" || Hist(99).String() != "invalid" {
+		t.Error("out-of-range names not 'invalid'")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	c := New()
+	c.Add(TRGEdges, 42)
+	c.AddNamed("sim.hits.ccdp", 9)
+	sp := c.Start(StagePlace)
+	sp.Stop()
+	c.Observe(HistMergeMembers, 4)
+	b, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters[TRGEdges.String()] != 42 || back.Named["sim.hits.ccdp"] != 9 {
+		t.Errorf("round-trip lost counters: %+v", back)
+	}
+	if _, ok := back.Stages[StagePlace.String()]; !ok {
+		t.Error("round-trip lost stage")
+	}
+}

@@ -112,16 +112,23 @@ func ReadProfile(r io.Reader) (*profile.Profile, error) {
 	if err := sc.scanf("nodeof %d", &numBinds); err != nil {
 		return nil, err
 	}
-	p.NodeOf = make([]trg.NodeID, numBinds)
+	if numBinds < 0 {
+		return nil, fmt.Errorf("persist: negative nodeof count %d", numBinds)
+	}
+	// The writer emits binds densely in object order, so require that and
+	// grow one entry per line instead of trusting the header count: a
+	// hostile header could claim an enormous length, but each entry here
+	// costs a real line of input.
+	p.NodeOf = make([]trg.NodeID, 0, min(numBinds, 1<<20))
 	for i := 0; i < numBinds; i++ {
 		var obj, nd int64
 		if err := sc.scanf("bind %d %d", &obj, &nd); err != nil {
 			return nil, err
 		}
-		if obj < 0 || obj >= int64(numBinds) {
-			return nil, fmt.Errorf("persist: bind object %d out of range", obj)
+		if obj != int64(i) {
+			return nil, fmt.Errorf("persist: bind object %d out of order (want %d)", obj, i)
 		}
-		p.NodeOf[obj] = trg.NodeID(nd)
+		p.NodeOf = append(p.NodeOf, trg.NodeID(nd))
 	}
 
 	var numEdges int

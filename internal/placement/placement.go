@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/addrspace"
 	"repro/internal/cache"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/trg"
 )
@@ -40,6 +41,10 @@ type Config struct {
 	// BinAffinityThreshold is the minimum aggregate TRG weight between
 	// two heap names for them to share an allocation bin.
 	BinAffinityThreshold uint64
+
+	// Metrics receives per-phase durations and merge statistics (nil =
+	// disabled). Runtime wiring, not an algorithm parameter.
+	Metrics *metrics.Collector `json:"-"`
 }
 
 // DefaultConfig targets the paper's cache.
@@ -210,16 +215,29 @@ func (p *placer) run() (*Map, error) {
 	p.compoundOf = make(map[trg.NodeID]int)
 	p.selectGraph = trg.NewSelectGraph()
 
-	p.phase1HeapBins()
-	p.phase2StackConstants()
-	p.phase3n5Compounds()
-	p.phase4SelectEdges()
-	p.phase6MergeLoop()
-	m := p.phase7GlobalOrdering()
-	p.phase8Heap(m)
+	p.timed(metrics.StagePhaseHeapBins, p.phase1HeapBins)
+	p.timed(metrics.StagePhaseStackConstants, p.phase2StackConstants)
+	p.timed(metrics.StagePhaseCompounds, p.phase3n5Compounds)
+	p.timed(metrics.StagePhaseSelectEdges, p.phase4SelectEdges)
+	p.timed(metrics.StagePhaseMerge, p.phase6MergeLoop)
+	var m *Map
+	p.timed(metrics.StagePhaseGlobalOrder, func() { m = p.phase7GlobalOrdering() })
+	p.timed(metrics.StagePhaseHeapPlans, func() { p.phase8Heap(m) })
 	m.PredictedConflict = p.predictedConflict()
 	m.MergeLog = p.mergeLog
+
+	p.cfg.Metrics.Add(metrics.PlacementMerges, uint64(len(p.mergeLog)))
+	for _, step := range p.mergeLog {
+		p.cfg.Metrics.Observe(metrics.HistMergeMembers, uint64(step.Members))
+	}
 	return m, nil
+}
+
+// timed runs one placement phase under its stage timer.
+func (p *placer) timed(s metrics.Stage, phase func()) {
+	span := p.cfg.Metrics.Start(s)
+	phase()
+	span.Stop()
 }
 
 // cacheOffsetOfNode returns the final cache offset of a popular node after

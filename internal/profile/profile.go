@@ -24,6 +24,7 @@ package profile
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/trace"
 	"repro/internal/trg"
@@ -48,6 +49,11 @@ type Config struct {
 	// always complete. Both zero = profile everything.
 	SampleWindow uint64
 	SamplePeriod uint64
+
+	// Metrics receives recency-queue and TRG instrumentation (nil =
+	// disabled). It is runtime wiring, not a profiling parameter: it does
+	// not affect results and is never serialized.
+	Metrics *metrics.Collector `json:"-"`
 }
 
 // DefaultConfig returns the paper's parameters for a cache of cacheSize
@@ -143,6 +149,7 @@ func New(cfg Config, objs *object.Table) (*Profiler, error) {
 		heapNode: make(map[uint64]trg.NodeID),
 		entries:  make(map[trg.ChunkKey]*qEntry),
 	}
+	p.graph.SetMetrics(cfg.Metrics)
 	return p, nil
 }
 
@@ -262,6 +269,7 @@ func (p *Profiler) touch(key trg.ChunkKey, size int64) {
 		p.unlink(victim)
 		delete(p.entries, victim.key)
 		p.qBytes -= victim.size
+		p.cfg.Metrics.Add(metrics.QueueEvictions, 1)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/heapsim"
 	"repro/internal/layout"
+	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/placement"
 	"repro/internal/profile"
@@ -38,6 +39,12 @@ type Options struct {
 	NameDepth int
 	// RandomSeed seeds the random-layout control.
 	RandomSeed uint64
+
+	// Metrics receives pipeline-wide instrumentation: trace event counts,
+	// TRG construction statistics, stage durations, and simulator totals.
+	// Nil disables collection; the hot paths then pay a single predictable
+	// nil-check branch.
+	Metrics *metrics.Collector
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -75,7 +82,7 @@ func specDecls(spec workload.Spec) (globals, constants []trace.Decl) {
 // buildRun materialises a workload spec into a fresh object table, with
 // natural addresses assigned in declaration order, and returns the Prog
 // wiring for a run whose events flow to h.
-func buildRun(w workload.Workload, in workload.Input, h trace.Handler, nameDepth int) (*object.Table, *workload.Prog) {
+func buildRun(w workload.Workload, in workload.Input, h trace.Handler, opts Options) (*object.Table, *workload.Prog) {
 	spec := w.Spec()
 	gdecls, cdecls := specDecls(spec)
 	objs := object.NewTable(spec.StackSize)
@@ -92,7 +99,8 @@ func buildRun(w workload.Workload, in workload.Input, h trace.Handler, nameDepth
 	}
 
 	em := trace.NewEmitter(objs, h)
-	prog := workload.NewProg(em, globals, consts, spec.StackSize, in.Seed, nameDepth)
+	em.SetMetrics(opts.Metrics)
+	prog := workload.NewProg(em, globals, consts, spec.StackSize, in.Seed, opts.NameDepth)
 	return objs, prog
 }
 
@@ -105,11 +113,16 @@ type ProfileResult struct {
 
 // ProfilePass runs the workload once, collecting the Name profile and TRG.
 func ProfilePass(w workload.Workload, in workload.Input, opts Options) (*ProfileResult, error) {
+	span := opts.Metrics.Start(metrics.StageProfile)
+	defer span.Stop()
+
 	// Two-stage construction: the profiler needs the same table the
 	// emitter populates, so wire through a mutable tee.
 	tee := make(trace.Tee, 0, 2)
-	table, prog := buildRun(w, in, &tee, opts.NameDepth)
-	prof, err := profile.New(opts.Profile, table)
+	table, prog := buildRun(w, in, &tee, opts)
+	cfg := opts.Profile
+	cfg.Metrics = opts.Metrics
+	prof, err := profile.New(cfg, table)
 	if err != nil {
 		return nil, err
 	}
@@ -123,9 +136,13 @@ func ProfilePass(w workload.Workload, in workload.Input, opts Options) (*Profile
 // Place computes the CCDP placement for a profile, honouring the
 // workload's heap-placement setting as the paper did per program.
 func Place(w workload.Workload, pr *ProfileResult, opts Options) (*placement.Map, error) {
+	span := opts.Metrics.Start(metrics.StagePlace)
+	defer span.Stop()
+
 	cfg := opts.Placement
 	cfg.Cache = opts.Cache
 	cfg.HeapPlacement = cfg.HeapPlacement && w.HeapPlacement()
+	cfg.Metrics = opts.Metrics
 	return placement.Compute(cfg, pr.Profile)
 }
 
@@ -172,8 +189,11 @@ func EvalPass(w workload.Workload, in workload.Input, kind LayoutKind, pr *Profi
 		refsHint = CountRefs(w, in, opts)
 	}
 
+	span := opts.Metrics.Start(metrics.StageEval)
+	defer span.Stop()
+
 	sink := &resolver{}
-	table, prog := buildRun(w, in, sink, opts.NameDepth)
+	table, prog := buildRun(w, in, sink, opts)
 
 	var lay *layout.Layout
 	var alloc heapsim.Allocator
@@ -233,15 +253,23 @@ func EvalPass(w workload.Workload, in workload.Input, kind LayoutKind, pr *Profi
 		res.TotalPages = sink.pages.TotalPages()
 		res.WorkingSet = sink.pages.WorkingSet()
 	}
+	if m := opts.Metrics; m != nil {
+		m.Add(metrics.SimAccesses, res.Stats.Accesses)
+		m.Add(metrics.SimMisses, res.Stats.Misses)
+		m.AddNamed("sim.hits."+string(kind), res.Stats.Accesses-res.Stats.Misses)
+		m.AddNamed("sim.misses."+string(kind), res.Stats.Misses)
+	}
 	return res, nil
 }
 
 // CountRefs runs the workload with only a counter attached and returns the
-// total reference count (used to size working-set windows).
+// total reference count (used to size working-set windows). It is a sizing
+// utility, not a pipeline stage, so it never feeds the metrics collector.
 func CountRefs(w workload.Workload, in workload.Input, opts Options) uint64 {
+	opts.Metrics = nil
 	var counter *trace.Counter
 	tee := make(trace.Tee, 0, 1)
-	table, prog := buildRun(w, in, &tee, opts.NameDepth)
+	table, prog := buildRun(w, in, &tee, opts)
 	counter = trace.NewCounter(table)
 	tee = append(tee, counter)
 	w.Run(in, prog)

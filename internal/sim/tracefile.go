@@ -22,7 +22,7 @@ func RecordTrace(w workload.Workload, in workload.Input, out io.Writer, opts Opt
 	hdr := trace.FileHeader{StackSize: spec.StackSize, Globals: gdecls, Constants: cdecls}
 
 	tee := make(trace.Tee, 0, 1)
-	table, prog := buildRun(w, in, &tee, opts.NameDepth)
+	table, prog := buildRun(w, in, &tee, opts)
 	tw, err := trace.NewWriter(out, hdr, table)
 	if err != nil {
 		return err
@@ -38,7 +38,9 @@ func ProfileFromTrace(r io.Reader, opts Options) (*ProfileResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	prof, err := profile.New(opts.Profile, tr.Objects())
+	cfg := opts.Profile
+	cfg.Metrics = opts.Metrics
+	prof, err := profile.New(cfg, tr.Objects())
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/object"
 )
 
@@ -14,12 +15,17 @@ type Emitter struct {
 	objs    *object.Table
 	handler Handler
 	refs    uint64
+	metrics *metrics.Collector
 }
 
 // NewEmitter wires a fresh emitter to an object table and handler.
 func NewEmitter(objs *object.Table, h Handler) *Emitter {
 	return &Emitter{objs: objs, handler: h}
 }
+
+// SetMetrics attaches a collector (nil = disabled) that counts every event
+// the emitter produces and sketches access and allocation sizes.
+func (e *Emitter) SetMetrics(c *metrics.Collector) { e.metrics = c }
 
 // Objects exposes the table for handlers that need object metadata.
 func (e *Emitter) Objects() *object.Table { return e.objs }
@@ -45,6 +51,8 @@ func (e *Emitter) access(k Kind, obj object.ID, off, size int64) {
 	}
 	e.refs++
 	in.Refs++
+	e.metrics.Add(metrics.TraceEvents, 1)
+	e.metrics.Observe(metrics.HistAccessSize, uint64(size))
 	e.handler.HandleEvent(Event{Kind: k, Obj: obj, Off: off, Size: size})
 }
 
@@ -55,6 +63,9 @@ func (e *Emitter) Malloc(name string, size int64, xorName uint64) object.ID {
 		panic(fmt.Sprintf("trace: Malloc(%q, %d): non-positive size", name, size))
 	}
 	id := e.objs.AddHeap(name, size, xorName, e.refs)
+	e.metrics.Add(metrics.TraceEvents, 1)
+	e.metrics.Add(metrics.TraceAllocs, 1)
+	e.metrics.Observe(metrics.HistAllocSize, uint64(size))
 	e.handler.HandleEvent(Event{Kind: Alloc, Obj: id, Size: size})
 	return id
 }
@@ -62,5 +73,6 @@ func (e *Emitter) Malloc(name string, size int64, xorName uint64) object.ID {
 // Free releases a heap object and emits the Free event.
 func (e *Emitter) Free(id object.ID) {
 	e.objs.Free(id, e.refs)
+	e.metrics.Add(metrics.TraceEvents, 1)
 	e.handler.HandleEvent(Event{Kind: Free, Obj: id})
 }

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"repro/internal/addrspace"
+	"repro/internal/metrics"
 	"repro/internal/object"
 )
 
@@ -90,6 +91,7 @@ type Graph struct {
 	nodes     []Node
 	adj       map[ChunkKey]map[ChunkKey]uint64
 	totalW    uint64
+	metrics   *metrics.Collector
 }
 
 // NewGraph creates an empty graph with the given chunk granularity (0
@@ -103,6 +105,10 @@ func NewGraph(chunkSize int64) *Graph {
 		adj:       make(map[ChunkKey]map[ChunkKey]uint64),
 	}
 }
+
+// SetMetrics attaches a collector (nil = disabled) that counts edge
+// materializations and accumulated weight.
+func (g *Graph) SetMetrics(c *metrics.Collector) { g.metrics = c }
 
 // AddNode appends a node and returns its ID. Callers fill the returned
 // pointer's metadata.
@@ -126,18 +132,26 @@ func (g *Graph) AddWeight(a, b ChunkKey, w uint64) {
 	if a == b || w == 0 {
 		return
 	}
-	g.bump(a, b, w)
+	if g.bump(a, b, w) {
+		g.metrics.Add(metrics.TRGEdges, 1)
+	}
 	g.bump(b, a, w)
 	g.totalW += w
+	g.metrics.Add(metrics.TRGWeight, w)
 }
 
-func (g *Graph) bump(from, to ChunkKey, w uint64) {
+// bump adds w to the directed half-edge and reports whether it was newly
+// materialized. Newness is detected through the map-length delta so the
+// hot path keeps the single compiler-optimized `m[to] += w` operation.
+func (g *Graph) bump(from, to ChunkKey, w uint64) bool {
 	m := g.adj[from]
 	if m == nil {
 		m = make(map[ChunkKey]uint64, 4)
 		g.adj[from] = m
 	}
+	before := len(m)
 	m[to] += w
+	return len(m) != before
 }
 
 // Weight returns the edge weight between chunk pairs a and b (0 if absent).

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Local mirror of .github/workflows/ci.yml: run every CI gate in one shot.
+# Usage: scripts/ci.sh [fast]
+#   fast  skips the race and fuzz jobs (the slow half).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> build"
+go build ./...
+
+echo "==> vet"
+go vet ./...
+
+echo "==> gofmt"
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+
+echo "==> test"
+go test ./...
+
+if [ "${1:-}" != "fast" ]; then
+    echo "==> race (core, sim, metrics)"
+    go test -race ./internal/core/... ./internal/sim/... ./internal/metrics/...
+
+    echo "==> fuzz smoke (persist)"
+    go test -fuzz=FuzzReadProfile -fuzztime=15s ./internal/persist
+    go test -fuzz=FuzzReadPlacement -fuzztime=15s ./internal/persist
+fi
+
+echo "==> bench gate"
+go run ./cmd/ccdpbench -baseline bench_baseline.json -out "BENCH_local.json"
+
+echo "CI OK"
