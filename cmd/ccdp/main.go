@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	ccdp -workload compress [-v] [-random] [-scale 1.0]
+//	ccdp -workload compress [-v] [-random] [-scale 1.0] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/object"
@@ -27,6 +28,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print profile/placement diagnostics")
 	withRandom := flag.Bool("random", false, "also evaluate the random-layout control")
 	scale := flag.Float64("scale", 1.0, "burst-count multiplier")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the evaluation passes (1 = sequential, 0 = GOMAXPROCS)")
 	loadProfile := flag.String("load-profile", "", "read the profile from this file instead of profiling")
 	loadPlacement := flag.String("load-placement", "", "read the placement map from this file instead of placing")
 	flag.Parse()
@@ -37,6 +39,10 @@ func main() {
 		os.Exit(2)
 	}
 	opts := sim.DefaultOptions()
+	opts.Parallelism = *parallel
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	layouts := []sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP}
 	if *withRandom {
 		layouts = append(layouts, sim.LayoutRandom)

@@ -16,10 +16,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,6 +44,8 @@ func run() int {
 		headlineTol  = flag.Float64("tolerance", benchsuite.DefaultTolerances.Headline, "max allowed drop in avg test reduction, percentage points")
 		perWorkTol   = flag.Float64("workload-tolerance", benchsuite.DefaultTolerances.PerWorkload, "max allowed per-workload drop, percentage points")
 		sha          = flag.String("sha", "", "commit id stamped into the artifact (default: $GITHUB_SHA, then git HEAD, then \"dev\")")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the suite (1 = sequential, 0 = GOMAXPROCS)")
+		seqCompare   = flag.Bool("seq-compare", true, "when -parallel > 1, also time a sequential run, record the speedup, and verify the results are byte-identical")
 		quiet        = flag.Bool("q", false, "suppress the per-workload table")
 	)
 	flag.Parse()
@@ -49,18 +54,44 @@ func run() int {
 	if *workloads != "" {
 		names = strings.Split(*workloads, ",")
 	}
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	mc := metrics.New()
 	start := time.Now()
-	cmps, effScale, err := benchsuite.Config{Scale: *scale, Workloads: names, Metrics: mc}.Run()
+	cmps, effScale, err := benchsuite.Config{Scale: *scale, Workloads: names, Metrics: mc, Parallelism: *parallel}.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccdpbench:", err)
 		return 2
 	}
+	wall := time.Since(start)
 	art := benchsuite.BuildArtifact(resolveSHA(*sha), effScale, cmps, mc.Snapshot())
+	art.Timing = &benchsuite.Timing{Parallelism: *parallel, WallNanos: wall.Nanoseconds()}
+
+	if *parallel > 1 && *seqCompare {
+		seqStart := time.Now()
+		seqCmps, _, err := benchsuite.Config{Scale: *scale, Workloads: names, Parallelism: 1}.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench: sequential comparison run:", err)
+			return 2
+		}
+		seqWall := time.Since(seqStart)
+		art.Timing.SequentialNanos = seqWall.Nanoseconds()
+		art.Timing.Speedup = float64(seqWall) / float64(wall)
+		// The parallel engine's contract is bit-identical results; hold it
+		// to that on every run, not just in the test suite.
+		seqArt := benchsuite.BuildArtifact(art.SHA, effScale, seqCmps, metrics.Snapshot{})
+		if err := assertSameResults(art, seqArt); err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench:", err)
+			return 2
+		}
+		fmt.Printf("parallel %d: %v vs sequential %v (speedup %.2fx, results identical)\n",
+			*parallel, wall.Round(time.Millisecond), seqWall.Round(time.Millisecond), art.Timing.Speedup)
+	}
 
 	if !*quiet {
-		printSummary(art, time.Since(start), mc)
+		printSummary(art, wall, mc)
 	}
 
 	if *updateBase != "" {
@@ -103,6 +134,29 @@ func run() int {
 	fmt.Printf("gate OK: avg test reduction %.2f%% (baseline %.2f%%, tolerance %.2f)\n",
 		art.AvgTestReductionPct, base.AvgTestReductionPct, *headlineTol)
 	return 0
+}
+
+// assertSameResults compares two artifacts' result sections (everything
+// but observability and timing) byte for byte.
+func assertSameResults(a, b *benchsuite.Artifact) error {
+	strip := func(a *benchsuite.Artifact) ([]byte, error) {
+		c := *a
+		c.Metrics = metrics.Snapshot{}
+		c.Timing = nil
+		return json.Marshal(&c)
+	}
+	ab, err := strip(a)
+	if err != nil {
+		return err
+	}
+	bb, err := strip(b)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(ab, bb) {
+		return fmt.Errorf("parallel and sequential results differ:\nparallel:   %s\nsequential: %s", ab, bb)
+	}
+	return nil
 }
 
 // resolveSHA picks the commit id for the artifact name: flag, CI env, git.

@@ -49,6 +49,26 @@ type Artifact struct {
 	// counters, sketches). Omitted from baselines: timings are machine-
 	// specific and the gate never compares them.
 	Metrics metrics.Snapshot `json:"metrics,omitempty"`
+
+	// Timing records the suite's wall clock under the parallel experiment
+	// engine, and — when a sequential comparison run was taken — the
+	// sequential wall clock and resulting speedup. Machine-specific:
+	// stripped from baselines and never gated.
+	Timing *Timing `json:"timing,omitempty"`
+}
+
+// Timing is the artifact's wall-clock section.
+type Timing struct {
+	// Parallelism is the worker-pool bound the suite ran with
+	// (1 = sequential).
+	Parallelism int `json:"parallelism"`
+	// WallNanos is the suite's wall clock at that parallelism.
+	WallNanos int64 `json:"wallNanos"`
+	// SequentialNanos is the wall clock of the sequential comparison
+	// run (0 when none was taken).
+	SequentialNanos int64 `json:"sequentialNanos,omitempty"`
+	// Speedup is SequentialNanos/WallNanos (0 when no comparison ran).
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // BuildArtifact assembles an artifact from a suite run.
@@ -82,12 +102,13 @@ func BuildArtifact(sha string, scale float64, cmps []*core.Comparison, snap metr
 	return a
 }
 
-// Baseline returns a copy suitable for committing: observability stripped,
-// SHA replaced by a stable marker.
+// Baseline returns a copy suitable for committing: observability and
+// timing stripped, SHA replaced by a stable marker.
 func (a *Artifact) Baseline() *Artifact {
 	b := *a
 	b.SHA = "baseline"
 	b.Metrics = metrics.Snapshot{}
+	b.Timing = nil
 	return &b
 }
 

@@ -7,9 +7,11 @@
 package benchsuite
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -31,6 +33,12 @@ func ScaledInputs(w workload.Workload, scale float64) []workload.Input {
 // RunWorkloads runs the named workloads (nil = all nine) through the
 // pipeline with the given options and layouts at the given scale, in
 // workload order.
+//
+// The workloads are fully independent experiments, so with
+// opts.Parallelism > 1 they fan out across the exec worker pool (each
+// pipeline kept sequential inside its worker to avoid oversubscription);
+// results return in workload order and are bit-identical to a sequential
+// run. Per-worker metrics collectors merge into opts.Metrics.
 func RunWorkloads(names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64) ([]*core.Comparison, error) {
 	if scale <= 0 {
 		return nil, fmt.Errorf("benchsuite: scale %g <= 0", scale)
@@ -46,6 +54,23 @@ func RunWorkloads(names []string, opts sim.Options, layouts []sim.LayoutKind, sc
 			}
 			ws = append(ws, w)
 		}
+	}
+	if opts.Parallelism > 1 && len(ws) > 1 {
+		tasks := make([]exec.Task[*core.Comparison], len(ws))
+		for i, w := range ws {
+			w := w
+			tasks[i] = func(_ context.Context, mc *metrics.Collector) (*core.Comparison, error) {
+				runOpts := opts
+				runOpts.Metrics = mc
+				runOpts.Parallelism = 1
+				cmp, err := core.Run(w, runOpts, layouts, ScaledInputs(w, scale))
+				if err != nil {
+					return nil, fmt.Errorf("benchsuite: %s: %w", w.Name(), err)
+				}
+				return cmp, nil
+			}
+		}
+		return exec.Map(context.Background(), opts.Parallelism, opts.Metrics, tasks)
 	}
 	var cmps []*core.Comparison
 	for _, w := range ws {
@@ -86,6 +111,9 @@ type Config struct {
 	// Metrics receives pipeline instrumentation for the artifact's
 	// observability section (nil = none collected).
 	Metrics *metrics.Collector
+	// Parallelism bounds concurrent workloads (<= 1 = sequential).
+	// Results are identical at any setting; only wall clock changes.
+	Parallelism int
 }
 
 // Run executes the suite per cfg with the paper's default options and
@@ -97,6 +125,7 @@ func (cfg Config) Run() ([]*core.Comparison, float64, error) {
 	}
 	opts := sim.DefaultOptions()
 	opts.Metrics = cfg.Metrics
+	opts.Parallelism = cfg.Parallelism
 	cmps, err := RunWorkloads(cfg.Workloads, opts, nil, scale)
 	return cmps, scale, err
 }

@@ -7,8 +7,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/placement"
 	"repro/internal/sim"
@@ -49,6 +51,13 @@ func (c *Comparison) Reduction(input string) float64 {
 // Run profiles w on its train input, computes the placement, and evaluates
 // each requested layout on each requested input. Passing no layouts
 // defaults to natural+CCDP; passing no inputs defaults to train+test.
+//
+// After the shared profile/placement step the (input × layout) evaluation
+// passes are independent: each builds its own object table, layout, and
+// cache model, and reads the profile/placement read-only. With
+// opts.Parallelism > 1 they fan out across a bounded worker pool;
+// results are keyed and reassembled in canonical (input, layout) order,
+// so the Comparison is bit-identical to a sequential run.
 func Run(w workload.Workload, opts sim.Options, layouts []sim.LayoutKind, inputs []workload.Input) (*Comparison, error) {
 	span := opts.Metrics.Start(metrics.StagePipeline)
 	defer span.Stop()
@@ -76,18 +85,74 @@ func Run(w workload.Workload, opts sim.Options, layouts []sim.LayoutKind, inputs
 		Placement: pm,
 		Results:   make(map[string]map[sim.LayoutKind]*sim.EvalResult),
 	}
-	for _, in := range inputs {
-		byLayout := make(map[sim.LayoutKind]*sim.EvalResult, len(layouts))
-		var refsHint uint64
-		for _, kind := range layouts {
-			res, err := sim.EvalPass(w, in, kind, pr, pm, opts, refsHint)
+
+	// The refs hint (which sizes the paging tracker's working-set window)
+	// is an exact per-input quantity, identical for every layout of that
+	// input. Resolve it once up front — reusing the profile pass's count
+	// when an input is the profiled train input, instead of re-counting —
+	// and share it across inputs and layouts. The seed chained the hint
+	// from layout to layout within one input, which produced these same
+	// exact values one CountRefs pass later.
+	hints := make([]uint64, len(inputs))
+	if opts.TrackPages {
+		for i, in := range inputs {
+			if in == w.Train() {
+				hints[i] = pr.Counter.Refs()
+			} else {
+				hints[i] = sim.CountRefs(w, in, opts)
+			}
+		}
+	}
+
+	type unit struct{ input, layout int }
+	units := make([]unit, 0, len(inputs)*len(layouts))
+	for i := range inputs {
+		for l := range layouts {
+			units = append(units, unit{input: i, layout: l})
+		}
+	}
+
+	var results []*sim.EvalResult
+	if opts.Parallelism > 1 && len(units) > 1 {
+		tasks := make([]exec.Task[*sim.EvalResult], len(units))
+		for ui, u := range units {
+			u := u
+			tasks[ui] = func(_ context.Context, mc *metrics.Collector) (*sim.EvalResult, error) {
+				in, kind := inputs[u.input], layouts[u.layout]
+				passOpts := opts
+				passOpts.Metrics = mc
+				res, err := sim.EvalPass(w, in, kind, pr, pm, passOpts, hints[u.input])
+				if err != nil {
+					return nil, fmt.Errorf("core: evaluating %s/%s/%s: %w", w.Name(), in.Label, kind, err)
+				}
+				return res, nil
+			}
+		}
+		var err error
+		results, err = exec.Map(context.Background(), opts.Parallelism, opts.Metrics, tasks)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		results = make([]*sim.EvalResult, len(units))
+		for ui, u := range units {
+			in, kind := inputs[u.input], layouts[u.layout]
+			res, err := sim.EvalPass(w, in, kind, pr, pm, opts, hints[u.input])
 			if err != nil {
 				return nil, fmt.Errorf("core: evaluating %s/%s/%s: %w", w.Name(), in.Label, kind, err)
 			}
-			refsHint = res.Counter.Refs()
-			byLayout[kind] = res
+			results[ui] = res
 		}
-		c.Results[in.Label] = byLayout
+	}
+
+	for ui, u := range units {
+		in := inputs[u.input]
+		byLayout := c.Results[in.Label]
+		if byLayout == nil {
+			byLayout = make(map[sim.LayoutKind]*sim.EvalResult, len(layouts))
+			c.Results[in.Label] = byLayout
+		}
+		byLayout[layouts[u.layout]] = results[ui]
 	}
 	return c, nil
 }

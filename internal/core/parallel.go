@@ -1,9 +1,10 @@
 package core
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
+	"repro/internal/exec"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -11,26 +12,26 @@ import (
 // RunAll runs the full experiment for several workloads concurrently, up
 // to parallelism at a time (0 = GOMAXPROCS). Every workload's pipeline is
 // independent — profiling, placement, and evaluation share no state — so
-// this is a pure fan-out; results come back in input order, and any
-// failure cancels nothing but is reported for its workload.
+// this is a pure fan-out over the exec worker pool; results come back in
+// input order, each worker accumulates into its own metrics collector
+// (merged into opts.Metrics after the pool drains), and any failure is
+// reported for its workload without aborting the others.
 func RunAll(ws []workload.Workload, opts sim.Options, layouts []sim.LayoutKind, parallelism int) ([]*Comparison, []error) {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	cmps := make([]*Comparison, len(ws))
 	errs := make([]error, len(ws))
-
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
+	tasks := make([]exec.Task[*Comparison], len(ws))
 	for i, w := range ws {
-		wg.Add(1)
-		go func(i int, w workload.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cmps[i], errs[i] = Run(w, opts, layouts, nil)
-		}(i, w)
+		i, w := i, w
+		tasks[i] = func(_ context.Context, mc *metrics.Collector) (*Comparison, error) {
+			runOpts := opts
+			runOpts.Metrics = mc
+			// Workload-level fan-out already saturates the pool; keep
+			// each pipeline sequential inside its worker.
+			runOpts.Parallelism = 1
+			cmp, err := Run(w, runOpts, layouts, nil)
+			errs[i] = err
+			return cmp, nil // per-workload errors must not cancel the rest
+		}
 	}
-	wg.Wait()
+	cmps, _ := exec.Map(context.Background(), parallelism, opts.Metrics, tasks)
 	return cmps, errs
 }

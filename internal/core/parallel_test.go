@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -52,6 +53,73 @@ func TestRunAllMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestRunParallelEvalMatchesSequential exercises the intra-workload pool:
+// (input × layout) evaluation passes fanned out inside one core.Run must
+// reproduce the sequential run exactly, including paging results and the
+// merged metrics counters.
+func TestRunParallelEvalMatchesSequential(t *testing.T) {
+	w, err := workload.Get("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := scaledWorkload{Workload: w, frac: 0.05}
+	layouts := []sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP, sim.LayoutRandom}
+
+	run := func(parallelism int) (*Comparison, *metrics.Collector) {
+		opts := sim.DefaultOptions()
+		opts.TrackPages = true
+		opts.Parallelism = parallelism
+		opts.Metrics = metrics.New()
+		cmp, err := Run(sw, opts, layouts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cmp, opts.Metrics
+	}
+	seq, seqMC := run(1)
+	par, parMC := run(4)
+
+	for _, input := range []string{"train", "test"} {
+		for _, kind := range layouts {
+			s, p := seq.Result(input, kind), par.Result(input, kind)
+			if p.Stats != s.Stats {
+				t.Fatalf("%s/%s: parallel stats %+v vs sequential %+v", input, kind, p.Stats, s.Stats)
+			}
+			if p.TotalPages != s.TotalPages || p.WorkingSet != s.WorkingSet {
+				t.Fatalf("%s/%s: paging diverged: %d/%g vs %d/%g", input, kind,
+					p.TotalPages, p.WorkingSet, s.TotalPages, s.WorkingSet)
+			}
+		}
+	}
+	// Worker-local collectors merged after the pool must equal the shared
+	// sequential collector on every event-count quantity.
+	for ctr := metrics.Counter(0); int(ctr) < metrics.NumCounters; ctr++ {
+		if s, p := seqMC.Get(ctr), parMC.Get(ctr); s != p {
+			t.Fatalf("counter %v: sequential %d vs parallel %d", ctr, s, p)
+		}
+	}
+}
+
+func benchmarkRun(b *testing.B, parallelism int) {
+	w, err := workload.Get("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := scaledWorkload{Workload: w, frac: 0.05}
+	opts := sim.DefaultOptions()
+	opts.Parallelism = parallelism
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sw, opts, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSequential(b *testing.B) { benchmarkRun(b, 1) }
+func BenchmarkRunParallel4(b *testing.B)  { benchmarkRun(b, 4) }
 
 func TestRunAllDefaultParallelism(t *testing.T) {
 	w, err := workload.Get("mgrid")

@@ -1,0 +1,97 @@
+// Package exec is the experiment engine's worker-pool scheduler. The
+// CCDP evaluation is embarrassingly parallel — workloads in the bench
+// suite, and (input × layout) evaluation passes within one workload's
+// experiment, share no mutable state — so the scheduler's only jobs are
+// bounding concurrency, keeping results deterministic, and folding
+// per-worker instrumentation back together:
+//
+//   - results are keyed by task index and reassembled in input order, so
+//     callers observe exactly the sequential ordering regardless of which
+//     worker ran what;
+//   - each worker gets its own metrics.Collector, merged into the
+//     caller's via Collector.Merge after the pool drains, so hot loops
+//     never contend on shared counter cache lines;
+//   - the first task error cancels the pool's context (in-flight tasks
+//     finish, unstarted ones are skipped) and all errors are aggregated
+//     with errors.Join in task order.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Task is one independent unit of work. mc is the worker-local collector
+// (nil when the caller collects no metrics); the task's result must
+// depend only on its own inputs so that reassembly by index reproduces
+// the sequential outcome.
+type Task[T any] func(ctx context.Context, mc *metrics.Collector) (T, error)
+
+// Map runs tasks on a bounded worker pool and returns their results in
+// task order. parallelism <= 0 selects GOMAXPROCS; 1 degenerates to an
+// in-order single worker. mc, when non-nil, receives the merged
+// per-worker collectors after every worker has exited. The returned
+// error is errors.Join over the per-task errors (nil when all succeed);
+// tasks skipped after a cancellation report a wrapped context error.
+func Map[T any](ctx context.Context, parallelism int, mc *metrics.Collector, tasks []Task[T]) ([]T, error) {
+	n := len(tasks)
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	workerCols := make([]*metrics.Collector, parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		var wmc *metrics.Collector
+		if mc != nil {
+			wmc = metrics.New()
+			workerCols[w] = wmc
+		}
+		wg.Add(1)
+		go func(wmc *metrics.Collector) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = fmt.Errorf("exec: task %d skipped: %w", i, err)
+					continue
+				}
+				res, err := tasks[i](ctx, wmc)
+				results[i] = res
+				if err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}(wmc)
+	}
+	wg.Wait()
+	for _, c := range workerCols {
+		mc.Merge(c)
+	}
+	return results, errors.Join(errs...)
+}

@@ -229,6 +229,67 @@ func (c *Collector) Observe(h Hist, v uint64) {
 	c.hists[h].observe(v)
 }
 
+// Merge folds src's accumulated state into c: counters, histogram
+// buckets, stage counts/durations, and named counters add; stage maxima
+// take the larger value. It is how worker-local collectors fold into a
+// session collector after a pool drains (exec.Map), so every merged
+// quantity is commutative and the merged totals match what a single
+// shared collector would have seen. src should be quiescent; a nil c or
+// src is a no-op.
+func (c *Collector) Merge(src *Collector) {
+	if c == nil || src == nil || c == src {
+		return
+	}
+	for i := range src.counters {
+		if v := src.counters[i].Load(); v != 0 {
+			c.counters[i].Add(v)
+		}
+	}
+	for i := range src.stages {
+		ss, ds := &src.stages[i], &c.stages[i]
+		n := ss.count.Load()
+		if n == 0 {
+			continue
+		}
+		ds.count.Add(n)
+		ds.nanos.Add(ss.nanos.Load())
+		m := ss.max.Load()
+		for {
+			old := ds.max.Load()
+			if m <= old || ds.max.CompareAndSwap(old, m) {
+				break
+			}
+		}
+	}
+	for i := range src.hists {
+		sh, dh := &src.hists[i], &c.hists[i]
+		if sh.count.Load() == 0 {
+			continue
+		}
+		dh.count.Add(sh.count.Load())
+		dh.sum.Add(sh.sum.Load())
+		for b := range sh.buckets {
+			if v := sh.buckets[b].Load(); v != 0 {
+				dh.buckets[b].Add(v)
+			}
+		}
+	}
+	// Copy under src's lock, then add under c's, so two concurrent merges
+	// in opposite directions cannot deadlock.
+	src.mu.Lock()
+	var named map[string]uint64
+	if len(src.named) > 0 {
+		named = make(map[string]uint64, len(src.named))
+		for k, v := range src.named {
+			named[k] = v
+		}
+	}
+	src.mu.Unlock()
+	for k, v := range named {
+		c.AddNamed(k, v)
+	}
+}
+
 // AddNamed increments a dynamically-named counter (e.g. per-layout
 // simulator totals). It takes a mutex and must stay off per-event paths.
 func (c *Collector) AddNamed(name string, v uint64) {

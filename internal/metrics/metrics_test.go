@@ -182,6 +182,93 @@ func TestNames(t *testing.T) {
 	}
 }
 
+func TestMergeFoldsEverything(t *testing.T) {
+	dst, src := New(), New()
+	dst.Add(TraceEvents, 10)
+	src.Add(TraceEvents, 5)
+	src.Add(TRGEdges, 3)
+	dst.AddNamed("sim.misses.natural", 2)
+	src.AddNamed("sim.misses.natural", 4)
+	src.AddNamed("sim.misses.ccdp", 1)
+	dst.Observe(HistAccessSize, 8)
+	src.Observe(HistAccessSize, 8)
+	src.Observe(HistAccessSize, 4096)
+	sp := src.Start(StageEval)
+	time.Sleep(time.Millisecond)
+	sp.Stop()
+
+	dst.Merge(src)
+
+	if got := dst.Get(TraceEvents); got != 15 {
+		t.Errorf("TraceEvents = %d, want 15", got)
+	}
+	if got := dst.Get(TRGEdges); got != 3 {
+		t.Errorf("TRGEdges = %d, want 3", got)
+	}
+	if got := dst.GetNamed("sim.misses.natural"); got != 6 {
+		t.Errorf("named natural = %d, want 6", got)
+	}
+	if got := dst.GetNamed("sim.misses.ccdp"); got != 1 {
+		t.Errorf("named ccdp = %d, want 1", got)
+	}
+	h := dst.Snapshot().Hists[HistAccessSize.String()]
+	if h.Count != 3 || h.Sum != 8+8+4096 {
+		t.Errorf("merged histogram count/sum = %d/%d", h.Count, h.Sum)
+	}
+	if dst.StageCount(StageEval) != 1 || dst.StageTotal(StageEval) < time.Millisecond {
+		t.Errorf("merged stage count/total = %d/%v",
+			dst.StageCount(StageEval), dst.StageTotal(StageEval))
+	}
+	// Merging must not drain the source.
+	if src.Get(TraceEvents) != 5 {
+		t.Error("merge mutated the source collector")
+	}
+}
+
+func TestMergeStageMaxTakesLarger(t *testing.T) {
+	slow, fast := New(), New()
+	for c, d := range map[*Collector]time.Duration{slow: 5 * time.Millisecond, fast: time.Millisecond} {
+		sp := c.Start(StageEval)
+		time.Sleep(d)
+		sp.Stop()
+	}
+	slowMax := slow.Snapshot().Stages[StageEval.String()].MaxNanos
+	fast.Merge(slow)
+	if got := fast.Snapshot().Stages[StageEval.String()].MaxNanos; got != slowMax {
+		t.Errorf("merged MaxNanos = %d, want the slower run's %d", got, slowMax)
+	}
+}
+
+func TestMergeDegenerateCases(t *testing.T) {
+	var nilC *Collector
+	c := New()
+	c.Add(TraceEvents, 7)
+	nilC.Merge(c) // must not panic
+	c.Merge(nil)
+	c.Merge(c) // self-merge must not double
+	if got := c.Get(TraceEvents); got != 7 {
+		t.Errorf("degenerate merges changed the counter to %d", got)
+	}
+}
+
+// TestMergeConcurrentOppositeDirections guards the deadlock hazard: two
+// collectors merging into each other simultaneously must complete.
+func TestMergeConcurrentOppositeDirections(t *testing.T) {
+	a, b := New(), New()
+	a.AddNamed("x", 1)
+	b.AddNamed("y", 1)
+	done := make(chan struct{}, 2)
+	go func() { a.Merge(b); done <- struct{}{} }()
+	go func() { b.Merge(a); done <- struct{}{} }()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("opposite-direction merges deadlocked")
+		}
+	}
+}
+
 func TestSnapshotJSON(t *testing.T) {
 	c := New()
 	c.Add(TRGEdges, 42)

@@ -22,6 +22,7 @@ func buildProfile(t *testing.T, stackSize int64, script func(tbl *object.Table, 
 	}
 	em := trace.NewEmitter(tbl, p)
 	script(tbl, em)
+	em.Flush()
 	return p.Finish(), tbl
 }
 

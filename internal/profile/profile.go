@@ -174,6 +174,15 @@ func (p *Profiler) HandleEvent(ev trace.Event) {
 	}
 }
 
+// HandleBatch implements trace.BatchHandler: the emitter delivers runs
+// of loads and stores in one call, and the profiler consumes them in a
+// tight loop without per-event interface dispatch.
+func (p *Profiler) HandleBatch(evs []trace.Event) {
+	for i := range evs {
+		p.HandleEvent(evs[i])
+	}
+}
+
 // nodeFor resolves (creating if needed) the placement node of object id.
 func (p *Profiler) nodeFor(id object.ID) trg.NodeID {
 	for int(id) >= len(p.nodeOf) {

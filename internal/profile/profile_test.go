@@ -25,6 +25,13 @@ func newRig(t *testing.T, cfg Config) *testRig {
 	return &testRig{tbl: tbl, prof: p, em: trace.NewEmitter(tbl, p)}
 }
 
+// finish flushes any batched events still in the emitter's ring and
+// finalises the profile; tests must read profiler state through it.
+func (r *testRig) finish() *Profile {
+	r.em.Flush()
+	return r.prof.Finish()
+}
+
 func smallConfig() Config {
 	return Config{ChunkSize: 256, QueueThreshold: 16 * 1024, PopularityCutoff: 0.99}
 }
@@ -69,7 +76,7 @@ func TestAlternationCreatesEdge(t *testing.T) {
 	r.em.Load(b, 0, 8)
 	r.em.Load(a, 8, 8)
 
-	prof := r.prof.Finish()
+	prof := r.finish()
 	ka := trg.MakeChunkKey(prof.Node(a), 0)
 	kb := trg.MakeChunkKey(prof.Node(b), 0)
 	if got := prof.Graph.Weight(ka, kb); got != 1 {
@@ -83,7 +90,7 @@ func TestRepeatedAccessNoEdge(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		r.em.Load(a, 0, 8)
 	}
-	prof := r.prof.Finish()
+	prof := r.finish()
 	if prof.Graph.TotalWeight() != 0 {
 		t.Fatal("same-chunk loop should create no edges")
 	}
@@ -101,7 +108,7 @@ func TestEdgeWeightCountsIntervening(t *testing.T) {
 	r.em.Load(c, 0, 8)
 	r.em.Load(a, 0, 8)
 
-	prof := r.prof.Finish()
+	prof := r.finish()
 	na, nb, nc := prof.Node(a), prof.Node(b), prof.Node(c)
 	ka, kb, kc := trg.MakeChunkKey(na, 0), trg.MakeChunkKey(nb, 0), trg.MakeChunkKey(nc, 0)
 	if prof.Graph.Weight(ka, kb) != 1 || prof.Graph.Weight(ka, kc) != 1 {
@@ -128,7 +135,7 @@ func TestQueueThresholdEvicts(t *testing.T) {
 	r.em.Load(c, 0, 8)
 	r.em.Load(a, 0, 8)
 
-	prof := r.prof.Finish()
+	prof := r.finish()
 	ka := trg.MakeChunkKey(prof.Node(a), 0)
 	kb := trg.MakeChunkKey(prof.Node(b), 0)
 	kc := trg.MakeChunkKey(prof.Node(c), 0)
@@ -148,7 +155,7 @@ func TestChunkGranularity(t *testing.T) {
 	r.em.Load(b, 0, 8)
 	r.em.Load(big, 610, 8)
 
-	prof := r.prof.Finish()
+	prof := r.finish()
 	nb := prof.Node(b)
 	nbig := prof.Node(big)
 	if w := prof.Graph.Weight(trg.MakeChunkKey(nbig, 2), trg.MakeChunkKey(nb, 0)); w != 1 {
@@ -166,7 +173,7 @@ func TestSpanningAccessTouchesBothChunks(t *testing.T) {
 	r.em.Load(b, 0, 8)
 	r.em.Load(big, 252, 8) // spans chunks 0 and 1
 	r.em.Load(b, 0, 8)
-	prof := r.prof.Finish()
+	prof := r.finish()
 	nbig, nb := prof.Node(big), prof.Node(b)
 	w0 := prof.Graph.Weight(trg.MakeChunkKey(nb, 0), trg.MakeChunkKey(nbig, 0))
 	w1 := prof.Graph.Weight(trg.MakeChunkKey(nb, 0), trg.MakeChunkKey(nbig, 1))
@@ -183,7 +190,7 @@ func TestHeapNodesKeyedByXORName(t *testing.T) {
 	h2 := r.em.Malloc("n", 96, 0xCAFE)
 	r.em.Load(h2, 0, 8)
 
-	prof := r.prof.Finish()
+	prof := r.finish()
 	if prof.Node(h1) != prof.Node(h2) {
 		t.Fatal("same XOR name should map to one placement node")
 	}
@@ -206,7 +213,7 @@ func TestNonUniqueXORDetected(t *testing.T) {
 	r.em.Load(h1, 0, 8)
 	r.em.Load(h2, 0, 8)
 
-	prof := r.prof.Finish()
+	prof := r.finish()
 	if !prof.Graph.Node(prof.Node(h1)).NonUniqueXOR {
 		t.Fatal("concurrently live same-name allocations must be flagged")
 	}
@@ -215,7 +222,7 @@ func TestNonUniqueXORDetected(t *testing.T) {
 func TestFinishAddsUnreferencedStatics(t *testing.T) {
 	r := newRig(t, smallConfig())
 	g := r.tbl.AddGlobal("never_touched", 128)
-	prof := r.prof.Finish()
+	prof := r.finish()
 	if prof.Node(g) == trg.NoNode {
 		t.Fatal("unreferenced global missing from profile (it still needs a placement slot)")
 	}
@@ -225,7 +232,7 @@ func TestStackIsOneNode(t *testing.T) {
 	r := newRig(t, smallConfig())
 	r.em.Load(object.StackID, 0, 8)
 	r.em.Load(object.StackID, 512, 8)
-	prof := r.prof.Finish()
+	prof := r.finish()
 	n := prof.Graph.Node(prof.Node(object.StackID))
 	if n.Category != object.Stack {
 		t.Fatal("stack node category wrong")
@@ -240,7 +247,7 @@ func TestTotalRefsCounted(t *testing.T) {
 	g := r.tbl.AddGlobal("g", 64)
 	r.em.Load(g, 0, 8)
 	r.em.Store(g, 0, 8)
-	prof := r.prof.Finish()
+	prof := r.finish()
 	if prof.TotalRefs != 2 {
 		t.Fatalf("total refs %d, want 2", prof.TotalRefs)
 	}
@@ -281,6 +288,7 @@ func TestSamplingReducesTRGCost(t *testing.T) {
 			em.Load(a, 0, 8)
 			em.Load(b, 0, 8)
 		}
+		em.Flush()
 		return p.Finish()
 	}
 	fp, sp := build(full), build(sampled)

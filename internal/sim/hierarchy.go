@@ -23,7 +23,7 @@ type HierarchyResult struct {
 // paper sketches at the end of section 5.1.
 func EvalHierarchy(w workload.Workload, in workload.Input, kind LayoutKind, pr *ProfileResult, pm *placement.Map, hcfg hierarchy.Config, opts Options) (*HierarchyResult, error) {
 	sink := &resolver{}
-	table, prog := buildRun(w, in, sink, opts)
+	table, prog, em := buildRun(w, in, sink, opts)
 
 	var lay *layout.Layout
 	var alloc heapsim.Allocator
@@ -62,6 +62,7 @@ func EvalHierarchy(w workload.Workload, in workload.Input, kind LayoutKind, pr *
 	sink.sim = hs
 
 	w.Run(in, prog)
+	em.Flush()
 	return &HierarchyResult{
 		Workload: w.Name(),
 		Input:    in,

@@ -40,6 +40,15 @@ type Options struct {
 	// RandomSeed seeds the random-layout control.
 	RandomSeed uint64
 
+	// Parallelism bounds how many independent pipeline units run
+	// concurrently: evaluation passes inside core.Run and whole
+	// workloads inside benchsuite. Values <= 1 run sequentially; 0 is
+	// the conservative sequential default so existing callers are
+	// unchanged. Results are bit-identical at any setting — every pass
+	// is deterministic and shares only read-only state (see DESIGN.md,
+	// "Concurrency model").
+	Parallelism int
+
 	// Metrics receives pipeline-wide instrumentation: trace event counts,
 	// TRG construction statistics, stage durations, and simulator totals.
 	// Nil disables collection; the hot paths then pay a single predictable
@@ -81,8 +90,9 @@ func specDecls(spec workload.Spec) (globals, constants []trace.Decl) {
 
 // buildRun materialises a workload spec into a fresh object table, with
 // natural addresses assigned in declaration order, and returns the Prog
-// wiring for a run whose events flow to h.
-func buildRun(w workload.Workload, in workload.Input, h trace.Handler, opts Options) (*object.Table, *workload.Prog) {
+// wiring for a run whose events flow to h, plus the emitter itself so
+// drivers can Flush buffered events after the run.
+func buildRun(w workload.Workload, in workload.Input, h trace.Handler, opts Options) (*object.Table, *workload.Prog, *trace.Emitter) {
 	spec := w.Spec()
 	gdecls, cdecls := specDecls(spec)
 	objs := object.NewTable(spec.StackSize)
@@ -101,7 +111,7 @@ func buildRun(w workload.Workload, in workload.Input, h trace.Handler, opts Opti
 	em := trace.NewEmitter(objs, h)
 	em.SetMetrics(opts.Metrics)
 	prog := workload.NewProg(em, globals, consts, spec.StackSize, in.Seed, opts.NameDepth)
-	return objs, prog
+	return objs, prog, em
 }
 
 // ProfileResult is the output of the profiling pass.
@@ -119,7 +129,7 @@ func ProfilePass(w workload.Workload, in workload.Input, opts Options) (*Profile
 	// Two-stage construction: the profiler needs the same table the
 	// emitter populates, so wire through a mutable tee.
 	tee := make(trace.Tee, 0, 2)
-	table, prog := buildRun(w, in, &tee, opts)
+	table, prog, em := buildRun(w, in, &tee, opts)
 	cfg := opts.Profile
 	cfg.Metrics = opts.Metrics
 	prof, err := profile.New(cfg, table)
@@ -130,6 +140,7 @@ func ProfilePass(w workload.Workload, in workload.Input, opts Options) (*Profile
 	tee = append(tee, counter, prof)
 
 	w.Run(in, prog)
+	em.Flush()
 	return &ProfileResult{Profile: prof.Finish(), Counter: counter, Objects: table}, nil
 }
 
@@ -193,7 +204,7 @@ func EvalPass(w workload.Workload, in workload.Input, kind LayoutKind, pr *Profi
 	defer span.Stop()
 
 	sink := &resolver{}
-	table, prog := buildRun(w, in, sink, opts)
+	table, prog, em := buildRun(w, in, sink, opts)
 
 	var lay *layout.Layout
 	var alloc heapsim.Allocator
@@ -238,6 +249,7 @@ func EvalPass(w workload.Workload, in workload.Input, kind LayoutKind, pr *Profi
 	}
 
 	w.Run(in, prog)
+	em.Flush()
 
 	res := &EvalResult{
 		Workload:   w.Name(),
@@ -269,10 +281,11 @@ func CountRefs(w workload.Workload, in workload.Input, opts Options) uint64 {
 	opts.Metrics = nil
 	var counter *trace.Counter
 	tee := make(trace.Tee, 0, 1)
-	table, prog := buildRun(w, in, &tee, opts)
+	table, prog, em := buildRun(w, in, &tee, opts)
 	counter = trace.NewCounter(table)
 	tee = append(tee, counter)
 	w.Run(in, prog)
+	em.Flush()
 	return counter.Refs()
 }
 
@@ -294,6 +307,14 @@ type resolver struct {
 	pages    *vmpage.Tracker
 	heapAddr []addrspace.Addr
 	clock    uint64
+}
+
+// HandleBatch implements trace.BatchHandler: the simulator consumes runs
+// of loads and stores in one tight loop per batch.
+func (r *resolver) HandleBatch(evs []trace.Event) {
+	for i := range evs {
+		r.HandleEvent(evs[i])
+	}
 }
 
 // HandleEvent implements trace.Handler.

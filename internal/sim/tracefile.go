@@ -22,13 +22,14 @@ func RecordTrace(w workload.Workload, in workload.Input, out io.Writer, opts Opt
 	hdr := trace.FileHeader{StackSize: spec.StackSize, Globals: gdecls, Constants: cdecls}
 
 	tee := make(trace.Tee, 0, 1)
-	table, prog := buildRun(w, in, &tee, opts)
+	table, prog, em := buildRun(w, in, &tee, opts)
 	tw, err := trace.NewWriter(out, hdr, table)
 	if err != nil {
 		return err
 	}
 	tee = append(tee, tw)
 	w.Run(in, prog)
+	em.Flush()
 	return tw.Flush()
 }
 

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/object"
+)
+
+// recorder captures every delivery, remembering whether it arrived
+// batched or singly, and the size of each batch.
+type recorder struct {
+	events  []Event
+	singles int
+	batches []int
+}
+
+func (r *recorder) HandleEvent(ev Event) {
+	r.events = append(r.events, ev)
+	r.singles++
+}
+
+func (r *recorder) HandleBatch(evs []Event) {
+	r.events = append(r.events, evs...)
+	r.batches = append(r.batches, len(evs))
+}
+
+func TestBatchedDeliveryPreservesOrder(t *testing.T) {
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 64)
+	rec := &recorder{}
+	em := NewEmitter(tbl, rec)
+
+	// A mixed stream: loads/stores buffer, alloc/free flush and deliver
+	// singly, so handlers always see events in emission order.
+	em.Load(g, 0, 8)
+	em.Store(g, 8, 8)
+	h := em.Malloc("h", 32, 0x1)
+	em.Load(h, 0, 4)
+	em.Free(h)
+	em.Load(g, 16, 8)
+	em.Flush()
+
+	want := []Event{
+		{Kind: Load, Obj: g, Off: 0, Size: 8},
+		{Kind: Store, Obj: g, Off: 8, Size: 8},
+		{Kind: Alloc, Obj: h, Size: 32},
+		{Kind: Load, Obj: h, Off: 0, Size: 4},
+		{Kind: Free, Obj: h},
+		{Kind: Load, Obj: g, Off: 16, Size: 8},
+	}
+	if len(rec.events) != len(want) {
+		t.Fatalf("%d events, want %d", len(rec.events), len(want))
+	}
+	for i, ev := range want {
+		if rec.events[i] != ev {
+			t.Fatalf("event[%d] = %+v, want %+v", i, rec.events[i], ev)
+		}
+	}
+	// Alloc and Free must have arrived singly; the loads/stores batched.
+	if rec.singles != 2 {
+		t.Fatalf("%d single deliveries, want 2 (alloc+free)", rec.singles)
+	}
+	if len(rec.batches) != 3 { // before alloc, before free, final flush
+		t.Fatalf("batch sizes %v, want 3 batches", rec.batches)
+	}
+}
+
+func TestRingFlushesWhenFull(t *testing.T) {
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 64)
+	rec := &recorder{}
+	em := NewEmitter(tbl, rec)
+
+	for i := 0; i < BatchSize+5; i++ {
+		em.Load(g, 0, 8)
+	}
+	if len(rec.batches) != 1 || rec.batches[0] != BatchSize {
+		t.Fatalf("batches %v after overflowing the ring, want one of %d", rec.batches, BatchSize)
+	}
+	em.Flush()
+	if len(rec.batches) != 2 || rec.batches[1] != 5 {
+		t.Fatalf("batches %v after final flush, want trailing 5", rec.batches)
+	}
+	if len(rec.events) != BatchSize+5 {
+		t.Fatalf("%d events delivered, want %d", len(rec.events), BatchSize+5)
+	}
+}
+
+func TestFlushIsIdempotent(t *testing.T) {
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 64)
+	rec := &recorder{}
+	em := NewEmitter(tbl, rec)
+	em.Flush() // empty ring: no delivery
+	em.Load(g, 0, 8)
+	em.Flush()
+	em.Flush()
+	if len(rec.batches) != 1 || len(rec.events) != 1 {
+		t.Fatalf("batches %v events %d after double flush", rec.batches, len(rec.events))
+	}
+}
+
+func TestTeeUnrollsForSingleEventMembers(t *testing.T) {
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 64)
+	rec := &recorder{}
+	var unrolled []Event
+	tee := Tee{rec, HandlerFunc(func(ev Event) { unrolled = append(unrolled, ev) })}
+	em := NewEmitter(tbl, tee)
+
+	em.Load(g, 0, 8)
+	em.Store(g, 8, 8)
+	em.Flush()
+
+	if len(rec.batches) != 1 || rec.batches[0] != 2 {
+		t.Fatalf("batch-capable member saw batches %v, want [2]", rec.batches)
+	}
+	if len(unrolled) != 2 || unrolled[0].Kind != Load || unrolled[1].Kind != Store {
+		t.Fatalf("plain member saw %+v, want the unrolled pair", unrolled)
+	}
+}
+
+func TestBatchedMetricsMatchSingleEventPath(t *testing.T) {
+	run := func(h Handler) *metrics.Collector {
+		tbl := newTestTable()
+		g := tbl.AddGlobal("g", 64)
+		mc := metrics.New()
+		em := NewEmitter(tbl, h)
+		em.SetMetrics(mc)
+		for i := 0; i < 100; i++ {
+			em.Load(g, 0, 8)
+			em.Store(g, 8, 16)
+		}
+		id := em.Malloc("h", 32, 0x1)
+		em.Free(id)
+		em.Flush()
+		return mc
+	}
+	batched := run(&recorder{})
+	single := run(HandlerFunc(func(Event) {}))
+
+	for _, ctr := range []metrics.Counter{metrics.TraceEvents, metrics.TraceAllocs} {
+		if b, s := batched.Get(ctr), single.Get(ctr); b != s {
+			t.Fatalf("%v: batched %d vs single %d", ctr, b, s)
+		}
+	}
+	bs, ss := batched.Snapshot(), single.Snapshot()
+	if bs.Hists["access_size_bytes"] != ss.Hists["access_size_bytes"] {
+		t.Fatalf("access-size sketch differs: %+v vs %+v",
+			bs.Hists["access_size_bytes"], ss.Hists["access_size_bytes"])
+	}
+}
+
+// nopBatch is the cheapest possible BatchHandler, for the allocation pin
+// and the delivery benchmarks.
+type nopBatch struct{ n int }
+
+func (h *nopBatch) HandleEvent(Event)       { h.n++ }
+func (h *nopBatch) HandleBatch(evs []Event) { h.n += len(evs) }
+
+// TestBatchedPathZeroAllocs pins the hot path: with metrics disabled, a
+// load on the batched path — including the flush that hands a full ring
+// to the handler — must not allocate.
+func TestBatchedPathZeroAllocs(t *testing.T) {
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 64)
+	em := NewEmitter(tbl, &nopBatch{})
+	if avg := testing.AllocsPerRun(10*BatchSize, func() {
+		em.Load(g, 0, 8)
+	}); avg != 0 {
+		t.Fatalf("batched load allocates %.2f per op, want 0", avg)
+	}
+}
+
+func TestFlushZeroAllocs(t *testing.T) {
+	tbl := newTestTable()
+	g := tbl.AddGlobal("g", 64)
+	em := NewEmitter(tbl, &nopBatch{})
+	if avg := testing.AllocsPerRun(1000, func() {
+		em.Load(g, 0, 8)
+		em.Flush()
+	}); avg != 0 {
+		t.Fatalf("flush allocates %.2f per op, want 0", avg)
+	}
+}
+
+func benchEmitter(b *testing.B, h Handler) {
+	tbl := object.NewTable(1024)
+	g := tbl.AddGlobal("g", 64)
+	em := NewEmitter(tbl, h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.Load(g, 0, 8)
+	}
+	em.Flush()
+}
+
+func BenchmarkEmitSingle(b *testing.B) {
+	var n int
+	benchEmitter(b, HandlerFunc(func(Event) { n++ }))
+}
+
+func BenchmarkEmitBatched(b *testing.B) {
+	benchEmitter(b, &nopBatch{})
+}
+
+func BenchmarkEmitBatchedWithMetrics(b *testing.B) {
+	tbl := object.NewTable(1024)
+	g := tbl.AddGlobal("g", 64)
+	em := NewEmitter(tbl, &nopBatch{})
+	em.SetMetrics(metrics.New())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.Load(g, 0, 8)
+	}
+	em.Flush()
+}

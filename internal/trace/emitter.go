@@ -7,20 +7,43 @@ import (
 	"repro/internal/object"
 )
 
+// BatchSize is the emitter's event-ring capacity: loads and stores are
+// buffered up to this many at a time before being handed to a
+// BatchHandler in one call. The ring is a fixed array inside the
+// Emitter, so the batched path performs zero allocations per batch.
+const BatchSize = 1024
+
 // Emitter is the single producer side of the event stream. Workload models
 // call its methods; it maintains the object table, the reference clock, and
 // per-object reference counts, then forwards each event to the attached
 // handler chain.
+//
+// When the handler implements BatchHandler, loads and stores are
+// accumulated in a fixed-size event ring and delivered BatchSize at a
+// time; allocations and frees flush the ring first and are delivered
+// individually, so handlers observe every event in emission order and
+// the object table is always consistent with the events they have seen.
+// Callers that read results out of handlers must call Flush (the sim
+// package's drivers do) after the workload finishes.
 type Emitter struct {
 	objs    *object.Table
 	handler Handler
+	batcher BatchHandler // non-nil iff handler implements BatchHandler
 	refs    uint64
 	metrics *metrics.Collector
+
+	n    int // buffered events in ring[:n]
+	ring [BatchSize]Event
 }
 
-// NewEmitter wires a fresh emitter to an object table and handler.
+// NewEmitter wires a fresh emitter to an object table and handler. The
+// batched fast path engages automatically when h implements BatchHandler.
 func NewEmitter(objs *object.Table, h Handler) *Emitter {
-	return &Emitter{objs: objs, handler: h}
+	e := &Emitter{objs: objs, handler: h}
+	if bh, ok := h.(BatchHandler); ok {
+		e.batcher = bh
+	}
+	return e
 }
 
 // SetMetrics attaches a collector (nil = disabled) that counts every event
@@ -51,17 +74,48 @@ func (e *Emitter) access(k Kind, obj object.ID, off, size int64) {
 	}
 	e.refs++
 	in.Refs++
+	if e.batcher != nil {
+		e.ring[e.n] = Event{Kind: k, Obj: obj, Off: off, Size: size}
+		e.n++
+		if e.n == BatchSize {
+			e.Flush()
+		}
+		return
+	}
 	e.metrics.Add(metrics.TraceEvents, 1)
 	e.metrics.Observe(metrics.HistAccessSize, uint64(size))
 	e.handler.HandleEvent(Event{Kind: k, Obj: obj, Off: off, Size: size})
 }
 
+// Flush delivers any buffered loads and stores to the handler. It is a
+// no-op on the single-event path and on an empty ring, and is safe to
+// call at any point of the stream.
+func (e *Emitter) Flush() {
+	if e.n == 0 {
+		return
+	}
+	evs := e.ring[:e.n]
+	// The batched path defers per-event instrumentation to flush time:
+	// identical totals, one atomic add per batch instead of per event.
+	if m := e.metrics; m != nil {
+		m.Add(metrics.TraceEvents, uint64(len(evs)))
+		for i := range evs {
+			m.Observe(metrics.HistAccessSize, uint64(evs[i].Size))
+		}
+	}
+	e.n = 0
+	e.batcher.HandleBatch(evs)
+}
+
 // Malloc creates a heap object of the given size whose allocation site
 // folds to xorName, emits the Alloc event, and returns the new ID.
+// Allocation events flush the ring first so handlers never see an access
+// to an object whose Alloc they have not yet processed.
 func (e *Emitter) Malloc(name string, size int64, xorName uint64) object.ID {
 	if size <= 0 {
 		panic(fmt.Sprintf("trace: Malloc(%q, %d): non-positive size", name, size))
 	}
+	e.Flush()
 	id := e.objs.AddHeap(name, size, xorName, e.refs)
 	e.metrics.Add(metrics.TraceEvents, 1)
 	e.metrics.Add(metrics.TraceAllocs, 1)
@@ -70,8 +124,10 @@ func (e *Emitter) Malloc(name string, size int64, xorName uint64) object.ID {
 	return id
 }
 
-// Free releases a heap object and emits the Free event.
+// Free releases a heap object and emits the Free event, flushing the
+// ring first for the same ordering guarantee as Malloc.
 func (e *Emitter) Free(id object.ID) {
+	e.Flush()
 	e.objs.Free(id, e.refs)
 	e.metrics.Add(metrics.TraceEvents, 1)
 	e.handler.HandleEvent(Event{Kind: Free, Obj: id})

@@ -60,6 +60,18 @@ type HandlerFunc func(Event)
 // HandleEvent calls f(ev).
 func (f HandlerFunc) HandleEvent(ev Event) { f(ev) }
 
+// BatchHandler is the fast-path extension of Handler: the emitter hands
+// over runs of consecutive events in one call, so consumers process them
+// in a tight loop instead of paying a dynamic dispatch per reference.
+// The slice is only valid for the duration of the call and must not be
+// retained; events arrive in exactly the order they were emitted, and a
+// handler implementing BatchHandler still receives non-batched events
+// (allocations and frees) through HandleEvent.
+type BatchHandler interface {
+	Handler
+	HandleBatch(evs []Event)
+}
+
 // Tee fans one stream out to several handlers in order.
 type Tee []Handler
 
@@ -67,6 +79,20 @@ type Tee []Handler
 func (t Tee) HandleEvent(ev Event) {
 	for _, h := range t {
 		h.HandleEvent(ev)
+	}
+}
+
+// HandleBatch forwards a batch to every handler, unrolling it for
+// handlers that only speak the single-event interface.
+func (t Tee) HandleBatch(evs []Event) {
+	for _, h := range t {
+		if bh, ok := h.(BatchHandler); ok {
+			bh.HandleBatch(evs)
+			continue
+		}
+		for i := range evs {
+			h.HandleEvent(evs[i])
+		}
 	}
 }
 
@@ -110,6 +136,14 @@ func (c *Counter) HandleEvent(ev Event) {
 	case Free:
 		c.Frees++
 		c.FreeBytes += uint64(c.Objects.Get(ev.Obj).Size)
+	}
+}
+
+// HandleBatch implements BatchHandler: the same tallies as HandleEvent,
+// without the per-event interface dispatch.
+func (c *Counter) HandleBatch(evs []Event) {
+	for i := range evs {
+		c.HandleEvent(evs[i])
 	}
 }
 

@@ -20,6 +20,7 @@ func TestCounterLoadsStores(t *testing.T) {
 	em.Load(g, 8, 8)
 	em.Store(g, 0, 8)
 	em.Load(object.StackID, 0, 8)
+	em.Flush()
 
 	if ctr.Loads != 3 || ctr.Stores != 1 {
 		t.Fatalf("loads %d stores %d, want 3/1", ctr.Loads, ctr.Stores)
@@ -132,6 +133,7 @@ func TestTeeFansOutInOrder(t *testing.T) {
 	}
 	em := NewEmitter(tbl, tee)
 	em.Load(g, 0, 8)
+	em.Flush()
 	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
 		t.Fatalf("tee order %v", order)
 	}
@@ -147,6 +149,7 @@ func TestTeeLateAppendViaPointer(t *testing.T) {
 	hits := 0
 	tee = append(tee, HandlerFunc(func(Event) { hits++ }))
 	em.Load(g, 0, 8)
+	em.Flush()
 	if hits != 1 {
 		t.Fatalf("late-appended handler saw %d events, want 1", hits)
 	}

@@ -242,6 +242,7 @@ func (tr *Reader) Replay(h Handler) error {
 		}
 		switch tag {
 		case tagEnd:
+			em.Flush()
 			return nil
 		case tagLoad, tagStore:
 			obj, err1 := binary.ReadUvarint(tr.br)

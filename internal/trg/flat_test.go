@@ -1,0 +1,225 @@
+package trg
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// mapAdj is the reference adjacency the flat index replaced: nested Go
+// maps with the same symmetric-accumulation semantics. The differential
+// tests drive both representations with one random edge stream and demand
+// identical weights everywhere.
+type mapAdj map[ChunkKey]map[ChunkKey]uint64
+
+func (m mapAdj) add(a, b ChunkKey, w uint64) {
+	for _, p := range [2][2]ChunkKey{{a, b}, {b, a}} {
+		inner, ok := m[p[0]]
+		if !ok {
+			inner = make(map[ChunkKey]uint64)
+			m[p[0]] = inner
+		}
+		inner[p[1]] += w
+	}
+}
+
+func (m mapAdj) numEdges() int {
+	n := 0
+	for _, inner := range m {
+		n += len(inner)
+	}
+	return n / 2
+}
+
+// randomEdgeStream drives identical AddWeight streams into a flat-backed
+// Graph and the map reference. Keys are drawn from a small node/chunk
+// universe so both collision-heavy probing and repeated accumulation on
+// existing edges are exercised; the degree distribution crosses the
+// inline->spill threshold for the hottest nodes.
+func randomEdgeStream(seed uint64, events, nodes, chunks int) (*Graph, mapAdj) {
+	g := NewGraph(DefaultChunkSize)
+	ref := make(mapAdj)
+	r := rng.New(seed)
+	for i := 0; i < events; i++ {
+		a := MakeChunkKey(NodeID(r.Intn(nodes)), r.Intn(chunks))
+		b := MakeChunkKey(NodeID(r.Intn(nodes)), r.Intn(chunks))
+		w := uint64(r.Intn(5)) // includes w=0, which AddWeight ignores
+		g.AddWeight(a, b, w)
+		if a != b && w != 0 {
+			ref.add(a, b, w)
+		}
+	}
+	return g, ref
+}
+
+func TestFlatMatchesMapReference(t *testing.T) {
+	cases := []struct {
+		name                  string
+		events, nodes, chunks int
+	}{
+		{"inline-only", 200, 40, 4},     // degrees stay under inlineEdges
+		{"spill-heavy", 5000, 6, 8},     // few nodes -> every list spills
+		{"index-growth", 20000, 300, 6}, // forces edgeIndex.grow several times
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, ref := randomEdgeStream(0xC0FFEE, tc.events, tc.nodes, tc.chunks)
+
+			// Every reference edge must be present with the same weight.
+			var total uint64
+			for a, inner := range ref {
+				for b, w := range inner {
+					if got := g.Weight(a, b); got != w {
+						t.Fatalf("Weight(%v,%v) = %d, want %d", a, b, got, w)
+					}
+					if a < b {
+						total += w
+					}
+				}
+			}
+			if g.TotalWeight() != total {
+				t.Fatalf("TotalWeight %d, want %d", g.TotalWeight(), total)
+			}
+			if g.NumEdges() != ref.numEdges() {
+				t.Fatalf("NumEdges %d, want %d", g.NumEdges(), ref.numEdges())
+			}
+
+			// ForEachEdge must enumerate exactly the reference edge set, in
+			// sorted order, with no duplicates.
+			seen := make(map[[2]ChunkKey]bool)
+			var last [2]ChunkKey
+			first := true
+			g.ForEachEdge(func(a, b ChunkKey, w uint64) {
+				if a >= b {
+					t.Fatalf("ForEachEdge emitted non-canonical pair (%v,%v)", a, b)
+				}
+				cur := [2]ChunkKey{a, b}
+				if !first && (cur[0] < last[0] || (cur[0] == last[0] && cur[1] <= last[1])) {
+					t.Fatalf("ForEachEdge out of order: %v after %v", cur, last)
+				}
+				first, last = false, cur
+				if seen[cur] {
+					t.Fatalf("ForEachEdge emitted (%v,%v) twice", a, b)
+				}
+				seen[cur] = true
+				if want := ref[a][b]; w != want {
+					t.Fatalf("ForEachEdge weight (%v,%v) = %d, want %d", a, b, w, want)
+				}
+			})
+			if len(seen) != ref.numEdges() {
+				t.Fatalf("ForEachEdge emitted %d edges, want %d", len(seen), ref.numEdges())
+			}
+
+			// Neighbors must agree per node, both directions.
+			for a, inner := range ref {
+				got := make(map[ChunkKey]uint64)
+				g.Neighbors(a, func(b ChunkKey, w uint64) { got[b] += w })
+				if len(got) != len(inner) {
+					t.Fatalf("Neighbors(%v): %d edges, want %d", a, len(got), len(inner))
+				}
+				for b, w := range inner {
+					if got[b] != w {
+						t.Fatalf("Neighbors(%v) weight to %v = %d, want %d", a, b, got[b], w)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFlatAbsentLookups(t *testing.T) {
+	g := NewGraph(0)
+	a, b := MakeChunkKey(1, 0), MakeChunkKey(2, 0)
+	if g.Weight(a, b) != 0 {
+		t.Fatal("weight in empty graph")
+	}
+	g.Neighbors(a, func(ChunkKey, uint64) { t.Fatal("neighbor in empty graph") })
+	g.AddWeight(a, b, 7)
+	if g.Weight(a, MakeChunkKey(3, 0)) != 0 {
+		t.Fatal("absent edge on a populated list must read 0")
+	}
+	if g.Weight(MakeChunkKey(9, 9), b) != 0 {
+		t.Fatal("absent source key must read 0")
+	}
+}
+
+func TestMakeChunkKeyRange(t *testing.T) {
+	// The boundary index still round-trips...
+	k := MakeChunkKey(7, MaxChunkIndex)
+	if k.Node() != 7 || k.Chunk() != MaxChunkIndex {
+		t.Fatalf("boundary key round-trip: node %d chunk %d", k.Node(), k.Chunk())
+	}
+	// ...and anything past it (or negative) panics with a useful message
+	// instead of silently aliasing another chunk.
+	for _, chunk := range []int{MaxChunkIndex + 1, 1 << 30, -1} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("MakeChunkKey(3, %d) did not panic", chunk)
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "chunk index") || !strings.Contains(msg, "chunk key") {
+					t.Fatalf("panic message %q does not explain the chunk-key limit", msg)
+				}
+			}()
+			MakeChunkKey(3, chunk)
+		}()
+	}
+}
+
+// benchEdges pre-generates a deterministic AddWeight stream shaped like
+// profiling output: a hot core of nodes with Zipf-ish repetition so most
+// bumps hit existing edges, as the recency-queue scan does.
+func benchEdges(n int) [][2]ChunkKey {
+	r := rng.New(42)
+	edges := make([][2]ChunkKey, n)
+	for i := range edges {
+		a := MakeChunkKey(NodeID(r.Intn(64)), r.Intn(4))
+		b := MakeChunkKey(NodeID(r.Intn(64)), r.Intn(4))
+		edges[i] = [2]ChunkKey{a, b}
+	}
+	return edges
+}
+
+func BenchmarkAddWeightFlat(b *testing.B) {
+	edges := benchEdges(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	g := NewGraph(DefaultChunkSize)
+	for i := 0; i < b.N; i++ {
+		e := edges[i&(1<<16-1)]
+		g.AddWeight(e[0], e[1], 1)
+	}
+}
+
+func BenchmarkAddWeightMapReference(b *testing.B) {
+	edges := benchEdges(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ref := make(mapAdj)
+	for i := 0; i < b.N; i++ {
+		e := edges[i&(1<<16-1)]
+		if e[0] != e[1] {
+			ref.add(e[0], e[1], 1)
+		}
+	}
+}
+
+func BenchmarkWeightLookupFlat(b *testing.B) {
+	edges := benchEdges(1 << 16)
+	g := NewGraph(DefaultChunkSize)
+	for _, e := range edges {
+		g.AddWeight(e[0], e[1], 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		e := edges[i&(1<<16-1)]
+		sink += g.Weight(e[0], e[1])
+	}
+	_ = sink
+}

@@ -41,8 +41,20 @@ const NoNode NodeID = -1
 // ChunkKey packs a (node, chunk) pair into one map key.
 type ChunkKey uint64
 
-// MakeChunkKey builds the key for chunk index chunk of node n.
+// MaxChunkIndex is the largest chunk index a ChunkKey can carry: the
+// chunk half of the key is 24 bits, so one node spans at most 2^24
+// chunks (4 GiB of object at the default 256-byte granularity).
+const MaxChunkIndex = 1<<24 - 1
+
+// MakeChunkKey builds the key for chunk index chunk of node n. Chunk
+// indices beyond MaxChunkIndex would silently alias distinct chunks of
+// the same node, corrupting edge weights, so the chunking path panics
+// with a clear message instead.
 func MakeChunkKey(n NodeID, chunk int) ChunkKey {
+	if uint(chunk) > MaxChunkIndex {
+		panic(fmt.Sprintf("trg: chunk index %d of node %d outside [0, %d]: object too large for the 24-bit chunk key (grow ChunkKey or raise the chunk size)",
+			chunk, n, MaxChunkIndex))
+	}
 	return ChunkKey(uint64(uint32(n))<<24 | uint64(uint32(chunk))&0xffffff)
 }
 
@@ -85,11 +97,13 @@ func (n *Node) Chunks(chunkSize int64) int {
 }
 
 // Graph is the TRGplace graph: nodes plus symmetric weighted edges between
-// chunk pairs.
+// chunk pairs. Adjacency lives in a flat open-addressing index (see
+// flat.go) rather than nested Go maps: edge accumulation is the hottest
+// operation of the profiling pass.
 type Graph struct {
 	ChunkSize int64
 	nodes     []Node
-	adj       map[ChunkKey]map[ChunkKey]uint64
+	adj       edgeIndex
 	totalW    uint64
 	metrics   *metrics.Collector
 }
@@ -100,10 +114,7 @@ func NewGraph(chunkSize int64) *Graph {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
-	return &Graph{
-		ChunkSize: chunkSize,
-		adj:       make(map[ChunkKey]map[ChunkKey]uint64),
-	}
+	return &Graph{ChunkSize: chunkSize}
 }
 
 // SetMetrics attaches a collector (nil = disabled) that counts edge
@@ -141,26 +152,25 @@ func (g *Graph) AddWeight(a, b ChunkKey, w uint64) {
 }
 
 // bump adds w to the directed half-edge and reports whether it was newly
-// materialized. Newness is detected through the map-length delta so the
-// hot path keeps the single compiler-optimized `m[to] += w` operation.
+// materialized: one index probe plus an inline-array or open-addressing
+// accumulate, no nested map machinery.
 func (g *Graph) bump(from, to ChunkKey, w uint64) bool {
-	m := g.adj[from]
-	if m == nil {
-		m = make(map[ChunkKey]uint64, 4)
-		g.adj[from] = m
-	}
-	before := len(m)
-	m[to] += w
-	return len(m) != before
+	return g.adj.arena[g.adj.getOrCreate(from)].add(to, w)
 }
 
 // Weight returns the edge weight between chunk pairs a and b (0 if absent).
-func (g *Graph) Weight(a, b ChunkKey) uint64 { return g.adj[a][b] }
+func (g *Graph) Weight(a, b ChunkKey) uint64 {
+	i := g.adj.get(a)
+	if i < 0 {
+		return 0
+	}
+	return g.adj.arena[i].weight(b)
+}
 
 // Neighbors calls fn for every edge incident to chunk key a.
 func (g *Graph) Neighbors(a ChunkKey, fn func(b ChunkKey, w uint64)) {
-	for b, w := range g.adj[a] {
-		fn(b, w)
+	if i := g.adj.get(a); i >= 0 {
+		g.adj.arena[i].forEach(fn)
 	}
 }
 
@@ -170,8 +180,8 @@ func (g *Graph) TotalWeight() uint64 { return g.totalW }
 // NumEdges returns the number of undirected chunk-pair edges.
 func (g *Graph) NumEdges() int {
 	n := 0
-	for _, m := range g.adj {
-		n += len(m)
+	for i := range g.adj.arena {
+		n += g.adj.arena[i].degree()
 	}
 	return n / 2
 }
@@ -186,11 +196,12 @@ func (g *Graph) Finalize(cutoff float64) {
 		g.nodes[i].Popularity = 0
 		g.nodes[i].Popular = false
 	}
-	for from, m := range g.adj {
-		n := &g.nodes[from.Node()]
-		for _, w := range m {
+	for i := range g.adj.arena {
+		e := &g.adj.arena[i]
+		n := &g.nodes[e.from.Node()]
+		e.forEach(func(_ ChunkKey, w uint64) {
 			n.Popularity += w
-		}
+		})
 	}
 	var total uint64
 	order := make([]NodeID, 0, len(g.nodes))
@@ -248,21 +259,25 @@ func (g *Graph) PopularNodes() []NodeID {
 // ForEachEdge calls fn once per undirected edge, in deterministic
 // (sorted-key) order — the iteration order serialized profiles rely on.
 func (g *Graph) ForEachEdge(fn func(a, b ChunkKey, w uint64)) {
-	froms := make([]ChunkKey, 0, len(g.adj))
-	for from := range g.adj {
-		froms = append(froms, from)
+	order := make([]int, len(g.adj.arena))
+	for i := range order {
+		order[i] = i
 	}
-	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
-	for _, from := range froms {
-		tos := make([]ChunkKey, 0, len(g.adj[from]))
-		for to := range g.adj[from] {
-			if from < to {
+	sort.Slice(order, func(i, j int) bool {
+		return g.adj.arena[order[i]].from < g.adj.arena[order[j]].from
+	})
+	var tos []ChunkKey
+	for _, i := range order {
+		e := &g.adj.arena[i]
+		tos = tos[:0]
+		e.forEach(func(to ChunkKey, _ uint64) {
+			if e.from < to {
 				tos = append(tos, to)
 			}
-		}
+		})
 		sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
 		for _, to := range tos {
-			fn(from, to, g.adj[from][to])
+			fn(e.from, to, e.weight(to))
 		}
 	}
 }
@@ -283,17 +298,17 @@ func MakeNodePair(a, b NodeID) NodePair {
 // Self pairs (intra-object chunk relationships) are excluded.
 func (g *Graph) NodePairWeights() map[NodePair]uint64 {
 	out := make(map[NodePair]uint64)
-	for from, m := range g.adj {
-		for to, w := range m {
-			if from >= to {
-				continue // adjacency is symmetric; count each edge once
+	for i := range g.adj.arena {
+		e := &g.adj.arena[i]
+		na := e.from.Node()
+		e.forEach(func(to ChunkKey, w uint64) {
+			if e.from >= to {
+				return // adjacency is symmetric; count each edge once
 			}
-			na, nb := from.Node(), to.Node()
-			if na == nb {
-				continue
+			if nb := to.Node(); nb != na {
+				out[MakeNodePair(na, nb)] += w
 			}
-			out[MakeNodePair(na, nb)] += w
-		}
+		})
 	}
 	return out
 }

@@ -24,8 +24,8 @@ echo "==> test"
 go test ./...
 
 if [ "${1:-}" != "fast" ]; then
-    echo "==> race (core, sim, metrics)"
-    go test -race ./internal/core/... ./internal/sim/... ./internal/metrics/...
+    echo "==> race (exec, core, sim, metrics, benchsuite)"
+    go test -race ./internal/exec/... ./internal/core/... ./internal/sim/... ./internal/metrics/... ./internal/benchsuite/...
 
     echo "==> fuzz smoke (persist)"
     go test -fuzz=FuzzReadProfile -fuzztime=15s ./internal/persist
