@@ -28,7 +28,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print profile/placement diagnostics")
 	withRandom := flag.Bool("random", false, "also evaluate the random-layout control")
 	scale := flag.Float64("scale", 1.0, "burst-count multiplier")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the evaluation passes (1 = sequential, 0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the profiling stage's TRG shard workers and the evaluation passes (1 = sequential, 0 = GOMAXPROCS; results are identical at any setting)")
 	loadProfile := flag.String("load-profile", "", "read the profile from this file instead of profiling")
 	loadPlacement := flag.String("load-placement", "", "read the placement map from this file instead of placing")
 	flag.Parse()

@@ -46,6 +46,7 @@ func run() int {
 		sha          = flag.String("sha", "", "commit id stamped into the artifact (default: $GITHUB_SHA, then git HEAD, then \"dev\")")
 		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the suite (1 = sequential, 0 = GOMAXPROCS)")
 		seqCompare   = flag.Bool("seq-compare", true, "when -parallel > 1, also time a sequential run, record the speedup, and verify the results are byte-identical")
+		minSpeedup   = flag.Float64("min-speedup", 0, "fail (exit 1) when the seq-compare speedup falls below this on a machine with >= 4 CPUs (0 = no gate; skipped with a notice on smaller machines)")
 		quiet        = flag.Bool("q", false, "suppress the per-workload table")
 	)
 	flag.Parse()
@@ -67,11 +68,16 @@ func run() int {
 	}
 	wall := time.Since(start)
 	art := benchsuite.BuildArtifact(resolveSHA(*sha), effScale, cmps, mc.Snapshot())
-	art.Timing = &benchsuite.Timing{Parallelism: *parallel, WallNanos: wall.Nanoseconds()}
+	art.Timing = &benchsuite.Timing{
+		Parallelism:  *parallel,
+		WallNanos:    wall.Nanoseconds(),
+		ProfileNanos: mc.StageTotal(metrics.StageProfile).Nanoseconds(),
+	}
 
 	if *parallel > 1 && *seqCompare {
+		seqMC := metrics.New()
 		seqStart := time.Now()
-		seqCmps, _, err := benchsuite.Config{Scale: *scale, Workloads: names, Parallelism: 1}.Run()
+		seqCmps, _, err := benchsuite.Config{Scale: *scale, Workloads: names, Metrics: seqMC, Parallelism: 1}.Run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccdpbench: sequential comparison run:", err)
 			return 2
@@ -79,6 +85,7 @@ func run() int {
 		seqWall := time.Since(seqStart)
 		art.Timing.SequentialNanos = seqWall.Nanoseconds()
 		art.Timing.Speedup = float64(seqWall) / float64(wall)
+		art.Timing.SequentialProfileNanos = seqMC.StageTotal(metrics.StageProfile).Nanoseconds()
 		// The parallel engine's contract is bit-identical results; hold it
 		// to that on every run, not just in the test suite.
 		seqArt := benchsuite.BuildArtifact(art.SHA, effScale, seqCmps, metrics.Snapshot{})
@@ -88,6 +95,21 @@ func run() int {
 		}
 		fmt.Printf("parallel %d: %v vs sequential %v (speedup %.2fx, results identical)\n",
 			*parallel, wall.Round(time.Millisecond), seqWall.Round(time.Millisecond), art.Timing.Speedup)
+		if *minSpeedup > 0 {
+			switch {
+			case runtime.NumCPU() < 4:
+				fmt.Printf("speedup gate skipped: %d CPUs < 4 (would require >= %.2fx)\n",
+					runtime.NumCPU(), *minSpeedup)
+			case art.Timing.Speedup < *minSpeedup:
+				fmt.Fprintf(os.Stderr, "GATE FAIL: speedup %.2fx below required %.2fx on %d CPUs\n",
+					art.Timing.Speedup, *minSpeedup, runtime.NumCPU())
+				return 1
+			default:
+				fmt.Printf("speedup gate OK: %.2fx >= %.2fx\n", art.Timing.Speedup, *minSpeedup)
+			}
+		}
+	} else if *minSpeedup > 0 {
+		fmt.Println("speedup gate skipped: requires -parallel > 1 with -seq-compare")
 	}
 
 	if !*quiet {

@@ -69,6 +69,13 @@ type Timing struct {
 	SequentialNanos int64 `json:"sequentialNanos,omitempty"`
 	// Speedup is SequentialNanos/WallNanos (0 when no comparison ran).
 	Speedup float64 `json:"speedup,omitempty"`
+
+	// ProfileNanos is the cumulative profiling-stage (TRG build) time
+	// across the suite's pipelines, and SequentialProfileNanos the same
+	// for the sequential comparison run — the stage the sharded recency
+	// queue parallelizes (0 when metrics were not collected).
+	ProfileNanos           int64 `json:"profileNanos,omitempty"`
+	SequentialProfileNanos int64 `json:"sequentialProfileNanos,omitempty"`
 }
 
 // BuildArtifact assembles an artifact from a suite run.

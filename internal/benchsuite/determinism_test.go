@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // TestSuiteParallelDeterminism is the acceptance check for the parallel
@@ -38,5 +41,42 @@ func TestSuiteParallelDeterminism(t *testing.T) {
 		if s, p := seqMC.Get(ctr), parMC.Get(ctr); s != p {
 			t.Errorf("counter %v: sequential %d vs merged parallel %d", ctr, s, p)
 		}
+	}
+}
+
+// TestCoreRunParallelProfileDeterminism extends the determinism gate to
+// the profiling stage: the suite harness keeps inner pipelines sequential
+// (workloads are the fan-out unit), so this drives core.Run directly,
+// where Parallelism > 1 engages the sharded TRG profiler as well as the
+// parallel evaluation passes. Artifacts must stay byte-identical.
+func TestCoreRunParallelProfileDeterminism(t *testing.T) {
+	names := []string{"compress", "espresso", "deltablue"}
+	run := func(parallelism int) []byte {
+		var cmps []*core.Comparison
+		for _, name := range names {
+			w, err := workload.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := sim.DefaultOptions()
+			opts.Parallelism = parallelism
+			cmp, err := core.Run(w, opts, nil, ScaledInputs(w, 0.05))
+			if err != nil {
+				t.Fatalf("parallelism %d: %s: %v", parallelism, name, err)
+			}
+			cmps = append(cmps, cmp)
+		}
+		art := BuildArtifact("determinism", 0.05, cmps, metrics.Snapshot{})
+		art.Timing = nil
+		b, err := json.Marshal(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	seq := run(1)
+	par := run(4)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel profile stage diverged from sequential:\nsequential: %s\nparallel:   %s", seq, par)
 	}
 }

@@ -14,6 +14,10 @@
 //   - the first task error cancels the pool's context (in-flight tasks
 //     finish, unstarted ones are skipped) and all errors are aggregated
 //     with errors.Join in task order.
+//
+// Two scheduling shapes share those rules: Map, for finite task lists, and
+// Stream, for ordered fan-out of an unbounded item sequence to long-lived
+// stateful workers (the sharded profiling stage).
 package exec
 
 import (
@@ -26,6 +30,71 @@ import (
 
 	"repro/internal/metrics"
 )
+
+// Stream is the engine's second scheduling shape: where Map fans a finite
+// task list across interchangeable workers, a Stream fans an *ordered
+// sequence* of items across N long-lived stateful workers — every worker
+// receives every item, in exactly the send order, on its own goroutine.
+// That is the shape a sharded streaming stage needs (e.g. the sharded TRG
+// profiler): each worker holds shard-local state that must evolve as a
+// deterministic function of the full stream, while the expensive part of
+// each item is partitioned among the workers by shard.
+//
+// Per-worker delivery is a bounded FIFO channel, so a producer outrunning
+// the slowest worker blocks (backpressure) rather than buffering without
+// limit. Workers share nothing through the Stream itself; any cross-worker
+// coordination (e.g. refcounted buffer recycling) belongs to the items.
+type Stream[T any] struct {
+	chans []chan T
+	wg    sync.WaitGroup
+}
+
+// NewStream starts workers goroutines, each invoking fn(worker, item) for
+// every item sent, in send order. workers and depth (the per-worker
+// channel buffer) are clamped to >= 1.
+func NewStream[T any](workers, depth int, fn func(worker int, item T)) *Stream[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	s := &Stream[T]{chans: make([]chan T, workers)}
+	for w := range s.chans {
+		ch := make(chan T, depth)
+		s.chans[w] = ch
+		s.wg.Add(1)
+		go func(w int, ch chan T) {
+			defer s.wg.Done()
+			for item := range ch {
+				fn(w, item)
+			}
+		}(w, ch)
+	}
+	return s
+}
+
+// Workers returns the worker count.
+func (s *Stream[T]) Workers() int { return len(s.chans) }
+
+// Send delivers item to every worker, blocking on any worker whose buffer
+// is full. Send must not be called concurrently with itself or after
+// Close; the single-producer restriction is what makes per-worker order
+// equal send order.
+func (s *Stream[T]) Send(item T) {
+	for _, ch := range s.chans {
+		ch <- item
+	}
+}
+
+// Close stops accepting items and blocks until every worker has drained
+// its buffer and exited. It must be called exactly once.
+func (s *Stream[T]) Close() {
+	for _, ch := range s.chans {
+		close(ch)
+	}
+	s.wg.Wait()
+}
 
 // Task is one independent unit of work. mc is the worker-local collector
 // (nil when the caller collects no metrics); the task's result must

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -160,5 +161,58 @@ func TestMapNilCollectorGivesNilWorkerCollectors(t *testing.T) {
 	}
 	if _, err := Map(context.Background(), 2, nil, tasks); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStreamBroadcastsInOrder(t *testing.T) {
+	const workers, items = 4, 100
+	got := make([][]int, workers)
+	s := NewStream(workers, 3, func(w int, item int) {
+		got[w] = append(got[w], item)
+	})
+	if s.Workers() != workers {
+		t.Fatalf("Workers() = %d, want %d", s.Workers(), workers)
+	}
+	for i := 0; i < items; i++ {
+		s.Send(i)
+	}
+	s.Close()
+	for w := 0; w < workers; w++ {
+		if len(got[w]) != items {
+			t.Fatalf("worker %d saw %d items, want %d (every worker sees every item)", w, len(got[w]), items)
+		}
+		for i, v := range got[w] {
+			if v != i {
+				t.Fatalf("worker %d item %d = %d, want send order preserved", w, i, v)
+			}
+		}
+	}
+}
+
+func TestStreamCloseDrains(t *testing.T) {
+	var done atomic.Int64
+	s := NewStream(2, 8, func(_ int, item int) {
+		time.Sleep(time.Millisecond)
+		done.Add(1)
+	})
+	for i := 0; i < 10; i++ {
+		s.Send(i)
+	}
+	s.Close() // must block until both workers drain all 10 items
+	if got := done.Load(); got != 20 {
+		t.Fatalf("Close returned with %d items processed, want 20", got)
+	}
+}
+
+func TestStreamClampsDegenerateArgs(t *testing.T) {
+	var n atomic.Int64
+	s := NewStream(0, 0, func(_ int, _ struct{}) { n.Add(1) })
+	if s.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want clamp to 1", s.Workers())
+	}
+	s.Send(struct{}{})
+	s.Close()
+	if n.Load() != 1 {
+		t.Fatalf("processed %d, want 1", n.Load())
 	}
 }

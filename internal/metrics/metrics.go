@@ -125,14 +125,18 @@ const (
 	// HistMergeMembers sketches compound sizes (members) after each
 	// phase-6 merge.
 	HistMergeMembers
+	// HistQueueOccupancy sketches the recency queue's byte occupancy,
+	// sampled once per delivered trace batch during TRG construction.
+	HistQueueOccupancy
 
 	NumHists int = iota
 )
 
 var histNames = [NumHists]string{
-	HistAllocSize:    "alloc_size_bytes",
-	HistAccessSize:   "access_size_bytes",
-	HistMergeMembers: "merge_members",
+	HistAllocSize:      "alloc_size_bytes",
+	HistAccessSize:     "access_size_bytes",
+	HistMergeMembers:   "merge_members",
+	HistQueueOccupancy: "queue_occupancy_bytes",
 }
 
 // String returns the histogram's export name.

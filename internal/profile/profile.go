@@ -19,6 +19,10 @@
 // Placement identity: globals, constants, and the stack map to one node per
 // object; heap allocations map to one node per XOR call-stack name, because
 // that is the unit the custom allocator can steer.
+//
+// Two profilers produce identical output: the sequential Profiler here,
+// and the sharded parallel profiler in sharded.go that partitions the edge
+// scans — the dominant cost — across per-cache-set-group workers.
 package profile
 
 import (
@@ -111,30 +115,107 @@ func (p *Profile) Node(id object.ID) trg.NodeID {
 	return p.NodeOf[id]
 }
 
-// Profiler consumes the event stream and builds a Profile. It implements
-// trace.Handler.
-type Profiler struct {
-	cfg   Config
+// binder is the Name-profile half of a profiling run: it resolves objects
+// to placement nodes and maintains node metadata. It is inherently serial
+// (node IDs are assigned in first-reference order) and is shared by the
+// sequential Profiler and the sharded profiler, both of which run it on
+// the event-delivery goroutine.
+type binder struct {
 	objs  *object.Table
 	graph *trg.Graph
 
 	nodeOf   []trg.NodeID
 	heapNode map[uint64]trg.NodeID
 	allocSeq int
-
-	// recency queue
-	entries map[trg.ChunkKey]*qEntry
-	head    *qEntry // most recent
-	tail    *qEntry
-	qBytes  int64
-
-	refs uint64
 }
 
-type qEntry struct {
-	key        trg.ChunkKey
-	size       int64
-	prev, next *qEntry
+func (b *binder) init(objs *object.Table, g *trg.Graph) {
+	b.objs = objs
+	b.graph = g
+	b.heapNode = make(map[uint64]trg.NodeID)
+}
+
+// nodeFor resolves (creating if needed) the placement node of object id.
+func (b *binder) nodeFor(id object.ID) trg.NodeID {
+	for int(id) >= len(b.nodeOf) {
+		b.nodeOf = append(b.nodeOf, trg.NoNode)
+	}
+	if nd := b.nodeOf[id]; nd != trg.NoNode {
+		return nd
+	}
+	in := b.objs.Get(id)
+	var nd trg.NodeID
+	if in.Category == object.Heap {
+		nd = b.heapNodeFor(in)
+	} else {
+		nd = b.graph.AddNode(trg.Node{
+			Category: in.Category,
+			Name:     in.Name,
+			Size:     in.Size,
+			Addr:     in.NaturalAddr,
+		})
+	}
+	b.nodeOf[id] = nd
+	return nd
+}
+
+func (b *binder) heapNodeFor(in *object.Info) trg.NodeID {
+	if nd, ok := b.heapNode[in.XORName]; ok {
+		n := b.graph.Node(nd)
+		if in.Size > n.Size {
+			n.Size = in.Size
+		}
+		return nd
+	}
+	nd := b.graph.AddNode(trg.Node{
+		Category:   object.Heap,
+		Name:       in.Name,
+		Size:       in.Size,
+		XORName:    in.XORName,
+		AllocOrder: b.allocSeq,
+	})
+	b.heapNode[in.XORName] = nd
+	return nd
+}
+
+func (b *binder) noteAlloc(id object.ID) {
+	in := b.objs.Get(id)
+	nd := b.nodeFor(id)
+	n := b.graph.Node(nd)
+	n.AllocCount++
+	b.allocSeq++
+	if b.objs.LiveWithXOR(in.XORName) > 1 {
+		n.NonUniqueXOR = true
+	}
+}
+
+// finishProfile creates nodes for declared-but-unreferenced globals and
+// constants (they still need placement slots), computes popularity, and
+// assembles the completed profile.
+func (b *binder) finishProfile(cfg Config, refs uint64) *Profile {
+	b.objs.ForEach(func(in *object.Info) {
+		if in.Category == object.Global || in.Category == object.Constant {
+			b.nodeFor(in.ID)
+		}
+	})
+	b.graph.Finalize(cfg.PopularityCutoff)
+	return &Profile{
+		Config:    cfg,
+		Graph:     b.graph,
+		NodeOf:    b.nodeOf,
+		HeapNode:  b.heapNode,
+		TotalRefs: refs,
+	}
+}
+
+// Profiler consumes the event stream and builds a Profile. It implements
+// trace.Handler.
+type Profiler struct {
+	cfg Config
+	binder
+
+	q    recencyQueue
+	refs uint64
 }
 
 // New creates a profiler over the given object table.
@@ -142,14 +223,10 @@ func New(cfg Config, objs *object.Table) (*Profiler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	p := &Profiler{
-		cfg:      cfg,
-		objs:     objs,
-		graph:    trg.NewGraph(cfg.ChunkSize),
-		heapNode: make(map[uint64]trg.NodeID),
-		entries:  make(map[trg.ChunkKey]*qEntry),
-	}
+	p := &Profiler{cfg: cfg}
+	p.binder.init(objs, trg.NewGraph(cfg.ChunkSize))
 	p.graph.SetMetrics(cfg.Metrics)
+	p.q.init(cfg.QueueThreshold, cfg.Metrics)
 	return p, nil
 }
 
@@ -174,67 +251,38 @@ func (p *Profiler) HandleEvent(ev trace.Event) {
 	}
 }
 
-// HandleBatch implements trace.BatchHandler: the emitter delivers runs
-// of loads and stores in one call, and the profiler consumes them in a
-// tight loop without per-event interface dispatch.
+// HandleBatch implements trace.BatchHandler. The emitter only batches
+// loads and stores (allocs and frees flush first and arrive through
+// HandleEvent), so the Kind switch is hoisted out entirely, and when time
+// sampling is off — the common case — the per-event sampling check and
+// reference-counter increment are hoisted too.
 func (p *Profiler) HandleBatch(evs []trace.Event) {
-	for i := range evs {
-		p.HandleEvent(evs[i])
-	}
-}
-
-// nodeFor resolves (creating if needed) the placement node of object id.
-func (p *Profiler) nodeFor(id object.ID) trg.NodeID {
-	for int(id) >= len(p.nodeOf) {
-		p.nodeOf = append(p.nodeOf, trg.NoNode)
-	}
-	if nd := p.nodeOf[id]; nd != trg.NoNode {
-		return nd
-	}
-	in := p.objs.Get(id)
-	var nd trg.NodeID
-	if in.Category == object.Heap {
-		nd = p.heapNodeFor(in)
-	} else {
-		nd = p.graph.AddNode(trg.Node{
-			Category: in.Category,
-			Name:     in.Name,
-			Size:     in.Size,
-			Addr:     in.NaturalAddr,
-		})
-	}
-	p.nodeOf[id] = nd
-	return nd
-}
-
-func (p *Profiler) heapNodeFor(in *object.Info) trg.NodeID {
-	if nd, ok := p.heapNode[in.XORName]; ok {
-		n := p.graph.Node(nd)
-		if in.Size > n.Size {
-			n.Size = in.Size
+	if p.cfg.SamplePeriod == 0 {
+		for i := range evs {
+			ev := &evs[i]
+			nd := p.nodeFor(ev.Obj)
+			p.graph.Node(nd).Refs++
+			p.touchRange(nd, ev.Off, ev.Size)
 		}
-		return nd
+		p.refs += uint64(len(evs))
+	} else {
+		period, window := p.cfg.SamplePeriod, p.cfg.SampleWindow
+		refs := p.refs
+		for i := range evs {
+			ev := &evs[i]
+			refs++
+			nd := p.nodeFor(ev.Obj)
+			p.graph.Node(nd).Refs++
+			if refs%period >= window {
+				continue
+			}
+			p.touchRange(nd, ev.Off, ev.Size)
+		}
+		p.refs = refs
 	}
-	nd := p.graph.AddNode(trg.Node{
-		Category:   object.Heap,
-		Name:       in.Name,
-		Size:       in.Size,
-		XORName:    in.XORName,
-		AllocOrder: p.allocSeq,
-	})
-	p.heapNode[in.XORName] = nd
-	return nd
-}
-
-func (p *Profiler) noteAlloc(id object.ID) {
-	in := p.objs.Get(id)
-	nd := p.nodeFor(id)
-	n := p.graph.Node(nd)
-	n.AllocCount++
-	p.allocSeq++
-	if p.objs.LiveWithXOR(in.XORName) > 1 {
-		n.NonUniqueXOR = true
-	}
+	// Queue occupancy is sampled once per batch: fine-grained enough to
+	// sketch the distribution, far off the per-reference path.
+	p.cfg.Metrics.Observe(metrics.HistQueueOccupancy, uint64(p.q.occupancy()))
 }
 
 // touchRange feeds every chunk covered by [off, off+size) through the
@@ -260,77 +308,19 @@ func (p *Profiler) touchRange(nd trg.NodeID, off, size int64) {
 
 // touch is the TRG queue step from section 3.2.
 func (p *Profiler) touch(key trg.ChunkKey, size int64) {
-	if e, ok := p.entries[key]; ok {
+	if e := p.q.get(key); e != nil {
 		// Record a temporal relationship with every chunk referenced
 		// since the last touch of key (the entries ahead of it).
-		for x := p.head; x != nil && x != e; x = x.next {
+		for x := p.q.head; x != nil && x != e; x = x.next {
 			p.graph.AddWeight(key, x.key, 1)
 		}
-		p.moveToFront(e)
+		p.q.moveToFront(e)
 		return
 	}
-	e := &qEntry{key: key, size: size}
-	p.entries[key] = e
-	p.pushFront(e)
-	p.qBytes += size
-	for p.qBytes > p.cfg.QueueThreshold && p.tail != nil && p.tail != p.head {
-		victim := p.tail
-		p.unlink(victim)
-		delete(p.entries, victim.key)
-		p.qBytes -= victim.size
-		p.cfg.Metrics.Add(metrics.QueueEvictions, 1)
-	}
+	p.q.insert(key, size)
 }
 
-func (p *Profiler) pushFront(e *qEntry) {
-	e.prev = nil
-	e.next = p.head
-	if p.head != nil {
-		p.head.prev = e
-	}
-	p.head = e
-	if p.tail == nil {
-		p.tail = e
-	}
-}
-
-func (p *Profiler) unlink(e *qEntry) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		p.head = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		p.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-}
-
-func (p *Profiler) moveToFront(e *qEntry) {
-	if p.head == e {
-		return
-	}
-	p.unlink(e)
-	p.pushFront(e)
-}
-
-// Finish creates nodes for declared-but-unreferenced globals and constants
-// (they still need placement slots), computes popularity, and returns the
-// completed profile.
+// Finish completes and returns the profile.
 func (p *Profiler) Finish() *Profile {
-	p.objs.ForEach(func(in *object.Info) {
-		if in.Category == object.Global || in.Category == object.Constant {
-			p.nodeFor(in.ID)
-		}
-	})
-	p.graph.Finalize(p.cfg.PopularityCutoff)
-	return &Profile{
-		Config:    p.cfg,
-		Graph:     p.graph,
-		NodeOf:    p.nodeOf,
-		HeapNode:  p.heapNode,
-		TotalRefs: p.refs,
-	}
+	return p.finishProfile(p.cfg, p.refs)
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package profile
+
+// raceEnabled reports whether the race detector is active; the
+// allocation-pinning tests skip under it (instrumentation allocates).
+const raceEnabled = false

@@ -1,0 +1,295 @@
+package profile
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/object"
+	"repro/internal/trace"
+	"repro/internal/trg"
+)
+
+// Sharded is the parallel profiler: it produces output byte-identical to
+// the sequential Profiler while spreading the TRG edge scans — the
+// dominant cost of the profiling pass — across per-shard workers.
+//
+// The shard of a chunk is derived from the placement cache's geometry:
+// chunks are binned into "set groups" (the cache holds cacheSize/chunkSize
+// chunk-sized frames, and under any frame-aligned placement, chunk c of a
+// node occupies frame (node+c) mod setGroups), and set groups fold onto
+// workers round-robin. Temporal edges only *matter* between chunks that
+// can share a cache set, but the sequential oracle records them between
+// any queue-adjacent pair, so exactness is preserved differently — by
+// decomposition, not filtering:
+//
+//   - Every worker replays the entire touch stream through its own replica
+//     of the recency queue. Queue state is a deterministic pure function
+//     of the touch stream, so all replicas are identical at every step;
+//     the bookkeeping is O(1) amortized per touch and cheap.
+//   - When a touched chunk is found in the queue, only the worker that
+//     owns the chunk's shard performs the O(queue-length) scan of entries
+//     ahead of it and accumulates edges into its own trg.Graph arena.
+//     The sequential weight of edge (a, b) is exactly (contributions from
+//     touches of a) + (contributions from touches of b), and each term is
+//     recorded by exactly one worker, so summing the per-shard arenas in
+//     Finish reproduces the sequential graph bit for bit.
+//
+// A filtered design — independent queues that each see only their shard's
+// touches, with threshold/numShards byte caps — would be cheaper still but
+// is not exact: it drops every cross-shard edge and changes eviction
+// timing. The differential tests in sharded_test.go hold Sharded to exact
+// equality with the single-queue oracle instead.
+//
+// The serial remainder (object-to-node binding, per-node reference counts,
+// sampling decisions, and chunk expansion) runs on the event-delivery
+// goroutine; it is O(1) per reference with no queue walks. Batches are
+// copied into pooled touch buffers and broadcast to the workers through an
+// exec.Stream, so the emitter's event ring is never retained and the
+// profiling pass pipelines: the workload generates the next batch while
+// the workers scan the previous one.
+type Sharded struct {
+	cfg Config
+	binder
+
+	refs      uint64
+	shards    int
+	setGroups int
+
+	workers []*shardWorker
+	stream  *exec.Stream[*touchBatch]
+	pool    chan *touchBatch
+}
+
+// touch is one recency-queue step: a chunk key, the chunk's byte size for
+// queue accounting, and its precomputed owning shard.
+type touch struct {
+	key   trg.ChunkKey
+	size  int64
+	shard int32
+}
+
+// touchBatch is a pooled, refcounted touch buffer shared read-only by all
+// workers; the last worker to finish returns it to the pool.
+type touchBatch struct {
+	touches []touch
+	pending atomic.Int32
+	pool    chan *touchBatch
+}
+
+func (b *touchBatch) release() {
+	select {
+	case b.pool <- b:
+	default: // pool full; let the GC have it
+	}
+}
+
+// streamDepth is the per-worker batch buffer: deep enough to pipeline the
+// producer against the workers, shallow enough to bound memory.
+const streamDepth = 8
+
+// shardWorker owns one shard: a full replica of the recency queue plus the
+// edge arena for the chunks it owns.
+type shardWorker struct {
+	shard int32
+	q     recencyQueue
+	graph *trg.Graph
+
+	// mc is non-nil on worker 0 only: replicas evolve identically, so
+	// exactly one observes evictions and occupancy, keeping the counters
+	// equal to a sequential run's.
+	mc *metrics.Collector
+}
+
+func (w *shardWorker) process(b *touchBatch) {
+	for i := range b.touches {
+		t := &b.touches[i]
+		if e := w.q.get(t.key); e != nil {
+			if t.shard == w.shard {
+				for x := w.q.head; x != nil && x != e; x = x.next {
+					w.graph.AddWeight(t.key, x.key, 1)
+				}
+			}
+			w.q.moveToFront(e)
+		} else {
+			w.q.insert(t.key, t.size)
+		}
+	}
+	w.mc.Observe(metrics.HistQueueOccupancy, uint64(w.q.occupancy()))
+	if b.pending.Add(-1) == 0 {
+		b.release()
+	}
+}
+
+// NewSharded creates a parallel profiler over the given object table.
+// shards is clamped to [1, setGroups] where setGroups is the number of
+// chunk-sized frames in the placement cache (cacheSize/ChunkSize): more
+// workers than set groups could never all own work. cacheSize <= 0 derives
+// the geometry from the queue threshold (the paper's threshold is twice
+// the cache size).
+func NewSharded(cfg Config, objs *object.Table, shards int, cacheSize int64) (*Sharded, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cacheSize <= 0 {
+		cacheSize = cfg.QueueThreshold / 2
+	}
+	setGroups := int(cacheSize / cfg.ChunkSize)
+	if setGroups < 1 {
+		setGroups = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > setGroups {
+		shards = setGroups
+	}
+
+	s := &Sharded{cfg: cfg, shards: shards, setGroups: setGroups}
+	s.binder.init(objs, trg.NewGraph(cfg.ChunkSize))
+	s.graph.SetMetrics(cfg.Metrics)
+	s.pool = make(chan *touchBatch, streamDepth+2)
+	s.workers = make([]*shardWorker, shards)
+	for i := range s.workers {
+		w := &shardWorker{shard: int32(i), graph: trg.NewGraph(cfg.ChunkSize)}
+		var qmc *metrics.Collector
+		if i == 0 {
+			qmc = cfg.Metrics
+			w.mc = cfg.Metrics
+		}
+		w.q.init(cfg.QueueThreshold, qmc)
+		s.workers[i] = w
+	}
+	s.stream = exec.NewStream(shards, streamDepth, func(wi int, b *touchBatch) {
+		s.workers[wi].process(b)
+	})
+	return s, nil
+}
+
+// Shards returns the effective shard count after geometry clamping.
+func (s *Sharded) Shards() int { return s.shards }
+
+// shardOf maps a chunk key to its owning shard via the key's set group.
+func (s *Sharded) shardOf(key trg.ChunkKey) int32 {
+	sg := (uint64(uint32(key.Node())) + uint64(key.Chunk())) % uint64(s.setGroups)
+	return int32(sg % uint64(s.shards))
+}
+
+// grab takes a touch buffer from the pool, or allocates one.
+func (s *Sharded) grab() *touchBatch {
+	select {
+	case b := <-s.pool:
+		return b
+	default:
+		return &touchBatch{pool: s.pool}
+	}
+}
+
+// dispatch broadcasts a filled buffer to every worker (empty buffers go
+// straight back to the pool).
+func (s *Sharded) dispatch(b *touchBatch) {
+	if len(b.touches) == 0 {
+		b.release()
+		return
+	}
+	b.pending.Store(int32(s.shards))
+	s.stream.Send(b)
+}
+
+// appendTouches expands one reference into its chunk touches, mirroring
+// the sequential profiler's touchRange.
+func (s *Sharded) appendTouches(ts []touch, nd trg.NodeID, off, size int64) []touch {
+	if size <= 0 {
+		size = 1
+	}
+	n := s.graph.Node(nd)
+	first := off / s.cfg.ChunkSize
+	last := (off + size - 1) / s.cfg.ChunkSize
+	for c := first; c <= last; c++ {
+		clen := s.cfg.ChunkSize
+		if rem := n.Size - c*s.cfg.ChunkSize; rem < clen {
+			clen = rem
+		}
+		if clen <= 0 {
+			clen = 1
+		}
+		key := trg.MakeChunkKey(nd, int(c))
+		ts = append(ts, touch{key: key, size: clen, shard: s.shardOf(key)})
+	}
+	return ts
+}
+
+// HandleEvent implements trace.Handler. Loads and stores arriving singly
+// (no batching upstream) are forwarded as one-touch batches; allocs and
+// frees are pure binder work on the delivery goroutine — the workers never
+// read node state, so no barrier is needed.
+func (s *Sharded) HandleEvent(ev trace.Event) {
+	switch ev.Kind {
+	case trace.Load, trace.Store:
+		s.refs++
+		nd := s.nodeFor(ev.Obj)
+		s.graph.Node(nd).Refs++
+		if s.cfg.SamplePeriod > 0 && s.refs%s.cfg.SamplePeriod >= s.cfg.SampleWindow {
+			return
+		}
+		b := s.grab()
+		b.touches = s.appendTouches(b.touches[:0], nd, ev.Off, ev.Size)
+		s.dispatch(b)
+	case trace.Alloc:
+		s.noteAlloc(ev.Obj)
+	case trace.Free:
+	}
+}
+
+// HandleBatch implements trace.BatchHandler: the serial prefix (binding,
+// reference counts, sampling, chunk expansion) runs here in one tight
+// loop — the Kind switch hoisted exactly as in the sequential profiler —
+// and the resulting touch buffer is broadcast to the shard workers.
+func (s *Sharded) HandleBatch(evs []trace.Event) {
+	b := s.grab()
+	ts := b.touches[:0]
+	if s.cfg.SamplePeriod == 0 {
+		for i := range evs {
+			ev := &evs[i]
+			nd := s.nodeFor(ev.Obj)
+			s.graph.Node(nd).Refs++
+			ts = s.appendTouches(ts, nd, ev.Off, ev.Size)
+		}
+		s.refs += uint64(len(evs))
+	} else {
+		period, window := s.cfg.SamplePeriod, s.cfg.SampleWindow
+		refs := s.refs
+		for i := range evs {
+			ev := &evs[i]
+			refs++
+			nd := s.nodeFor(ev.Obj)
+			s.graph.Node(nd).Refs++
+			if refs%period >= window {
+				continue
+			}
+			ts = s.appendTouches(ts, nd, ev.Off, ev.Size)
+		}
+		s.refs = refs
+	}
+	b.touches = ts
+	s.dispatch(b)
+}
+
+// Finish drains the workers, merges the per-shard edge arenas into the
+// shared graph in shard-major order, settles the TRG counters once (so
+// merged totals equal a sequential run's), and completes the profile.
+// It must be called exactly once.
+func (s *Sharded) Finish() *Profile {
+	s.stream.Close()
+	mc := s.cfg.Metrics
+	for i, w := range s.workers {
+		s.graph.Merge(w.graph)
+		if mc != nil {
+			mc.AddNamed(fmt.Sprintf("profile.shard%02d.edges", i), uint64(w.graph.NumEdges()))
+		}
+	}
+	mc.Add(metrics.TRGEdges, uint64(s.graph.NumEdges()))
+	mc.Add(metrics.TRGWeight, s.graph.TotalWeight())
+	return s.finishProfile(s.cfg, s.refs)
+}

@@ -41,8 +41,9 @@ type Options struct {
 	RandomSeed uint64
 
 	// Parallelism bounds how many independent pipeline units run
-	// concurrently: evaluation passes inside core.Run and whole
-	// workloads inside benchsuite. Values <= 1 run sequentially; 0 is
+	// concurrently: evaluation passes inside core.Run, whole workloads
+	// inside benchsuite, and the per-cache-set shard workers of the
+	// profiling pass's TRG build. Values <= 1 run sequentially; 0 is
 	// the conservative sequential default so existing callers are
 	// unchanged. Results are bit-identical at any setting — every pass
 	// is deterministic and shares only read-only state (see DESIGN.md,
@@ -121,7 +122,20 @@ type ProfileResult struct {
 	Objects *object.Table
 }
 
+// profiler is the common face of the sequential and sharded profilers.
+type profiler interface {
+	trace.BatchHandler
+	Finish() *profile.Profile
+}
+
 // ProfilePass runs the workload once, collecting the Name profile and TRG.
+// With opts.Parallelism > 1 the TRG build runs on the sharded profiler:
+// the recency-queue edge scans fan out across per-cache-set-group workers
+// (at most Parallelism, clamped by the cache geometry) while the event
+// stream stays strictly ordered. The result is byte-identical to the
+// sequential profiler at any setting — the differential tests hold the
+// sharded build to exact edge-weight equality with the single-queue
+// oracle.
 func ProfilePass(w workload.Workload, in workload.Input, opts Options) (*ProfileResult, error) {
 	span := opts.Metrics.Start(metrics.StageProfile)
 	defer span.Stop()
@@ -132,9 +146,19 @@ func ProfilePass(w workload.Workload, in workload.Input, opts Options) (*Profile
 	table, prog, em := buildRun(w, in, &tee, opts)
 	cfg := opts.Profile
 	cfg.Metrics = opts.Metrics
-	prof, err := profile.New(cfg, table)
-	if err != nil {
-		return nil, err
+	var prof profiler
+	if opts.Parallelism > 1 {
+		sp, err := profile.NewSharded(cfg, table, opts.Parallelism, opts.Cache.Size)
+		if err != nil {
+			return nil, err
+		}
+		prof = sp
+	} else {
+		p, err := profile.New(cfg, table)
+		if err != nil {
+			return nil, err
+		}
+		prof = p
 	}
 	counter := trace.NewCounter(table)
 	tee = append(tee, counter, prof)

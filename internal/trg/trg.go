@@ -158,6 +158,28 @@ func (g *Graph) bump(from, to ChunkKey, w uint64) bool {
 	return g.adj.arena[g.adj.getOrCreate(from)].add(to, w)
 }
 
+// Merge folds src's adjacency arena and total weight into g: every
+// directed half-edge weight adds, and chunk keys unseen by g extend its
+// arena in src's first-touch order — so merging per-shard arenas in a
+// fixed shard-major order is fully deterministic. Node metadata and
+// metrics are untouched (the sharded profiler keeps nodes on the shared
+// graph and accounts for counters once, after the final merge). src must
+// be quiescent and is left unmodified.
+func (g *Graph) Merge(src *Graph) {
+	if src == nil {
+		return
+	}
+	for i := range src.adj.arena {
+		e := &src.adj.arena[i]
+		idx := g.adj.getOrCreate(e.from)
+		dst := &g.adj.arena[idx]
+		e.forEach(func(to ChunkKey, w uint64) {
+			dst.add(to, w)
+		})
+	}
+	g.totalW += src.totalW
+}
+
 // Weight returns the edge weight between chunk pairs a and b (0 if absent).
 func (g *Graph) Weight(a, b ChunkKey) uint64 {
 	i := g.adj.get(a)

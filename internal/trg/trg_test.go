@@ -317,3 +317,88 @@ func TestSelectGraphIgnoresSelfEdges(t *testing.T) {
 		t.Fatal("self edge surfaced")
 	}
 }
+
+func TestMergeEqualsCombinedStream(t *testing.T) {
+	// Split one AddWeight stream across two graphs; the merge must equal
+	// the graph that saw the whole stream.
+	type add struct {
+		a, b ChunkKey
+		w    uint64
+	}
+	stream := []add{
+		{MakeChunkKey(0, 0), MakeChunkKey(1, 0), 3},
+		{MakeChunkKey(1, 0), MakeChunkKey(2, 1), 2},
+		{MakeChunkKey(0, 0), MakeChunkKey(1, 0), 1}, // repeat: weights fold
+		{MakeChunkKey(2, 1), MakeChunkKey(3, 0), 7},
+		{MakeChunkKey(0, 1), MakeChunkKey(3, 0), 4},
+	}
+	whole := NewGraph(256)
+	shardA, shardB := NewGraph(256), NewGraph(256)
+	for i, ad := range stream {
+		whole.AddWeight(ad.a, ad.b, ad.w)
+		if i%2 == 0 {
+			shardA.AddWeight(ad.a, ad.b, ad.w)
+		} else {
+			shardB.AddWeight(ad.a, ad.b, ad.w)
+		}
+	}
+	merged := NewGraph(256)
+	merged.Merge(shardA)
+	merged.Merge(shardB)
+	merged.Merge(nil) // no-op
+
+	if merged.TotalWeight() != whole.TotalWeight() {
+		t.Fatalf("merged weight %d, want %d", merged.TotalWeight(), whole.TotalWeight())
+	}
+	if merged.NumEdges() != whole.NumEdges() {
+		t.Fatalf("merged edges %d, want %d", merged.NumEdges(), whole.NumEdges())
+	}
+	type triple struct {
+		a, b ChunkKey
+		w    uint64
+	}
+	var wantE, gotE []triple
+	whole.ForEachEdge(func(a, b ChunkKey, w uint64) { wantE = append(wantE, triple{a, b, w}) })
+	merged.ForEachEdge(func(a, b ChunkKey, w uint64) { gotE = append(gotE, triple{a, b, w}) })
+	if len(gotE) != len(wantE) {
+		t.Fatalf("edge list length %d, want %d", len(gotE), len(wantE))
+	}
+	for i := range wantE {
+		if gotE[i] != wantE[i] {
+			t.Fatalf("edge[%d] = %+v, want %+v", i, gotE[i], wantE[i])
+		}
+	}
+	// src graphs are left unmodified.
+	if shardA.Weight(MakeChunkKey(0, 0), MakeChunkKey(1, 0)) != 4 {
+		t.Fatal("merge mutated its source")
+	}
+}
+
+func TestMergeDeterministicOrder(t *testing.T) {
+	// Two merges in the same shard-major order produce the same arena and
+	// therefore the same ForEachEdge sequence — the property the sharded
+	// profiler's byte-identical output rests on.
+	build := func() *Graph {
+		a, b := NewGraph(256), NewGraph(256)
+		for i := 0; i < 50; i++ {
+			a.AddWeight(MakeChunkKey(NodeID(i%7), i%3), MakeChunkKey(NodeID(i%5+7), 0), uint64(i+1))
+			b.AddWeight(MakeChunkKey(NodeID(i%6), i%2), MakeChunkKey(NodeID(i%4+6), 1), uint64(i+2))
+		}
+		g := NewGraph(256)
+		g.Merge(a)
+		g.Merge(b)
+		return g
+	}
+	g1, g2 := build(), build()
+	var e1, e2 []uint64
+	g1.ForEachEdge(func(a, b ChunkKey, w uint64) { e1 = append(e1, uint64(a), uint64(b), w) })
+	g2.ForEachEdge(func(a, b ChunkKey, w uint64) { e2 = append(e2, uint64(a), uint64(b), w) })
+	if len(e1) != len(e2) {
+		t.Fatalf("edge streams differ in length: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge stream diverges at %d: %d vs %d", i, e1[i], e2[i])
+		}
+	}
+}

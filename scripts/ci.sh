@@ -24,8 +24,8 @@ echo "==> test"
 go test ./...
 
 if [ "${1:-}" != "fast" ]; then
-    echo "==> race (exec, core, sim, metrics, benchsuite)"
-    go test -race ./internal/exec/... ./internal/core/... ./internal/sim/... ./internal/metrics/... ./internal/benchsuite/...
+    echo "==> race (exec, profile, core, sim, metrics, benchsuite)"
+    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/metrics/... ./internal/benchsuite/...
 
     echo "==> fuzz smoke (persist)"
     go test -fuzz=FuzzReadProfile -fuzztime=15s ./internal/persist
@@ -34,5 +34,8 @@ fi
 
 echo "==> bench gate"
 go run ./cmd/ccdpbench -baseline bench_baseline.json -out "BENCH_local.json"
+
+echo "==> multi-core speedup gate"
+go run ./cmd/ccdpbench -parallel 4 -min-speedup 1.5 -q -out /tmp/bench_speedup.json
 
 echo "CI OK"
