@@ -7,20 +7,30 @@
 // simulated data cache:
 //
 //	w, _ := ccdp.Workload("compress")
-//	cmp, _ := ccdp.Run(w, ccdp.DefaultOptions())
+//	cmp, _ := ccdp.Run(ccdp.Experiment{Workload: w, Options: ccdp.DefaultOptions()})
 //	fmt.Printf("miss rate %.2f%% -> %.2f%%\n",
 //		cmp.Result("test", ccdp.LayoutNatural).MissRate(),
 //		cmp.Result("test", ccdp.LayoutCCDP).MissRate())
 //
+// An Experiment can also name a trace directory, switching the pipeline to
+// the paper's ATOM-style record-once / replay-many path: each input's
+// event stream is recorded to a file on first contact and every
+// profiling and evaluation pass replays the file instead of re-running
+// the model, with byte-identical results. Record and Replay expose the
+// trace files directly.
+//
 // The package re-exports the pipeline types from the internal packages;
-// advanced users can drive the stages (ProfilePass, Place, EvalPass)
+// advanced users can drive the stages (Profile, Place, Evaluate)
 // separately.
 package ccdp
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/placement"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -30,6 +40,14 @@ type (
 	// Options bundles the experiment knobs (cache geometry, profiling
 	// granularity, placement settings).
 	Options = sim.Options
+	// Experiment is one experiment request: the workload plus everything
+	// that varies between runs — options, layouts, inputs, and the trace
+	// source/sink configuration.
+	Experiment = core.Experiment
+	// TraceConfig selects trace-file-driven execution for an Experiment:
+	// Dir names the directory traces are recorded to and replayed from;
+	// RequireRecorded makes missing traces an error instead of recording.
+	TraceConfig = sim.TraceConfig
 	// Comparison is one workload's full experiment result.
 	Comparison = core.Comparison
 	// EvalResult is one evaluation pass (one input, one layout).
@@ -42,6 +60,10 @@ type (
 	PlacementMap = placement.Map
 	// ProfileResult carries the Name profile and TRG of a profiling run.
 	ProfileResult = sim.ProfileResult
+	// TraceHeader is the static-shape header of a recorded trace file.
+	TraceHeader = trace.FileHeader
+	// TraceReader decodes a recorded trace file; see Replay.
+	TraceReader = trace.Reader
 )
 
 // The three placements the paper evaluates.
@@ -66,14 +88,34 @@ func WorkloadNames() []string { return workload.Names() }
 // Workloads returns every benchmark model in table order.
 func Workloads() []workload.Workload { return workload.All() }
 
-// Run profiles w on its train input, computes a CCDP placement, and
-// evaluates the requested layouts and inputs (defaults: natural+CCDP on
-// train+test).
-func Run(w workload.Workload, opts Options) (*Comparison, error) {
-	return core.Run(w, opts, nil, nil)
+// Run executes one Experiment: profile the workload on its train input,
+// compute a CCDP placement, and evaluate the requested layouts and inputs
+// (defaults: natural+CCDP on train+test). With Experiment.Trace enabled,
+// every pass is driven from recorded trace files instead of the live
+// model; results are byte-identical either way.
+func Run(e Experiment) (*Comparison, error) {
+	return core.RunExperiment(e)
 }
 
-// RunLayouts is Run with explicit layout and input lists.
+// RunLayouts is the positional pre-Experiment form.
+//
+// Deprecated: build an Experiment and call Run instead.
 func RunLayouts(w workload.Workload, opts Options, layouts []LayoutKind, inputs []Input) (*Comparison, error) {
-	return core.Run(w, opts, layouts, inputs)
+	return Run(Experiment{Workload: w, Options: opts, Layouts: layouts, Inputs: inputs})
+}
+
+// Record runs w once on in and writes its full event stream — the
+// ATOM-style trace — to out. The trace replays through Replay, Run (via
+// Experiment.Trace), or the CLIs' -replay flags without re-running the
+// model.
+func Record(w Program, in Input, out io.Writer, opts Options) error {
+	return sim.RecordTrace(w, in, out, opts)
+}
+
+// Replay parses a recorded trace's header and returns its reader: the
+// Header describes the program's static shape, and TraceReader.Replay
+// drives any event handler with the recorded stream. Higher-level replay
+// (straight to a Comparison) goes through Run with Experiment.Trace set.
+func Replay(r io.Reader) (*TraceReader, error) {
+	return trace.NewReader(r)
 }

@@ -112,7 +112,7 @@ func TestStagedPipeline(t *testing.T) {
 }
 
 func TestCustomProgramThroughPublicAPI(t *testing.T) {
-	cmp, err := ccdp.Run(pingpongProgram{}, ccdp.DefaultOptions())
+	cmp, err := ccdp.Run(ccdp.Experiment{Workload: pingpongProgram{}, Options: ccdp.DefaultOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}

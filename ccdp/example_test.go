@@ -1,21 +1,23 @@
 package ccdp_test
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/ccdp"
 )
 
-// ExampleRun shows the one-call pipeline: profile a benchmark model on its
-// train input, compute the placement, and compare miss rates on both
-// inputs.
+// ExampleRun shows the one-call pipeline: an Experiment names the
+// workload and options, Run profiles the train input, computes the
+// placement, and compares miss rates on both inputs.
 func ExampleRun() {
 	w, err := ccdp.Workload("mgrid")
 	if err != nil {
 		log.Fatal(err)
 	}
-	cmp, err := ccdp.Run(w, ccdp.DefaultOptions())
+	cmp, err := ccdp.Run(ccdp.Experiment{Workload: w, Options: ccdp.DefaultOptions()})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,4 +59,62 @@ func ExampleProfile() {
 		opt.MissRate() < nat.MissRate()*2/3)
 	// Output:
 	// fpppp improves by more than a third: true
+}
+
+// ExampleRun_trace records each input's event stream to files on first
+// contact and drives every later pass from replay — the paper's ATOM
+// split. Artifacts are byte-identical to a live run, so the two
+// Comparisons here agree exactly.
+func ExampleRun_trace() {
+	w, err := ccdp.Workload("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "ccdp-traces")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	live, err := ccdp.Run(ccdp.Experiment{Workload: w, Options: ccdp.DefaultOptions()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// First traced run records; a second one would be pure replay.
+	traced, err := ccdp.Run(ccdp.Experiment{
+		Workload: w,
+		Options:  ccdp.DefaultOptions(),
+		Trace:    ccdp.TraceConfig{Dir: dir},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	liveOpt := live.Result("test", ccdp.LayoutCCDP)
+	tracedOpt := traced.Result("test", ccdp.LayoutCCDP)
+	fmt.Printf("replay reproduces live exactly: %v\n",
+		liveOpt.MissRate() == tracedOpt.MissRate() &&
+			liveOpt.Stats == tracedOpt.Stats)
+	// Output:
+	// replay reproduces live exactly: true
+}
+
+// ExampleRecord captures one input's trace by hand and inspects it with
+// Replay — the low-level surface under Experiment.Trace.
+func ExampleRecord() {
+	w, err := ccdp.Workload("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ccdp.Record(w, w.Test(), &buf, ccdp.DefaultOptions()); err != nil {
+		log.Fatal(err)
+	}
+	tr, err := ccdp.Replay(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hdr := tr.Header()
+	fmt.Printf("recorded %d globals and %d constants\n", len(hdr.Globals), len(hdr.Constants))
+	// Output:
+	// recorded 18 globals and 2 constants
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ccdp -workload compress [-v] [-random] [-scale 1.0] [-parallel N]
+//	     [-record dir | -replay dir]
 package main
 
 import (
@@ -31,6 +32,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the profiling stage's TRG shard workers and the evaluation passes (1 = sequential, 0 = GOMAXPROCS; results are identical at any setting)")
 	loadProfile := flag.String("load-profile", "", "read the profile from this file instead of profiling")
 	loadPlacement := flag.String("load-placement", "", "read the placement map from this file instead of placing")
+	record := flag.String("record", "", "record each input's event stream to trace files in this directory (first contact records, later passes replay)")
+	replay := flag.String("replay", "", "drive every pass from previously recorded trace files in this directory (missing traces are an error)")
 	flag.Parse()
 
 	w, err := workload.Get(*name)
@@ -55,12 +58,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccdp: -load-profile and -load-placement must be used together")
 		os.Exit(2)
 	}
+	if *record != "" && *replay != "" {
+		fmt.Fprintln(os.Stderr, "ccdp: -record and -replay are mutually exclusive")
+		os.Exit(2)
+	}
+	tc := sim.TraceConfig{Dir: *record}
+	if *replay != "" {
+		tc = sim.TraceConfig{Dir: *replay, RequireRecorded: true}
+	}
+	if tc.Enabled() && *loadProfile != "" {
+		fmt.Fprintln(os.Stderr, "ccdp: -record/-replay cannot combine with -load-profile")
+		os.Exit(2)
+	}
 	var cmp *core.Comparison
 	if *loadProfile != "" {
 		cmp, err = runFromFiles(w, opts, layouts, []workload.Input{train, test},
 			*loadProfile, *loadPlacement)
 	} else {
-		cmp, err = core.Run(w, opts, layouts, []workload.Input{train, test})
+		cmp, err = core.RunExperiment(core.Experiment{
+			Workload: w, Options: opts, Layouts: layouts,
+			Inputs: []workload.Input{train, test}, Trace: tc,
+		})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

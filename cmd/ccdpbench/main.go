@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/benchsuite"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -47,6 +48,9 @@ func run() int {
 		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the suite (1 = sequential, 0 = GOMAXPROCS)")
 		seqCompare   = flag.Bool("seq-compare", true, "when -parallel > 1, also time a sequential run, record the speedup, and verify the results are byte-identical")
 		minSpeedup   = flag.Float64("min-speedup", 0, "fail (exit 1) when the seq-compare speedup falls below this on a machine with >= 4 CPUs (0 = no gate; skipped with a notice on smaller machines)")
+		record       = flag.String("record", "", "drive the suite from trace files in this directory, recording each input's stream on first contact")
+		replay       = flag.String("replay", "", "drive the suite from previously recorded trace files in this directory (missing traces are an error)")
+		replayComp   = flag.Bool("replay-compare", false, "with -record/-replay, also run the suite live and verify the results are byte-identical")
 		quiet        = flag.Bool("q", false, "suppress the per-workload table")
 	)
 	flag.Parse()
@@ -58,10 +62,22 @@ func run() int {
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
+	if *record != "" && *replay != "" {
+		fmt.Fprintln(os.Stderr, "ccdpbench: -record and -replay are mutually exclusive")
+		return 2
+	}
+	tc := sim.TraceConfig{Dir: *record}
+	if *replay != "" {
+		tc = sim.TraceConfig{Dir: *replay, RequireRecorded: true}
+	}
+	if *replayComp && !tc.Enabled() {
+		fmt.Fprintln(os.Stderr, "ccdpbench: -replay-compare requires -record or -replay")
+		return 2
+	}
 
 	mc := metrics.New()
 	start := time.Now()
-	cmps, effScale, err := benchsuite.Config{Scale: *scale, Workloads: names, Metrics: mc, Parallelism: *parallel}.Run()
+	cmps, effScale, err := benchsuite.Config{Scale: *scale, Workloads: names, Metrics: mc, Parallelism: *parallel, Trace: tc}.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccdpbench:", err)
 		return 2
@@ -72,6 +88,28 @@ func run() int {
 		Parallelism:  *parallel,
 		WallNanos:    wall.Nanoseconds(),
 		ProfileNanos: mc.StageTotal(metrics.StageProfile).Nanoseconds(),
+		ReplayNanos:  mc.StageTotal(metrics.StageReplay).Nanoseconds(),
+	}
+
+	if *replayComp {
+		liveMC := metrics.New()
+		liveStart := time.Now()
+		liveCmps, _, err := benchsuite.Config{Scale: *scale, Workloads: names, Metrics: liveMC, Parallelism: *parallel}.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench: live comparison run:", err)
+			return 2
+		}
+		liveWall := time.Since(liveStart)
+		// The trace pipeline's contract is byte-identical artifacts; hold
+		// it to that on every run, not just in the test suite.
+		liveArt := benchsuite.BuildArtifact(art.SHA, effScale, liveCmps, metrics.Snapshot{})
+		if err := assertSameResults(art, liveArt); err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench: replay vs live:", err)
+			return 2
+		}
+		fmt.Printf("traced: %v vs live %v (replay stage %v, results identical)\n",
+			wall.Round(time.Millisecond), liveWall.Round(time.Millisecond),
+			time.Duration(art.Timing.ReplayNanos).Round(time.Millisecond))
 	}
 
 	if *parallel > 1 && *seqCompare {
@@ -214,7 +252,10 @@ func printSummary(a *benchsuite.Artifact, elapsed time.Duration, mc *metrics.Col
 	fmt.Printf("pipeline: %d trace events, %d TRG edges, %d queue evictions, %d sim accesses\n",
 		mc.Get(metrics.TraceEvents), mc.Get(metrics.TRGEdges),
 		mc.Get(metrics.QueueEvictions), mc.Get(metrics.SimAccesses))
-	for _, st := range []metrics.Stage{metrics.StageProfile, metrics.StagePlace, metrics.StageEval} {
+	for _, st := range []metrics.Stage{metrics.StageProfile, metrics.StagePlace, metrics.StageEval, metrics.StageReplay} {
+		if mc.StageCount(st) == 0 {
+			continue
+		}
 		fmt.Printf("stage %-8s %3d runs, total %v\n", st, mc.StageCount(st),
 			mc.StageTotal(st).Round(time.Millisecond))
 	}

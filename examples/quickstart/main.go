@@ -16,7 +16,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cmp, err := ccdp.Run(w, ccdp.DefaultOptions())
+	cmp, err := ccdp.Run(ccdp.Experiment{Workload: w, Options: ccdp.DefaultOptions()})
 	if err != nil {
 		log.Fatal(err)
 	}

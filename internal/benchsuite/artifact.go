@@ -76,6 +76,11 @@ type Timing struct {
 	// queue parallelizes (0 when metrics were not collected).
 	ProfileNanos           int64 `json:"profileNanos,omitempty"`
 	SequentialProfileNanos int64 `json:"sequentialProfileNanos,omitempty"`
+
+	// ReplayNanos is the cumulative time the suite's pipelines spent
+	// driving passes from trace-file replay — decode plus in-line
+	// handling (0 when the suite ran live or metrics were off).
+	ReplayNanos int64 `json:"replayNanos,omitempty"`
 }
 
 // BuildArtifact assembles an artifact from a suite run.

@@ -32,14 +32,26 @@ func ScaledInputs(w workload.Workload, scale float64) []workload.Input {
 
 // RunWorkloads runs the named workloads (nil = all nine) through the
 // pipeline with the given options and layouts at the given scale, in
-// workload order.
+// workload order. It is RunExperiments without a trace configuration.
+func RunWorkloads(names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64) ([]*core.Comparison, error) {
+	return RunExperiments(names, opts, layouts, scale, sim.TraceConfig{})
+}
+
+// RunExperiments runs the named workloads (nil = all nine) through the
+// pipeline with the given options, layouts, and trace configuration at the
+// given scale, in workload order.
 //
 // The workloads are fully independent experiments, so with
-// opts.Parallelism > 1 they fan out across the exec worker pool (each
-// pipeline kept sequential inside its worker to avoid oversubscription);
-// results return in workload order and are bit-identical to a sequential
-// run. Per-worker metrics collectors merge into opts.Metrics.
-func RunWorkloads(names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64) ([]*core.Comparison, error) {
+// opts.Parallelism > 1 they fan out across the exec worker pool; results
+// return in workload order and are bit-identical to a sequential run.
+// Per-worker metrics collectors merge into opts.Metrics. Workers the
+// outer fan-out cannot use — when the workload count is below the pool
+// size — are donated inward: each experiment runs with parallelism
+// floor(pool/workloads) (at least 1), which its profile stage spends on
+// TRG shard workers and its evaluation stage on concurrent (input ×
+// layout) units. Inner parallelism never changes results, so the donation
+// only moves wall clock.
+func RunExperiments(names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64, tc sim.TraceConfig) ([]*core.Comparison, error) {
 	if scale <= 0 {
 		return nil, fmt.Errorf("benchsuite: scale %g <= 0", scale)
 	}
@@ -56,14 +68,21 @@ func RunWorkloads(names []string, opts sim.Options, layouts []sim.LayoutKind, sc
 		}
 	}
 	if opts.Parallelism > 1 && len(ws) > 1 {
+		inner := opts.Parallelism / len(ws)
+		if inner < 1 {
+			inner = 1
+		}
 		tasks := make([]exec.Task[*core.Comparison], len(ws))
 		for i, w := range ws {
 			w := w
 			tasks[i] = func(_ context.Context, mc *metrics.Collector) (*core.Comparison, error) {
 				runOpts := opts
 				runOpts.Metrics = mc
-				runOpts.Parallelism = 1
-				cmp, err := core.Run(w, runOpts, layouts, ScaledInputs(w, scale))
+				runOpts.Parallelism = inner
+				cmp, err := core.RunExperiment(core.Experiment{
+					Workload: w, Options: runOpts, Layouts: layouts,
+					Inputs: ScaledInputs(w, scale), Trace: tc,
+				})
 				if err != nil {
 					return nil, fmt.Errorf("benchsuite: %s: %w", w.Name(), err)
 				}
@@ -74,7 +93,10 @@ func RunWorkloads(names []string, opts sim.Options, layouts []sim.LayoutKind, sc
 	}
 	var cmps []*core.Comparison
 	for _, w := range ws {
-		cmp, err := core.Run(w, opts, layouts, ScaledInputs(w, scale))
+		cmp, err := core.RunExperiment(core.Experiment{
+			Workload: w, Options: opts, Layouts: layouts,
+			Inputs: ScaledInputs(w, scale), Trace: tc,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("benchsuite: %s: %w", w.Name(), err)
 		}
@@ -114,6 +136,10 @@ type Config struct {
 	// Parallelism bounds concurrent workloads (<= 1 = sequential).
 	// Results are identical at any setting; only wall clock changes.
 	Parallelism int
+	// Trace, when enabled, drives every pipeline pass from recorded
+	// trace files (recording on first contact) instead of the live
+	// model. Results are identical either way.
+	Trace sim.TraceConfig
 }
 
 // Run executes the suite per cfg with the paper's default options and
@@ -126,6 +152,6 @@ func (cfg Config) Run() ([]*core.Comparison, float64, error) {
 	opts := sim.DefaultOptions()
 	opts.Metrics = cfg.Metrics
 	opts.Parallelism = cfg.Parallelism
-	cmps, err := RunWorkloads(cfg.Workloads, opts, nil, scale)
+	cmps, err := RunExperiments(cfg.Workloads, opts, nil, scale, cfg.Trace)
 	return cmps, scale, err
 }

@@ -48,9 +48,32 @@ func (c *Comparison) Reduction(input string) float64 {
 	return 100 * (orig.MissRate() - ccdp.MissRate()) / orig.MissRate()
 }
 
+// Experiment is one experiment request: a workload plus everything that
+// varies between runs — options, the layouts and inputs to evaluate, and
+// an optional trace configuration that switches the pipeline to the
+// record-once / replay-many path.
+type Experiment struct {
+	Workload workload.Workload
+	Options  sim.Options
+	// Layouts to evaluate; empty defaults to natural+CCDP.
+	Layouts []sim.LayoutKind
+	// Inputs to evaluate on; empty defaults to train+test.
+	Inputs []workload.Input
+	// Trace, when enabled, records each input's event stream to a file on
+	// first contact and drives profiling and every evaluation pass from
+	// replay. Artifacts are byte-identical to a live run.
+	Trace sim.TraceConfig
+}
+
 // Run profiles w on its train input, computes the placement, and evaluates
 // each requested layout on each requested input. Passing no layouts
 // defaults to natural+CCDP; passing no inputs defaults to train+test.
+// It is shorthand for RunExperiment without a trace configuration.
+func Run(w workload.Workload, opts sim.Options, layouts []sim.LayoutKind, inputs []workload.Input) (*Comparison, error) {
+	return RunExperiment(Experiment{Workload: w, Options: opts, Layouts: layouts, Inputs: inputs})
+}
+
+// RunExperiment executes one Experiment.
 //
 // After the shared profile/placement step the (input × layout) evaluation
 // passes are independent: each builds its own object table, layout, and
@@ -58,18 +81,34 @@ func (c *Comparison) Reduction(input string) float64 {
 // opts.Parallelism > 1 they fan out across a bounded worker pool;
 // results are keyed and reassembled in canonical (input, layout) order,
 // so the Comparison is bit-identical to a sequential run.
-func Run(w workload.Workload, opts sim.Options, layouts []sim.LayoutKind, inputs []workload.Input) (*Comparison, error) {
+//
+// With e.Trace enabled, every pass is driven from trace files instead of
+// the live model: each input's stream is recorded once (a pure record
+// pass with no other consumers) and replayed for profiling, reference
+// counting, and every evaluation. Replay reconstructs the object tables
+// from the recorded headers and feeds the identical event sequence, so
+// the Comparison is again bit-identical — at any parallelism.
+func RunExperiment(e Experiment) (*Comparison, error) {
+	w, opts := e.Workload, e.Options
+	if w == nil {
+		return nil, fmt.Errorf("core: experiment has no workload")
+	}
 	span := opts.Metrics.Start(metrics.StagePipeline)
 	defer span.Stop()
 
+	layouts, inputs := e.Layouts, e.Inputs
 	if len(layouts) == 0 {
 		layouts = []sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP}
 	}
 	if len(inputs) == 0 {
 		inputs = []workload.Input{w.Train(), w.Test()}
 	}
+	var store *sim.TraceStore
+	if e.Trace.Enabled() {
+		store = sim.NewTraceStore(e.Trace, w)
+	}
 
-	pr, err := sim.ProfilePass(w, w.Train(), opts)
+	pr, err := profilePass(store, w, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling %s: %w", w.Name(), err)
 	}
@@ -98,8 +137,8 @@ func Run(w workload.Workload, opts sim.Options, layouts []sim.LayoutKind, inputs
 		for i, in := range inputs {
 			if in == w.Train() {
 				hints[i] = pr.Counter.Refs()
-			} else {
-				hints[i] = sim.CountRefs(w, in, opts)
+			} else if hints[i], err = countRefs(store, w, in, opts); err != nil {
+				return nil, fmt.Errorf("core: counting %s/%s: %w", w.Name(), in.Label, err)
 			}
 		}
 	}
@@ -121,7 +160,7 @@ func Run(w workload.Workload, opts sim.Options, layouts []sim.LayoutKind, inputs
 				in, kind := inputs[u.input], layouts[u.layout]
 				passOpts := opts
 				passOpts.Metrics = mc
-				res, err := sim.EvalPass(w, in, kind, pr, pm, passOpts, hints[u.input])
+				res, err := evalPass(store, w, in, kind, pr, pm, passOpts, hints[u.input])
 				if err != nil {
 					return nil, fmt.Errorf("core: evaluating %s/%s/%s: %w", w.Name(), in.Label, kind, err)
 				}
@@ -137,7 +176,7 @@ func Run(w workload.Workload, opts sim.Options, layouts []sim.LayoutKind, inputs
 		results = make([]*sim.EvalResult, len(units))
 		for ui, u := range units {
 			in, kind := inputs[u.input], layouts[u.layout]
-			res, err := sim.EvalPass(w, in, kind, pr, pm, opts, hints[u.input])
+			res, err := evalPass(store, w, in, kind, pr, pm, opts, hints[u.input])
 			if err != nil {
 				return nil, fmt.Errorf("core: evaluating %s/%s/%s: %w", w.Name(), in.Label, kind, err)
 			}
@@ -155,6 +194,45 @@ func Run(w workload.Workload, opts sim.Options, layouts []sim.LayoutKind, inputs
 		byLayout[layouts[u.layout]] = results[ui]
 	}
 	return c, nil
+}
+
+// profilePass profiles the train input, live or from the trace store.
+func profilePass(store *sim.TraceStore, w workload.Workload, opts sim.Options) (*sim.ProfileResult, error) {
+	if store == nil {
+		return sim.ProfilePass(w, w.Train(), opts)
+	}
+	src, err := store.Open(w.Train(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return sim.ProfileFrom(src, opts)
+}
+
+// countRefs sizes a working-set window, live or from the trace store. The
+// sizing pass never feeds the metrics collector (CountRefs's contract), so
+// the trace replay opens with a nil collector too.
+func countRefs(store *sim.TraceStore, w workload.Workload, in workload.Input, opts sim.Options) (uint64, error) {
+	if store == nil {
+		return sim.CountRefs(w, in, opts), nil
+	}
+	opts.Metrics = nil
+	src, err := store.Open(in, opts)
+	if err != nil {
+		return 0, err
+	}
+	return sim.CountRefsFrom(src)
+}
+
+// evalPass runs one evaluation unit, live or from the trace store.
+func evalPass(store *sim.TraceStore, w workload.Workload, in workload.Input, kind sim.LayoutKind, pr *sim.ProfileResult, pm *placement.Map, opts sim.Options, hint uint64) (*sim.EvalResult, error) {
+	if store == nil {
+		return sim.EvalPass(w, in, kind, pr, pm, opts, hint)
+	}
+	src, err := store.Open(in, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sim.EvalFrom(src, w.Name(), w.HeapPlacement(), in, kind, pr, pm, opts, hint)
 }
 
 // RunDefault runs the paper's standard experiment (natural + CCDP on train

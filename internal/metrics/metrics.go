@@ -79,6 +79,7 @@ const (
 	StageProfile               // profiling pass (TRG construction)
 	StagePlace                 // placement.Compute, phases 0-8
 	StageEval                  // one evaluation pass (cache simulation)
+	StageReplay                // trace-file replay decode (I/O + event rebuild)
 
 	StagePhaseHeapBins       // phase 1: heap preprocessing + bin tags
 	StagePhaseStackConstants // phase 2: stack vs constants
@@ -96,6 +97,7 @@ var stageNames = [NumStages]string{
 	StageProfile:             "profile",
 	StagePlace:               "place",
 	StageEval:                "eval",
+	StageReplay:              "replay",
 	StagePhaseHeapBins:       "place.phase1_heap_bins",
 	StagePhaseStackConstants: "place.phase2_stack_constants",
 	StagePhaseCompounds:      "place.phase3_5_compounds",

@@ -54,6 +54,29 @@ type Config struct {
 	SampleWindow uint64
 	SamplePeriod uint64
 
+	// StreamDepth is the per-worker batch buffer of the sharded profiler's
+	// fan-out stream (0 = the default, 8). Trace-file replay raises it: the
+	// producer is I/O bound there, so a deeper buffer absorbs decode
+	// hiccups without stalling the shard workers. Runtime wiring only — it
+	// never affects results and is never serialized.
+	StreamDepth int `json:"-"`
+
+	// AdaptiveWarmup is how many recency-queue touches the sharded
+	// profiler processes inline while estimating the stream's hit ratio
+	// before deciding a shard count (0 = the default, 4096; negative
+	// disables the heuristic and fans out immediately). When the warmup
+	// window is miss-dominated — constant insert/evict churn, almost no
+	// queue hits and therefore almost no edge scans — the per-worker
+	// replica-queue bookkeeping outweighs the partitioned scans, and the
+	// profiler stays on one inline queue instead. Results are identical
+	// either way; only the schedule changes. Runtime wiring only.
+	AdaptiveWarmup int `json:"-"`
+
+	// AdaptiveMinHitRatio is the queue hit ratio (hits/touches over the
+	// warmup window) below which the sharded profiler falls back to one
+	// shard (0 = the default, 0.25). Runtime wiring only.
+	AdaptiveMinHitRatio float64 `json:"-"`
+
 	// Metrics receives recency-queue and TRG instrumentation (nil =
 	// disabled). It is runtime wiring, not a profiling parameter: it does
 	// not affect results and is never serialized.

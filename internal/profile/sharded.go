@@ -42,6 +42,19 @@ import (
 // timing. The differential tests in sharded_test.go hold Sharded to exact
 // equality with the single-queue oracle instead.
 //
+// Fanning out is not always a win, though: the replicated-queue
+// bookkeeping is pure overhead on touches that miss the queue (insert and
+// eventually evict, nothing to scan), so a miss-dominated stream pays
+// shards× the queue maintenance for scans that almost never happen. The
+// profiler therefore starts in a warmup mode that processes the first
+// AdaptiveWarmup touches inline while measuring the queue hit ratio, and
+// only fans out when hits — and hence scans, the cost parallelism
+// actually divides — pull their weight. The decision changes the
+// schedule, never the results: warmup touches are retained and replayed
+// (queue-only, no scans — their scans already ran inline) into the other
+// workers' replicas before the stream starts, so every replica still sees
+// the full touch stream and every hit is scanned exactly once.
+//
 // The serial remainder (object-to-node binding, per-node reference counts,
 // sampling decisions, and chunk expansion) runs on the event-delivery
 // goroutine; it is O(1) per reference with no queue walks. Batches are
@@ -56,11 +69,27 @@ type Sharded struct {
 	refs      uint64
 	shards    int
 	setGroups int
+	depth     int
+
+	mode        int
+	warmLimit   int
+	minHitRatio float64
+	warmTouches int
+	warmHits    int
+	held        []*touchBatch
 
 	workers []*shardWorker
 	stream  *exec.Stream[*touchBatch]
 	pool    chan *touchBatch
 }
+
+// Profiler scheduling modes. Warmup measures the hit ratio inline; the
+// decision then locks the run into sequential or parallel.
+const (
+	modeWarmup = iota
+	modeSequential
+	modeParallel
+)
 
 // touch is one recency-queue step: a chunk key, the chunk's byte size for
 // queue accounting, and its precomputed owning shard.
@@ -85,9 +114,17 @@ func (b *touchBatch) release() {
 	}
 }
 
-// streamDepth is the per-worker batch buffer: deep enough to pipeline the
-// producer against the workers, shallow enough to bound memory.
+// streamDepth is the default per-worker batch buffer: deep enough to
+// pipeline the producer against the workers, shallow enough to bound
+// memory. Config.StreamDepth overrides it (trace replay runs deeper).
 const streamDepth = 8
+
+// Adaptive-shard heuristic defaults; see the Config fields of the same
+// names.
+const (
+	defaultAdaptiveWarmup      = 4096
+	defaultAdaptiveMinHitRatio = 0.25
+)
 
 // shardWorker owns one shard: a full replica of the recency queue plus the
 // edge arena for the chunks it owns.
@@ -122,6 +159,42 @@ func (w *shardWorker) process(b *touchBatch) {
 	}
 }
 
+// processInline is the warmup/sequential counterpart of process: the
+// delivery goroutine runs the batch through worker 0's queue, scanning
+// every hit regardless of shard ownership, and reports the hit count for
+// the adaptive decision.
+func (w *shardWorker) processInline(b *touchBatch) int {
+	hits := 0
+	for i := range b.touches {
+		t := &b.touches[i]
+		if e := w.q.get(t.key); e != nil {
+			hits++
+			for x := w.q.head; x != nil && x != e; x = x.next {
+				w.graph.AddWeight(t.key, x.key, 1)
+			}
+			w.q.moveToFront(e)
+		} else {
+			w.q.insert(t.key, t.size)
+		}
+	}
+	w.mc.Observe(metrics.HistQueueOccupancy, uint64(w.q.occupancy()))
+	return hits
+}
+
+// catchUp replays a warmup batch into a non-zero worker's queue replica.
+// No scans: every warmup hit was already scanned inline by worker 0, so
+// only the queue state needs to advance.
+func (w *shardWorker) catchUp(b *touchBatch) {
+	for i := range b.touches {
+		t := &b.touches[i]
+		if e := w.q.get(t.key); e != nil {
+			w.q.moveToFront(e)
+		} else {
+			w.q.insert(t.key, t.size)
+		}
+	}
+}
+
 // NewSharded creates a parallel profiler over the given object table.
 // shards is clamped to [1, setGroups] where setGroups is the number of
 // chunk-sized frames in the placement cache (cacheSize/ChunkSize): more
@@ -145,11 +218,15 @@ func NewSharded(cfg Config, objs *object.Table, shards int, cacheSize int64) (*S
 	if shards > setGroups {
 		shards = setGroups
 	}
+	depth := cfg.StreamDepth
+	if depth <= 0 {
+		depth = streamDepth
+	}
 
-	s := &Sharded{cfg: cfg, shards: shards, setGroups: setGroups}
+	s := &Sharded{cfg: cfg, shards: shards, setGroups: setGroups, depth: depth}
 	s.binder.init(objs, trg.NewGraph(cfg.ChunkSize))
 	s.graph.SetMetrics(cfg.Metrics)
-	s.pool = make(chan *touchBatch, streamDepth+2)
+	s.pool = make(chan *touchBatch, depth+2)
 	s.workers = make([]*shardWorker, shards)
 	for i := range s.workers {
 		w := &shardWorker{shard: int32(i), graph: trg.NewGraph(cfg.ChunkSize)}
@@ -161,14 +238,69 @@ func NewSharded(cfg Config, objs *object.Table, shards int, cacheSize int64) (*S
 		w.q.init(cfg.QueueThreshold, qmc)
 		s.workers[i] = w
 	}
-	s.stream = exec.NewStream(shards, streamDepth, func(wi int, b *touchBatch) {
-		s.workers[wi].process(b)
-	})
+	s.warmLimit = cfg.AdaptiveWarmup
+	if s.warmLimit == 0 {
+		s.warmLimit = defaultAdaptiveWarmup
+	}
+	s.minHitRatio = cfg.AdaptiveMinHitRatio
+	if s.minHitRatio == 0 {
+		s.minHitRatio = defaultAdaptiveMinHitRatio
+	}
+	switch {
+	case shards == 1:
+		// One worker: inline processing *is* the sequential oracle; a
+		// stream would only add hand-off latency.
+		s.mode = modeSequential
+	case s.warmLimit < 0:
+		s.startParallel()
+	default:
+		s.mode = modeWarmup
+	}
 	return s, nil
 }
 
-// Shards returns the effective shard count after geometry clamping.
+// startParallel brings the idle worker replicas up to date with whatever
+// worker 0 processed inline, then opens the fan-out stream.
+func (s *Sharded) startParallel() {
+	for _, w := range s.workers[1:] {
+		for _, b := range s.held {
+			w.catchUp(b)
+		}
+	}
+	s.stream = exec.NewStream(s.shards, s.depth, func(wi int, b *touchBatch) {
+		s.workers[wi].process(b)
+	})
+	s.mode = modeParallel
+}
+
+// decide locks in a schedule once the warmup window closes. Hits are the
+// only touches whose cost sharding divides (the O(queue) scans); when they
+// are rare the replicated-queue bookkeeping loses to a single inline
+// queue, so the run stays sequential.
+func (s *Sharded) decide() {
+	if float64(s.warmHits) >= s.minHitRatio*float64(s.warmTouches) {
+		s.startParallel()
+	} else {
+		s.mode = modeSequential
+	}
+	for _, b := range s.held {
+		b.release()
+	}
+	s.held = nil
+}
+
+// Shards returns the configured shard count after geometry clamping.
 func (s *Sharded) Shards() int { return s.shards }
+
+// EffectiveShards returns the shard count the adaptive heuristic actually
+// selected: Shards() once the run fanned out, 1 while it is (or stayed)
+// sequential.
+func (s *Sharded) EffectiveShards() int {
+	if s.mode == modeParallel {
+		return s.shards
+	}
+	return 1
+}
 
 // shardOf maps a chunk key to its owning shard via the key's set group.
 func (s *Sharded) shardOf(key trg.ChunkKey) int32 {
@@ -186,15 +318,29 @@ func (s *Sharded) grab() *touchBatch {
 	}
 }
 
-// dispatch broadcasts a filled buffer to every worker (empty buffers go
-// straight back to the pool).
+// dispatch routes a filled buffer according to the current mode: inline
+// through worker 0 (warmup and sequential), or broadcast to every worker
+// (parallel). Empty buffers go straight back to the pool.
 func (s *Sharded) dispatch(b *touchBatch) {
 	if len(b.touches) == 0 {
 		b.release()
 		return
 	}
-	b.pending.Store(int32(s.shards))
-	s.stream.Send(b)
+	switch s.mode {
+	case modeParallel:
+		b.pending.Store(int32(s.shards))
+		s.stream.Send(b)
+	case modeWarmup:
+		s.warmHits += s.workers[0].processInline(b)
+		s.warmTouches += len(b.touches)
+		s.held = append(s.held, b)
+		if s.warmTouches >= s.warmLimit {
+			s.decide()
+		}
+	default: // modeSequential
+		s.workers[0].processInline(b)
+		b.release()
+	}
 }
 
 // appendTouches expands one reference into its chunk touches, mirroring
@@ -281,13 +427,27 @@ func (s *Sharded) HandleBatch(evs []trace.Event) {
 // merged totals equal a sequential run's), and completes the profile.
 // It must be called exactly once.
 func (s *Sharded) Finish() *Profile {
-	s.stream.Close()
+	if s.mode == modeWarmup {
+		// The stream ended inside the warmup window: everything already
+		// ran inline through worker 0, so there is nothing to fan out.
+		for _, b := range s.held {
+			b.release()
+		}
+		s.held = nil
+		s.mode = modeSequential
+	}
+	if s.stream != nil {
+		s.stream.Close()
+	}
 	mc := s.cfg.Metrics
 	for i, w := range s.workers {
 		s.graph.Merge(w.graph)
 		if mc != nil {
 			mc.AddNamed(fmt.Sprintf("profile.shard%02d.edges", i), uint64(w.graph.NumEdges()))
 		}
+	}
+	if mc != nil {
+		mc.AddNamed("profile.adaptive.effectiveshards", uint64(s.EffectiveShards()))
 	}
 	mc.Add(metrics.TRGEdges, uint64(s.graph.NumEdges()))
 	mc.Add(metrics.TRGWeight, s.graph.TotalWeight())

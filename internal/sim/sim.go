@@ -137,15 +137,25 @@ type profiler interface {
 // sharded build to exact edge-weight equality with the single-queue
 // oracle.
 func ProfilePass(w workload.Workload, in workload.Input, opts Options) (*ProfileResult, error) {
+	return ProfileFrom(Live(w, in, opts), opts)
+}
+
+// ProfileFrom runs the profiling pass over any event source — the live
+// model or a trace replay. When the source is a replay and the config does
+// not say otherwise, the sharded profiler's fan-out buffers deepen to
+// ReplayStreamDepth so the I/O-bound decoder still feeds the shard workers
+// at full rate.
+func ProfileFrom(src EventStream, opts Options) (*ProfileResult, error) {
 	span := opts.Metrics.Start(metrics.StageProfile)
 	defer span.Stop()
+	defer src.Close()
 
-	// Two-stage construction: the profiler needs the same table the
-	// emitter populates, so wire through a mutable tee.
-	tee := make(trace.Tee, 0, 2)
-	table, prog, em := buildRun(w, in, &tee, opts)
+	table := src.Objects()
 	cfg := opts.Profile
 	cfg.Metrics = opts.Metrics
+	if src.Replayed() && cfg.StreamDepth == 0 {
+		cfg.StreamDepth = ReplayStreamDepth
+	}
 	var prof profiler
 	if opts.Parallelism > 1 {
 		sp, err := profile.NewSharded(cfg, table, opts.Parallelism, opts.Cache.Size)
@@ -161,10 +171,10 @@ func ProfilePass(w workload.Workload, in workload.Input, opts Options) (*Profile
 		prof = p
 	}
 	counter := trace.NewCounter(table)
-	tee = append(tee, counter, prof)
-
-	w.Run(in, prog)
-	em.Flush()
+	if err := src.Drive(counter, prof); err != nil {
+		prof.Finish() // drain the shard workers; a failed replay must not leak them
+		return nil, err
+	}
 	return &ProfileResult{Profile: prof.Finish(), Counter: counter, Objects: table}, nil
 }
 
@@ -223,13 +233,21 @@ func EvalPass(w workload.Workload, in workload.Input, kind LayoutKind, pr *Profi
 	if opts.TrackPages && refsHint == 0 {
 		refsHint = CountRefs(w, in, opts)
 	}
+	return EvalFrom(Live(w, in, opts), w.Name(), w.HeapPlacement(), in, kind, pr, pm, opts, refsHint)
+}
 
+// EvalFrom runs one evaluation pass over any event source — the live
+// model or a trace replay. wname labels the result; heapPlace selects the
+// CCDP custom allocator (the per-program heap-placement choice the live
+// pipeline reads from Workload.HeapPlacement). With opts.TrackPages the
+// caller must supply the exact refsHint — a replay cannot be re-driven to
+// count; use CountRefsFrom on a second stream of the same trace.
+func EvalFrom(src EventStream, wname string, heapPlace bool, in workload.Input, kind LayoutKind, pr *ProfileResult, pm *placement.Map, opts Options, refsHint uint64) (*EvalResult, error) {
 	span := opts.Metrics.Start(metrics.StageEval)
 	defer span.Stop()
+	defer src.Close()
 
-	sink := &resolver{}
-	table, prog, em := buildRun(w, in, sink, opts)
-
+	table := src.Objects()
 	var lay *layout.Layout
 	var alloc heapsim.Allocator
 	switch kind {
@@ -248,7 +266,7 @@ func EvalPass(w workload.Workload, in workload.Input, kind LayoutKind, pr *Profi
 		if err != nil {
 			return nil, err
 		}
-		if w.HeapPlacement() {
+		if heapPlace {
 			alloc = heapsim.NewCustom(pm)
 		} else {
 			alloc = heapsim.NewFirstFit()
@@ -262,21 +280,18 @@ func EvalPass(w workload.Workload, in workload.Input, kind LayoutKind, pr *Profi
 		return nil, err
 	}
 	counter := trace.NewCounter(table)
-	sink.objs = table
-	sink.lay = lay
-	sink.alloc = alloc
-	sink.sim = cs
-	sink.counter = counter
+	sink := &resolver{objs: table, lay: lay, alloc: alloc, sim: cs, counter: counter}
 	if opts.TrackPages {
 		window := uint64(float64(refsHint) * opts.PageWindowFrac)
 		sink.pages = vmpage.NewTracker(window)
 	}
 
-	w.Run(in, prog)
-	em.Flush()
+	if err := src.Drive(sink); err != nil {
+		return nil, err
+	}
 
 	res := &EvalResult{
-		Workload:   w.Name(),
+		Workload:   wname,
 		Input:      in,
 		Layout:     kind,
 		Stats:      cs.Stats(),
@@ -303,14 +318,20 @@ func EvalPass(w workload.Workload, in workload.Input, kind LayoutKind, pr *Profi
 // utility, not a pipeline stage, so it never feeds the metrics collector.
 func CountRefs(w workload.Workload, in workload.Input, opts Options) uint64 {
 	opts.Metrics = nil
-	var counter *trace.Counter
-	tee := make(trace.Tee, 0, 1)
-	table, prog, em := buildRun(w, in, &tee, opts)
-	counter = trace.NewCounter(table)
-	tee = append(tee, counter)
-	w.Run(in, prog)
-	em.Flush()
-	return counter.Refs()
+	n, _ := CountRefsFrom(Live(w, in, opts)) // a live run cannot fail
+	return n
+}
+
+// CountRefsFrom counts the references of any event source. Like CountRefs
+// it is a sizing utility: callers should hand it a stream built with a nil
+// metrics collector so the extra pass does not double-count.
+func CountRefsFrom(src EventStream) (uint64, error) {
+	defer src.Close()
+	counter := trace.NewCounter(src.Objects())
+	if err := src.Drive(counter); err != nil {
+		return 0, err
+	}
+	return counter.Refs(), nil
 }
 
 // accessor is any cache model the resolver can drive (a single cache or a

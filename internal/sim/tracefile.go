@@ -1,14 +1,9 @@
 package sim
 
 import (
-	"fmt"
 	"io"
 
-	"repro/internal/cache"
-	"repro/internal/heapsim"
-	"repro/internal/layout"
 	"repro/internal/placement"
-	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -33,23 +28,15 @@ func RecordTrace(w workload.Workload, in workload.Input, out io.Writer, opts Opt
 	return tw.Flush()
 }
 
-// ProfileFromTrace replays a recorded trace through the profiler.
+// ProfileFromTrace replays a recorded trace through the profiler. With
+// opts.Parallelism > 1 the TRG build fans out exactly as a live profile
+// pass would, reading through ProfileFrom's deepened replay buffers.
 func ProfileFromTrace(r io.Reader, opts Options) (*ProfileResult, error) {
-	tr, err := trace.NewReader(r)
+	src, err := OpenReplay(r, opts)
 	if err != nil {
 		return nil, err
 	}
-	cfg := opts.Profile
-	cfg.Metrics = opts.Metrics
-	prof, err := profile.New(cfg, tr.Objects())
-	if err != nil {
-		return nil, err
-	}
-	counter := trace.NewCounter(tr.Objects())
-	if err := tr.Replay(trace.Tee{counter, prof}); err != nil {
-		return nil, err
-	}
-	return &ProfileResult{Profile: prof.Finish(), Counter: counter, Objects: tr.Objects()}, nil
+	return ProfileFrom(src, opts)
 }
 
 // EvalFromTrace replays a recorded trace through the cache simulator under
@@ -57,55 +44,9 @@ func ProfileFromTrace(r io.Reader, opts Options) (*ProfileResult, error) {
 // LayoutCCDP (mirroring the per-program heap-placement choice the live
 // pipeline takes from Workload.HeapPlacement).
 func EvalFromTrace(r io.Reader, kind LayoutKind, pr *ProfileResult, pm *placement.Map, customAlloc bool, opts Options) (*EvalResult, error) {
-	tr, err := trace.NewReader(r)
+	src, err := OpenReplay(r, opts)
 	if err != nil {
 		return nil, err
 	}
-	table := tr.Objects()
-
-	var lay *layout.Layout
-	var alloc heapsim.Allocator
-	switch kind {
-	case LayoutNatural:
-		lay = layout.Natural(table)
-		alloc = heapsim.NewFirstFit()
-	case LayoutRandom:
-		lay = layout.Random(table, opts.RandomSeed)
-		alloc = heapsim.NewRandomFit(opts.RandomSeed + 1)
-	case LayoutCCDP:
-		if pr == nil || pm == nil {
-			return nil, fmt.Errorf("sim: ccdp evaluation requires a profile and placement")
-		}
-		lay, err = layout.FromPlacement(table, pr.Profile, pm)
-		if err != nil {
-			return nil, err
-		}
-		if customAlloc {
-			alloc = heapsim.NewCustom(pm)
-		} else {
-			alloc = heapsim.NewFirstFit()
-		}
-	default:
-		return nil, fmt.Errorf("sim: unknown layout kind %q", kind)
-	}
-
-	cs, err := cache.New(opts.Cache, opts.Classify)
-	if err != nil {
-		return nil, err
-	}
-	counter := trace.NewCounter(table)
-	sink := &resolver{objs: table, lay: lay, alloc: alloc, sim: cs, counter: counter}
-	if err := tr.Replay(sink); err != nil {
-		return nil, err
-	}
-
-	res := &EvalResult{
-		Layout:     kind,
-		Stats:      cs.Stats(),
-		Counter:    counter,
-		Objects:    table,
-		AllocStats: alloc.Stats(),
-	}
-	res.ObjRefs, res.ObjMisses = cs.ObjectStats()
-	return res, nil
+	return EvalFrom(src, "", customAlloc, workload.Input{}, kind, pr, pm, opts, 0)
 }

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// TraceConfig selects trace-file-driven execution: with a directory set,
+// the pipeline records each (workload, input) event stream to a file on
+// first contact and drives every subsequent pass from replay — the
+// paper's record-once / simulate-many split.
+type TraceConfig struct {
+	// Dir is where trace files live. Empty disables the trace path
+	// entirely (every pass runs the live model, exactly as before).
+	Dir string
+	// RequireRecorded refuses to fall back to recording when a trace is
+	// missing: replay-only mode, for runs that must not touch the model.
+	RequireRecorded bool
+}
+
+// Enabled reports whether the trace path is configured.
+func (tc TraceConfig) Enabled() bool { return tc.Dir != "" }
+
+// TraceStore manages one workload's trace files: it knows their canonical
+// names, records each input's stream at most once (atomically, via a temp
+// file), and hands out replay streams. Safe for concurrent use by the
+// parallel evaluation units.
+type TraceStore struct {
+	cfg TraceConfig
+	w   workload.Workload
+
+	mu    sync.Mutex
+	ready map[string]bool
+}
+
+// NewTraceStore returns a store for w's traces under cfg.Dir.
+func NewTraceStore(cfg TraceConfig, w workload.Workload) *TraceStore {
+	return &TraceStore{cfg: cfg, w: w, ready: make(map[string]bool)}
+}
+
+// sanitize keeps trace filenames portable.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// Path returns the canonical trace file for an input. Every parameter the
+// event stream depends on is in the name — workload, input label, seed,
+// burst count, and the XOR naming depth (which changes recorded heap
+// names) — so distinct configurations can never collide on a stale file.
+func (ts *TraceStore) Path(in workload.Input, opts Options) string {
+	name := fmt.Sprintf("%s_%s_s%x_b%d_d%d.trace",
+		sanitize(ts.w.Name()), sanitize(in.Label), in.Seed, in.Bursts, opts.NameDepth)
+	return filepath.Join(ts.cfg.Dir, name)
+}
+
+// Ensure makes the input's trace file exist, recording it if needed, and
+// returns its path. Recording runs the live model once with a nil metrics
+// collector — the record pass is a pure producer; consumers meter the
+// replays — and publishes the file with a rename so a crash can never
+// leave a truncated trace behind.
+func (ts *TraceStore) Ensure(in workload.Input, opts Options) (string, error) {
+	path := ts.Path(in, opts)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.ready[path] {
+		return path, nil
+	}
+	if _, err := os.Stat(path); err == nil {
+		ts.ready[path] = true
+		return path, nil
+	}
+	if ts.cfg.RequireRecorded {
+		return "", fmt.Errorf("sim: trace %s not recorded (replay-only mode)", path)
+	}
+	if err := os.MkdirAll(ts.cfg.Dir, 0o755); err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(ts.cfg.Dir, ".recording-*")
+	if err != nil {
+		return "", err
+	}
+	recOpts := opts
+	recOpts.Metrics = nil
+	if err := RecordTrace(ts.w, in, tmp, recOpts); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("sim: recording %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	ts.ready[path] = true
+	return path, nil
+}
+
+// Open returns a replay stream for the input's trace, recording it first
+// if it does not exist yet.
+func (ts *TraceStore) Open(in workload.Input, opts Options) (EventStream, error) {
+	path, err := ts.Ensure(in, opts)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	src, err := OpenReplay(f, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return src, nil
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/addrspace"
+	"repro/internal/metrics"
 	"repro/internal/object"
 )
 
@@ -140,10 +141,11 @@ func (tw *Writer) Flush() error {
 // Emitter, which re-validates every access and rebuilds reference counts
 // and lifetimes exactly as the original run produced them.
 type Reader struct {
-	br     *bufio.Reader
-	header FileHeader
-	objs   *object.Table
-	ids    struct {
+	br      *bufio.Reader
+	header  FileHeader
+	objs    *object.Table
+	metrics *metrics.Collector
+	ids     struct {
 		globals   []object.ID
 		constants []object.ID
 	}
@@ -151,7 +153,21 @@ type Reader struct {
 
 // NewReader parses the header.
 func NewReader(r io.Reader) (*Reader, error) {
-	tr := &Reader{br: bufio.NewReader(r)}
+	return NewReaderSize(r, 0)
+}
+
+// NewReaderSize is NewReader with an explicit decode-buffer size in bytes
+// (<= 0 selects bufio's default). Replay is I/O bound when the trace comes
+// off a file; a deep buffer keeps the decoder fed between reads so the
+// downstream profiler's shard workers never starve.
+func NewReaderSize(r io.Reader, size int) (*Reader, error) {
+	var br *bufio.Reader
+	if size > 0 {
+		br = bufio.NewReaderSize(r, size)
+	} else {
+		br = bufio.NewReader(r)
+	}
+	tr := &Reader{br: br}
 	magic := make([]byte, len(traceMagic))
 	if _, err := io.ReadFull(tr.br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
@@ -232,9 +248,22 @@ func (tr *Reader) Header() FileHeader { return tr.header }
 // replay may consult it during and after Replay.
 func (tr *Reader) Objects() *object.Table { return tr.objs }
 
-// Replay drives h with the recorded event stream.
+// SetMetrics attaches a collector to the replay's emitter (nil = disabled),
+// so a replayed stream reports exactly the event counts and size sketches a
+// live run of the same workload would.
+func (tr *Reader) SetMetrics(c *metrics.Collector) { tr.metrics = c }
+
+// maxPlausible bounds offsets and sizes decoded from the wire: any larger
+// value cannot belong to a valid object and would overflow the int64
+// arithmetic of downstream consumers.
+const maxPlausible = 1 << 48
+
+// Replay drives h with the recorded event stream. Every event is validated
+// before it reaches the emitter — a corrupt or adversarial trace must
+// surface as an error, never as a panic in the replay machinery.
 func (tr *Reader) Replay(h Handler) error {
 	em := NewEmitter(tr.objs, h)
+	em.SetMetrics(tr.metrics)
 	for {
 		tag, err := tr.br.ReadByte()
 		if err != nil {
@@ -254,6 +283,13 @@ func (tr *Reader) Replay(h Handler) error {
 			if obj >= uint64(tr.objs.Len()) {
 				return fmt.Errorf("trace: access to undeclared object %d", obj)
 			}
+			if off >= maxPlausible || size >= maxPlausible {
+				return fmt.Errorf("trace: implausible access %d+%d", off, size)
+			}
+			if in := tr.objs.Get(object.ID(obj)); int64(off)+int64(size) > in.Size {
+				return fmt.Errorf("trace: access %s[%d:%d] outside object of size %d",
+					in.Name, off, off+size, in.Size)
+			}
 			if tag == tagLoad {
 				em.Load(object.ID(obj), int64(off), int64(size))
 			} else {
@@ -265,6 +301,9 @@ func (tr *Reader) Replay(h Handler) error {
 			xor, err3 := binary.ReadUvarint(tr.br)
 			if err1 != nil || err2 != nil || err3 != nil {
 				return fmt.Errorf("trace: truncated alloc event")
+			}
+			if size == 0 || size >= maxPlausible {
+				return fmt.Errorf("trace: implausible alloc size %d", size)
 			}
 			name, err := tr.readStr()
 			if err != nil {
@@ -281,6 +320,13 @@ func (tr *Reader) Replay(h Handler) error {
 			}
 			if obj >= uint64(tr.objs.Len()) {
 				return fmt.Errorf("trace: free of undeclared object %d", obj)
+			}
+			in := tr.objs.Get(object.ID(obj))
+			if in.Category != object.Heap {
+				return fmt.Errorf("trace: free of non-heap object %d (%s)", obj, in.Category)
+			}
+			if in.DeathRef != 0 {
+				return fmt.Errorf("trace: double free of object %d", obj)
 			}
 			em.Free(object.ID(obj))
 		default:

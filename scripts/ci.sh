@@ -24,16 +24,20 @@ echo "==> test"
 go test ./...
 
 if [ "${1:-}" != "fast" ]; then
-    echo "==> race (exec, profile, core, sim, metrics, benchsuite)"
-    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/metrics/... ./internal/benchsuite/...
+    echo "==> race (exec, profile, core, sim, trace, metrics, benchsuite)"
+    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/trace/... ./internal/metrics/... ./internal/benchsuite/...
 
-    echo "==> fuzz smoke (persist)"
+    echo "==> fuzz smoke (persist, trace)"
     go test -fuzz=FuzzReadProfile -fuzztime=15s ./internal/persist
     go test -fuzz=FuzzReadPlacement -fuzztime=15s ./internal/persist
+    go test -run=NONE -fuzz=FuzzTraceReader -fuzztime=15s ./internal/trace
 fi
 
 echo "==> bench gate"
 go run ./cmd/ccdpbench -baseline bench_baseline.json -out "BENCH_local.json"
+
+echo "==> replay determinism"
+go run ./cmd/ccdpbench -record /tmp/ccdp-traces-ci -replay-compare -q -out /tmp/bench_replay.json
 
 echo "==> multi-core speedup gate"
 go run ./cmd/ccdpbench -parallel 4 -min-speedup 1.5 -q -out /tmp/bench_speedup.json
