@@ -13,12 +13,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/ledger"
 	"repro/internal/object"
 	"repro/internal/persist"
 	"repro/internal/placement"
 	"repro/internal/profile"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trg"
 	"repro/internal/workload"
@@ -34,6 +37,8 @@ func main() {
 	loadPlacement := flag.String("load-placement", "", "read the placement map from this file instead of placing")
 	record := flag.String("record", "", "record each input's event stream to trace files in this directory (first contact records, later passes replay)")
 	replay := flag.String("replay", "", "drive every pass from previously recorded trace files in this directory (missing traces are an error)")
+	explainMisses := flag.Bool("explain-misses", false, "run the simulator in attribution mode and print per-set miss heatmaps and top conflict pairs for every evaluated pass")
+	ledgerPath := flag.String("ledger", "", "stream structured run events (spans, placement decisions, eval summaries) to this JSONL file")
 	flag.Parse()
 
 	w, err := workload.Get(*name)
@@ -46,6 +51,7 @@ func main() {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	opts.Attribution = *explainMisses
 	layouts := []sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP}
 	if *withRandom {
 		layouts = append(layouts, sim.LayoutRandom)
@@ -70,6 +76,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccdp: -record/-replay cannot combine with -load-profile")
 		os.Exit(2)
 	}
+	var lw *ledger.Writer
+	if *ledgerPath != "" {
+		lw, err = ledger.Create(*ledgerPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccdp:", err)
+			os.Exit(2)
+		}
+		lw.RunStart(ledger.RunStart{
+			Tool: "ccdp", Scale: *scale, Parallelism: opts.Parallelism,
+			Workloads: []string{w.Name()}, Cache: opts.Cache.String(),
+		})
+	}
+	start := time.Now()
 	var cmp *core.Comparison
 	if *loadProfile != "" {
 		cmp, err = runFromFiles(w, opts, layouts, []workload.Input{train, test},
@@ -77,12 +96,26 @@ func main() {
 	} else {
 		cmp, err = core.RunExperiment(core.Experiment{
 			Workload: w, Options: opts, Layouts: layouts,
-			Inputs: []workload.Input{train, test}, Trace: tc,
+			Inputs: []workload.Input{train, test}, Trace: tc, Ledger: lw,
 		})
 	}
 	if err != nil {
+		lw.Close()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if lw != nil {
+		lw.RunEnd(ledger.RunEnd{
+			Workloads:            1,
+			AvgTrainReductionPct: cmp.Reduction("train"),
+			AvgTestReductionPct:  cmp.Reduction("test"),
+			WallNs:               time.Since(start).Nanoseconds(),
+		})
+		if err := lw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccdp: ledger:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "ledger written:", *ledgerPath)
 	}
 
 	fmt.Printf("%s — %s\n\n", w.Name(), w.Description())
@@ -111,6 +144,27 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Printf("  CCDP reduction: %.2f%%\n\n", cmp.Reduction(input))
+	}
+	if *explainMisses {
+		printAttribution(cmp, layouts)
+	}
+}
+
+// printAttribution renders the miss-attribution view of every evaluated
+// pass: the per-set miss heatmap, the hottest sets, and the heaviest
+// (victim, evictor) conflict pairs with their object names.
+func printAttribution(cmp *core.Comparison, layouts []sim.LayoutKind) {
+	for _, input := range []string{"train", "test"} {
+		for _, kind := range layouts {
+			r := cmp.Result(input, kind)
+			if r == nil || r.Attribution == nil {
+				continue
+			}
+			fmt.Printf("=== miss attribution: %s/%s ===\n", input, kind)
+			fmt.Print(report.Heatmap(r.Attribution, 64))
+			fmt.Printf("hottest sets:\n%s", report.TopSets(r.Attribution, 8))
+			fmt.Printf("top conflict pairs:\n%s\n", report.TopConflicts(r.Attribution, r.Objects, 10))
+		}
 	}
 }
 

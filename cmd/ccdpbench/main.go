@@ -20,15 +20,21 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/benchsuite"
+	"repro/internal/cache"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -52,6 +58,9 @@ func run() int {
 		replay       = flag.String("replay", "", "drive the suite from previously recorded trace files in this directory (missing traces are an error)")
 		replayComp   = flag.Bool("replay-compare", false, "with -record/-replay, also run the suite live and verify the results are byte-identical")
 		quiet        = flag.Bool("q", false, "suppress the per-workload table")
+		quietAll     = flag.Bool("quiet", false, "suppress the live progress line on stderr")
+		ledgerPath   = flag.String("ledger", "", "stream structured run events (spans, placement decisions, eval summaries) to this JSONL file")
+		debugAddr    = flag.String("debug-addr", "", "serve /debug/snapshot (live metrics + progress JSON) and /debug/pprof on this address while the suite runs")
 	)
 	flag.Parse()
 
@@ -76,8 +85,47 @@ func run() int {
 	}
 
 	mc := metrics.New()
+	total := len(names)
+	if total == 0 {
+		total = len(workload.Names())
+	}
+	prog := benchsuite.NewProgress(total)
+
+	var lw *ledger.Writer
+	if *ledgerPath != "" {
+		var err error
+		lw, err = ledger.Create(*ledgerPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench:", err)
+			return 2
+		}
+		defer lw.Close()
+		lw.RunStart(ledger.RunStart{
+			Tool: "ccdpbench", SHA: resolveSHA(*sha), Scale: *scale,
+			Parallelism: *parallel, Workloads: names,
+			Cache: cache.DefaultConfig.String(),
+		})
+	}
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench:", err)
+			return 2
+		}
+		defer ln.Close()
+		// The server lives for the process; its exit error is the listener
+		// closing at shutdown.
+		go func() { _ = http.Serve(ln, benchsuite.DebugHandler(mc, prog)) }()
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/snapshot\n", ln.Addr())
+	}
+	stopProgress := startProgressLine(prog, *quietAll)
+
 	start := time.Now()
-	cmps, effScale, err := benchsuite.Config{Scale: *scale, Workloads: names, Metrics: mc, Parallelism: *parallel, Trace: tc}.Run()
+	cmps, effScale, err := benchsuite.Config{
+		Scale: *scale, Workloads: names, Metrics: mc, Parallelism: *parallel,
+		Trace: tc, Ledger: lw, Progress: prog,
+	}.Run()
+	stopProgress()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccdpbench:", err)
 		return 2
@@ -89,6 +137,20 @@ func run() int {
 		WallNanos:    wall.Nanoseconds(),
 		ProfileNanos: mc.StageTotal(metrics.StageProfile).Nanoseconds(),
 		ReplayNanos:  mc.StageTotal(metrics.StageReplay).Nanoseconds(),
+	}
+	if lw != nil {
+		lw.Metrics(mc.Snapshot())
+		lw.RunEnd(ledger.RunEnd{
+			Workloads:            len(art.Workloads),
+			AvgTrainReductionPct: art.AvgTrainReductionPct,
+			AvgTestReductionPct:  art.AvgTestReductionPct,
+			WallNs:               wall.Nanoseconds(),
+		})
+		if err := lw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench: ledger:", err)
+			return 2
+		}
+		fmt.Fprintln(os.Stderr, "ledger written:", *ledgerPath)
 	}
 
 	if *replayComp {
@@ -194,6 +256,45 @@ func run() int {
 	fmt.Printf("gate OK: avg test reduction %.2f%% (baseline %.2f%%, tolerance %.2f)\n",
 		art.AvgTestReductionPct, base.AvgTestReductionPct, *headlineTol)
 	return 0
+}
+
+// startProgressLine spawns the stderr progress ticker — workloads done,
+// in-flight stages, elapsed — and returns a function that stops it and
+// clears the line (idempotent). With quiet set it does nothing.
+func startProgressLine(prog *benchsuite.Progress, quiet bool) func() {
+	if quiet {
+		return func() {}
+	}
+	done := make(chan struct{})
+	cleared := make(chan struct{})
+	go func() {
+		defer close(cleared)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		var width int
+		for {
+			select {
+			case <-done:
+				if width > 0 {
+					fmt.Fprintf(os.Stderr, "\r%*s\r", width, "")
+				}
+				return
+			case <-tick.C:
+				line := prog.Line()
+				if len(line) > width {
+					width = len(line)
+				}
+				fmt.Fprintf(os.Stderr, "\r%-*s", width, line)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-cleared
+		})
+	}
 }
 
 // assertSameResults compares two artifacts' result sections (everything

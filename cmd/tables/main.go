@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/hierarchy"
+	"repro/internal/ledger"
 	"repro/internal/placement"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -26,7 +28,16 @@ func main() {
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file")
 	names := flag.String("workloads", "", "comma-separated workload subset (default: all nine)")
 	scale := flag.Float64("scale", 1.0, "burst-count multiplier (smaller = faster, noisier)")
+	fromLedger := flag.String("from-ledger", "", "re-render the run summary from a ledger JSONL file (no simulation) and exit")
 	flag.Parse()
+
+	if *fromLedger != "" {
+		if err := renderLedger(*fromLedger); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var ws []workload.Workload
 	if *names == "" {
@@ -123,6 +134,33 @@ func main() {
 	if show("victim") {
 		runVictim(ws, *scale)
 	}
+}
+
+// renderLedger re-renders a recorded run's summary table from its ledger
+// alone — the offline counterpart of ccdpbench's live summary, producing
+// the same numbers from the same eval events.
+func renderLedger(path string) error {
+	run, err := ledger.ReplayFile(path)
+	if err != nil {
+		return err
+	}
+	if rs := run.Start; rs != nil {
+		fmt.Printf("ledger: %s run", rs.Tool)
+		if rs.SHA != "" {
+			fmt.Printf(" @ %s", rs.SHA)
+		}
+		if rs.Scale != 0 {
+			fmt.Printf(", scale %g", rs.Scale)
+		}
+		fmt.Printf(", %d events\n", run.Events)
+	}
+	fmt.Print(run.Summary())
+	if re := run.End; re != nil {
+		fmt.Printf("recorded averages: train %.2f%%, test %.2f%%, wall %v\n",
+			re.AvgTrainReductionPct, re.AvgTestReductionPct,
+			time.Duration(re.WallNs).Round(time.Millisecond))
+	}
+	return nil
 }
 
 // runVictim prints the hardware-vs-software comparison: a small victim

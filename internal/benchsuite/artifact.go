@@ -14,7 +14,10 @@ import (
 // SchemaVersion identifies the artifact layout. Bump it on any breaking
 // change so stale committed baselines fail loudly instead of comparing
 // garbage.
-const SchemaVersion = 1
+//
+// v2: the metrics section's counters/named/stages/histograms changed from
+// JSON objects to name-sorted arrays (deterministic export order).
+const SchemaVersion = 2
 
 // WorkloadReport is one workload's slice of the artifact.
 type WorkloadReport struct {

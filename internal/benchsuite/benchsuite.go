@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -52,6 +53,14 @@ func RunWorkloads(names []string, opts sim.Options, layouts []sim.LayoutKind, sc
 // layout) units. Inner parallelism never changes results, so the donation
 // only moves wall clock.
 func RunExperiments(names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64, tc sim.TraceConfig) ([]*core.Comparison, error) {
+	return runExperiments(names, opts, layouts, scale, tc, nil, nil)
+}
+
+// runExperiments is the full-featured suite runner: RunExperiments plus
+// the observability hooks Config.Run threads in. led (shared, concurrency
+// safe) receives every experiment's structured events; prog tracks live
+// progress through the core stage hook. Both may be nil.
+func runExperiments(names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64, tc sim.TraceConfig, led *ledger.Writer, prog *Progress) ([]*core.Comparison, error) {
 	if scale <= 0 {
 		return nil, fmt.Errorf("benchsuite: scale %g <= 0", scale)
 	}
@@ -67,6 +76,22 @@ func RunExperiments(names []string, opts sim.Options, layouts []sim.LayoutKind, 
 			ws = append(ws, w)
 		}
 	}
+	var onStage func(workload string, stage metrics.Stage)
+	if prog != nil {
+		onStage = prog.Observe
+	}
+	runOne := func(w workload.Workload, runOpts sim.Options) (*core.Comparison, error) {
+		cmp, err := core.RunExperiment(core.Experiment{
+			Workload: w, Options: runOpts, Layouts: layouts,
+			Inputs: ScaledInputs(w, scale), Trace: tc,
+			Ledger: led, OnStage: onStage,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("benchsuite: %s: %w", w.Name(), err)
+		}
+		prog.Done(w.Name())
+		return cmp, nil
+	}
 	if opts.Parallelism > 1 && len(ws) > 1 {
 		inner := opts.Parallelism / len(ws)
 		if inner < 1 {
@@ -79,26 +104,16 @@ func RunExperiments(names []string, opts sim.Options, layouts []sim.LayoutKind, 
 				runOpts := opts
 				runOpts.Metrics = mc
 				runOpts.Parallelism = inner
-				cmp, err := core.RunExperiment(core.Experiment{
-					Workload: w, Options: runOpts, Layouts: layouts,
-					Inputs: ScaledInputs(w, scale), Trace: tc,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("benchsuite: %s: %w", w.Name(), err)
-				}
-				return cmp, nil
+				return runOne(w, runOpts)
 			}
 		}
 		return exec.Map(context.Background(), opts.Parallelism, opts.Metrics, tasks)
 	}
 	var cmps []*core.Comparison
 	for _, w := range ws {
-		cmp, err := core.RunExperiment(core.Experiment{
-			Workload: w, Options: opts, Layouts: layouts,
-			Inputs: ScaledInputs(w, scale), Trace: tc,
-		})
+		cmp, err := runOne(w, opts)
 		if err != nil {
-			return nil, fmt.Errorf("benchsuite: %s: %w", w.Name(), err)
+			return nil, err
 		}
 		cmps = append(cmps, cmp)
 	}
@@ -140,6 +155,13 @@ type Config struct {
 	// trace files (recording on first contact) instead of the live
 	// model. Results are identical either way.
 	Trace sim.TraceConfig
+	// Ledger, when non-nil, receives every experiment's structured run
+	// events (the caller owns run_start/run_end framing and Close).
+	Ledger *ledger.Writer
+	// Progress, when non-nil, tracks workloads done/total and each
+	// in-flight workload's current stage — the source for cmd/ccdpbench's
+	// progress line and the -debug-addr snapshot endpoint.
+	Progress *Progress
 }
 
 // Run executes the suite per cfg with the paper's default options and
@@ -152,6 +174,6 @@ func (cfg Config) Run() ([]*core.Comparison, float64, error) {
 	opts := sim.DefaultOptions()
 	opts.Metrics = cfg.Metrics
 	opts.Parallelism = cfg.Parallelism
-	cmps, err := RunExperiments(cfg.Workloads, opts, nil, scale, cfg.Trace)
+	cmps, err := runExperiments(cfg.Workloads, opts, nil, scale, cfg.Trace, cfg.Ledger, cfg.Progress)
 	return cmps, scale, err
 }

@@ -43,18 +43,18 @@ func TestSuiteAndArtifact(t *testing.T) {
 
 	// The metrics section must reflect the run: events flowed, the TRG
 	// materialized, every stage has timings.
-	if a.Metrics.Counters[metrics.TraceEvents.String()] == 0 {
+	if v, _ := a.Metrics.Counter(metrics.TraceEvents.String()); v == 0 {
 		t.Error("no trace events counted")
 	}
-	if a.Metrics.Counters[metrics.TRGEdges.String()] == 0 {
+	if v, _ := a.Metrics.Counter(metrics.TRGEdges.String()); v == 0 {
 		t.Error("no TRG edges counted")
 	}
 	for _, st := range []metrics.Stage{metrics.StagePipeline, metrics.StageProfile, metrics.StagePlace, metrics.StageEval} {
-		if a.Metrics.Stages[st.String()].Count == 0 {
+		if ss, _ := a.Metrics.Stage(st.String()); ss.Count == 0 {
 			t.Errorf("stage %s has no timings", st)
 		}
 	}
-	if a.Metrics.Named["sim.misses."+string(sim.LayoutNatural)] == 0 {
+	if v, _ := a.Metrics.NamedCounter("sim.misses." + string(sim.LayoutNatural)); v == 0 {
 		t.Error("no per-layout miss counts")
 	}
 }

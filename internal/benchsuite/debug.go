@@ -1,0 +1,45 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/metrics"
+)
+
+// DebugHandler serves the live observability surface cmd/ccdpbench mounts
+// behind -debug-addr while the suite runs:
+//
+//	/debug/snapshot  — JSON: suite progress + current metrics snapshot
+//	/debug/pprof/*   — the standard net/http/pprof profiling handlers
+//
+// The handlers are mounted on a private mux (not http.DefaultServeMux),
+// so importing this package never changes a host program's routes. Both
+// mc and p may be nil; the snapshot then reports empty sections.
+func DebugHandler(mc *metrics.Collector, p *Progress) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Snapshot under load is approximate by design (the collector's
+		// documented contract); the progress section is exact.
+		_ = enc.Encode(debugSnapshot{
+			Progress: p.Snapshot(),
+			Metrics:  mc.Snapshot(),
+		})
+	})
+	return mux
+}
+
+// debugSnapshot is the /debug/snapshot response body.
+type debugSnapshot struct {
+	Progress ProgressSnapshot `json:"progress"`
+	Metrics  metrics.Snapshot `json:"metrics"`
+}

@@ -1,0 +1,176 @@
+package benchsuite
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+)
+
+// TestProgressTracking drives the tracker through a small suite shape and
+// checks the snapshot and line rendering.
+func TestProgressTracking(t *testing.T) {
+	p := NewProgress(3)
+	p.Observe("compress", metrics.StageProfile)
+	p.Observe("anagram", metrics.StageProfile)
+	p.Observe("compress", metrics.StageEval)
+
+	snap := p.Snapshot()
+	if snap.Done != 0 || snap.Total != 3 {
+		t.Fatalf("done/total = %d/%d, want 0/3", snap.Done, snap.Total)
+	}
+	if len(snap.Active) != 2 || snap.Active[0].Workload != "anagram" || snap.Active[1].Stage != "eval" {
+		t.Fatalf("active = %+v, want sorted [anagram:profile compress:eval]", snap.Active)
+	}
+
+	p.Done("compress")
+	snap = p.Snapshot()
+	if snap.Done != 1 || len(snap.Active) != 1 {
+		t.Fatalf("after Done: %+v", snap)
+	}
+	line := p.Line()
+	if !strings.Contains(line, "[1/3]") || !strings.Contains(line, "anagram:profile") {
+		t.Errorf("line = %q", line)
+	}
+}
+
+// TestProgressNil holds Progress to the nil-receiver contract.
+func TestProgressNil(t *testing.T) {
+	var p *Progress
+	p.Observe("x", metrics.StageEval)
+	p.Done("x")
+	if snap := p.Snapshot(); snap.Total != 0 || snap.Active != nil {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+	if p.Line() != "" {
+		t.Fatalf("nil line = %q", p.Line())
+	}
+}
+
+// TestDebugHandler checks the -debug-addr surface: the JSON snapshot
+// carries live progress and metrics, and the pprof index answers.
+func TestDebugHandler(t *testing.T) {
+	mc := metrics.New()
+	mc.Add(metrics.TraceEvents, 42)
+	p := NewProgress(9)
+	p.Observe("compress", metrics.StagePlace)
+	srv := httptest.NewServer(DebugHandler(mc, p))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+	var body struct {
+		Progress ProgressSnapshot `json:"progress"`
+		Metrics  metrics.Snapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Progress.Total != 9 || len(body.Progress.Active) != 1 || body.Progress.Active[0].Stage != "place" {
+		t.Errorf("progress = %+v", body.Progress)
+	}
+	if v, ok := body.Metrics.Counter("trace.events"); !ok || v != 42 {
+		t.Errorf("metrics counter = %d, %v", v, ok)
+	}
+
+	pprofResp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofResp.Body.Close()
+	if pprofResp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d", pprofResp.StatusCode)
+	}
+}
+
+// TestLedgerMatchesArtifact is the round-trip acceptance check: a suite
+// run recorded to a ledger re-renders — from the JSONL alone — the same
+// reduction numbers the live artifact carries, and the summary table
+// matches the CLI's formatting of those numbers.
+func TestLedgerMatchesArtifact(t *testing.T) {
+	var buf bytes.Buffer
+	lw := ledger.New(&buf)
+	prog := NewProgress(2)
+	cmps, scale, err := Config{
+		Scale: 0.05, Workloads: []string{"compress", "deltablue"},
+		Ledger: lw, Progress: prog,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw.RunEnd(ledger.RunEnd{Workloads: len(cmps)})
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if done := prog.Snapshot().Done; done != 2 {
+		t.Errorf("progress done = %d, want 2", done)
+	}
+
+	art := BuildArtifact("test", scale, cmps, metrics.Snapshot{})
+	run, err := ledger.Replay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Workloads) != 2 || len(run.Placement) != 2 || len(run.Ends) != 2 {
+		t.Fatalf("ledger events: starts=%d placements=%d ends=%d",
+			len(run.Workloads), len(run.Placement), len(run.Ends))
+	}
+	// One span per profile, place, and (input × layout) eval unit.
+	if want := 2 * (1 + 1 + 4); len(run.Spans) != want {
+		t.Errorf("ledger spans = %d, want %d", len(run.Spans), want)
+	}
+	for _, wr := range art.Workloads {
+		if got := run.Reduction(wr.Name, TrainInput); !closeEnough(got, wr.TrainReductionPct) {
+			t.Errorf("%s train reduction: ledger %g vs artifact %g", wr.Name, got, wr.TrainReductionPct)
+		}
+		if got := run.Reduction(wr.Name, TestInput); !closeEnough(got, wr.TestReductionPct) {
+			t.Errorf("%s test reduction: ledger %g vs artifact %g", wr.Name, got, wr.TestReductionPct)
+		}
+		for input, byLayout := range wr.MissRatePct {
+			for layout, rate := range byLayout {
+				if got := run.MissRate(wr.Name, input, layout); !closeEnough(got, rate) {
+					t.Errorf("%s/%s/%s miss rate: ledger %g vs artifact %g", wr.Name, input, layout, got, rate)
+				}
+			}
+		}
+	}
+	// The workload_end events carry the same reductions core computed.
+	for _, we := range run.Ends {
+		for _, red := range we.Reductions {
+			if got := run.Reduction(we.Workload, red.Input); !closeEnough(got, red.ReductionPct) {
+				t.Errorf("%s/%s: recomputed reduction %g vs recorded %g",
+					we.Workload, red.Input, got, red.ReductionPct)
+			}
+		}
+	}
+	// The re-rendered summary table prints the CLI's numbers verbatim.
+	summary := run.Summary()
+	for _, wr := range art.Workloads {
+		want := fmt.Sprintf("%-12s %10.2f %10.2f", wr.Name, wr.TrainReductionPct, wr.TestReductionPct)
+		if !strings.Contains(summary, want) {
+			t.Errorf("summary missing %q:\n%s", want, summary)
+		}
+	}
+	wantAvg := fmt.Sprintf("%-12s %10.2f %10.2f", "avg", art.AvgTrainReductionPct, art.AvgTestReductionPct)
+	if !strings.Contains(summary, wantAvg) {
+		t.Errorf("summary missing avg row %q:\n%s", wantAvg, summary)
+	}
+}
+
+// closeEnough compares reduction percentages allowing only float formatting
+// noise — the ledger records the same float64s the artifact holds, so the
+// tolerance is tight.
+func closeEnough(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

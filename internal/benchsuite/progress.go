@@ -1,0 +1,103 @@
+package benchsuite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Progress tracks a suite run for live display: workloads done/total and
+// the stage each in-flight workload is currently in. Like the metrics
+// collector, every method is safe on a nil receiver (disabled) and safe
+// for concurrent use — the stage hook fires from worker goroutines.
+type Progress struct {
+	total int64
+	done  atomic.Int64
+	start time.Time
+
+	mu     sync.Mutex
+	active map[string]string // workload -> current stage name
+}
+
+// NewProgress returns a tracker for a suite of total workloads.
+func NewProgress(total int) *Progress {
+	return &Progress{total: int64(total), start: time.Now(), active: make(map[string]string, total)}
+}
+
+// Observe records that workload entered the given pipeline stage. It is
+// the core.Experiment.OnStage hook.
+func (p *Progress) Observe(workload string, stage metrics.Stage) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.active[workload] = stage.String()
+	p.mu.Unlock()
+}
+
+// Done marks one workload's pipeline complete.
+func (p *Progress) Done(workload string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	delete(p.active, workload)
+	p.mu.Unlock()
+	p.done.Add(1)
+}
+
+// ProgressSnapshot is one consistent view of a Progress tracker.
+type ProgressSnapshot struct {
+	Done      int64  `json:"done"`
+	Total     int64  `json:"total"`
+	ElapsedNs int64  `json:"elapsedNs"`
+	Active    []Work `json:"active,omitempty"`
+}
+
+// Work is one in-flight workload and its current stage.
+type Work struct {
+	Workload string `json:"workload"`
+	Stage    string `json:"stage"`
+}
+
+// Snapshot returns the current state (zero value on a nil receiver), with
+// Active sorted by workload name.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	snap := ProgressSnapshot{
+		Done:      p.done.Load(),
+		Total:     p.total,
+		ElapsedNs: time.Since(p.start).Nanoseconds(),
+	}
+	p.mu.Lock()
+	for w, s := range p.active {
+		snap.Active = append(snap.Active, Work{Workload: w, Stage: s})
+	}
+	p.mu.Unlock()
+	sort.Slice(snap.Active, func(i, j int) bool { return snap.Active[i].Workload < snap.Active[j].Workload })
+	return snap
+}
+
+// Line renders a one-line status suitable for a terminal progress display:
+//
+//	[3/9] compress:eval m88ksim:profile (2.1s)
+func (p *Progress) Line() string {
+	if p == nil {
+		return ""
+	}
+	snap := p.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%d/%d]", snap.Done, snap.Total)
+	for _, w := range snap.Active {
+		fmt.Fprintf(&b, " %s:%s", w.Workload, w.Stage)
+	}
+	fmt.Fprintf(&b, " (%s)", time.Duration(snap.ElapsedNs).Round(100*time.Millisecond))
+	return b.String()
+}

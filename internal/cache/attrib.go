@@ -1,0 +1,218 @@
+package cache
+
+import (
+	"sort"
+
+	"repro/internal/object"
+)
+
+// Attribution is the simulator's optional miss-attribution mode: per-set
+// access/miss/eviction counters plus a bounded top-K sketch of (victim
+// object, evictor object) conflict pairs — the per-set conflict picture the
+// paper's section 4 argues placement from, measured instead of estimated.
+//
+// It follows the nil-receiver pattern of internal/metrics: a nil
+// *Attribution is the disabled mode and every hook no-ops after one
+// predictable branch, so the simulator's hot path is unchanged when
+// attribution is off. Attribution never feeds back into the simulation —
+// with it on or off, every Stats field is byte-identical (the differential
+// test holds the simulator to that).
+//
+// Memory is bounded by construction: three uint64 counters per cache set,
+// one owner entry per resident block (entries are deleted on eviction), and
+// a fixed-capacity space-saving sketch for the conflict pairs. Cost when
+// enabled: one map update per fill/eviction and one sketch update per
+// eviction with a known victim; the sketch replaces its minimum entry by
+// linear scan, so keep the capacity modest (the default is 256).
+type Attribution struct {
+	setMask uint64
+	sets    []SetStats
+	owners  map[uint64]object.ID // resident block -> object that filled it
+	pairs   *pairSketch
+}
+
+// DefaultAttributionPairs is the default conflict-pair sketch capacity.
+const DefaultAttributionPairs = 256
+
+// NewAttribution returns an enabled attribution sink for the given
+// geometry. maxPairs caps the conflict-pair sketch (0 selects
+// DefaultAttributionPairs).
+func NewAttribution(cfg Config, maxPairs int) *Attribution {
+	if maxPairs <= 0 {
+		maxPairs = DefaultAttributionPairs
+	}
+	return &Attribution{
+		setMask: uint64(cfg.Sets() - 1),
+		sets:    make([]SetStats, cfg.Sets()),
+		owners:  make(map[uint64]object.ID, cfg.Lines()+1),
+		pairs:   newPairSketch(maxPairs),
+	}
+}
+
+// SetStats is one cache set's attribution counters.
+type SetStats struct {
+	// Accesses counts block touches that indexed this set (one per block
+	// covered by a reference, hit or miss).
+	Accesses uint64
+	// Misses counts the misses charged to this set (victim-cache
+	// absorptions are not misses, matching Stats.Misses).
+	Misses uint64
+	// Evictions counts resident blocks displaced from this set, including
+	// displacements by prefetch fills and victim-cache swaps.
+	Evictions uint64
+}
+
+// access records one block touch (hit or miss) on blk's set.
+func (a *Attribution) access(blk uint64) {
+	if a == nil {
+		return
+	}
+	a.sets[blk&a.setMask].Accesses++
+}
+
+// miss records one counted miss on blk's set.
+func (a *Attribution) miss(blk uint64) {
+	if a == nil {
+		return
+	}
+	a.sets[blk&a.setMask].Misses++
+}
+
+// fill records that obj filled blk, displacing evicted (when evictedOK).
+// The displaced block's owner — when still known — is charged as the
+// victim of a conflict pair (victim, evictor=obj).
+func (a *Attribution) fill(blk uint64, obj object.ID, evicted uint64, evictedOK bool) {
+	if a == nil {
+		return
+	}
+	if evictedOK {
+		a.sets[blk&a.setMask].Evictions++
+		if victim, ok := a.owners[evicted]; ok {
+			delete(a.owners, evicted)
+			a.pairs.observe(pairKey(victim, obj))
+		}
+	}
+	a.owners[blk] = obj
+}
+
+// dropOwners forgets every resident block's owner (cache flush): flushed
+// blocks are not conflict victims.
+func (a *Attribution) dropOwners() {
+	if a == nil {
+		return
+	}
+	clear(a.owners)
+}
+
+// ConflictPair is one (victim, evictor) entry of the attribution sketch:
+// Evictor displaced a block owned by Victim about Count times. Err bounds
+// the space-saving overestimate — the true count is in [Count-Err, Count].
+type ConflictPair struct {
+	Victim  object.ID
+	Evictor object.ID
+	Count   uint64
+	Err     uint64
+}
+
+// AttributionStats is the exported snapshot of one attribution run.
+type AttributionStats struct {
+	// Sets holds per-cache-set counters, indexed by set.
+	Sets []SetStats
+	// Pairs lists the heaviest (victim, evictor) conflict pairs, sorted
+	// by descending count (ties: victim then evictor ID ascending).
+	Pairs []ConflictPair
+}
+
+// Stats snapshots the attribution state. A nil receiver returns nil.
+func (a *Attribution) Stats() *AttributionStats {
+	if a == nil {
+		return nil
+	}
+	st := &AttributionStats{Sets: make([]SetStats, len(a.sets))}
+	copy(st.Sets, a.sets)
+	st.Pairs = a.pairs.top()
+	return st
+}
+
+// MaxSetMisses returns the largest per-set miss count.
+func (s *AttributionStats) MaxSetMisses() uint64 {
+	var max uint64
+	for i := range s.Sets {
+		if s.Sets[i].Misses > max {
+			max = s.Sets[i].Misses
+		}
+	}
+	return max
+}
+
+// pairKey packs a (victim, evictor) object pair into one map key. Object
+// IDs are dense int32s, so 32 bits each side is exact.
+func pairKey(victim, evictor object.ID) uint64 {
+	return uint64(uint32(victim))<<32 | uint64(uint32(evictor))
+}
+
+func unpackPair(k uint64) (victim, evictor object.ID) {
+	return object.ID(int32(k >> 32)), object.ID(int32(uint32(k)))
+}
+
+// pairSketch is a Metwally space-saving sketch over pair keys: at most cap
+// monitored pairs; an unmonitored arrival replaces the minimum-count entry
+// and inherits its count as the error bound. The heavy hitters (anything
+// with true count > N/cap) are guaranteed to be present.
+type pairSketch struct {
+	cap     int
+	index   map[uint64]int // key -> slot in entries
+	entries []pairEntry
+}
+
+type pairEntry struct {
+	key   uint64
+	count uint64
+	err   uint64
+}
+
+func newPairSketch(capacity int) *pairSketch {
+	return &pairSketch{cap: capacity, index: make(map[uint64]int, capacity+1)}
+}
+
+func (p *pairSketch) observe(key uint64) {
+	if i, ok := p.index[key]; ok {
+		p.entries[i].count++
+		return
+	}
+	if len(p.entries) < p.cap {
+		p.index[key] = len(p.entries)
+		p.entries = append(p.entries, pairEntry{key: key, count: 1})
+		return
+	}
+	// Replace the minimum entry (linear scan; cap is small by contract).
+	min := 0
+	for i := 1; i < len(p.entries); i++ {
+		if p.entries[i].count < p.entries[min].count {
+			min = i
+		}
+	}
+	old := p.entries[min]
+	delete(p.index, old.key)
+	p.index[key] = min
+	p.entries[min] = pairEntry{key: key, count: old.count + 1, err: old.count}
+}
+
+// top returns the sketch contents as sorted ConflictPairs.
+func (p *pairSketch) top() []ConflictPair {
+	out := make([]ConflictPair, 0, len(p.entries))
+	for _, e := range p.entries {
+		v, ev := unpackPair(e.key)
+		out = append(out, ConflictPair{Victim: v, Evictor: ev, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Victim != out[j].Victim {
+			return out[i].Victim < out[j].Victim
+		}
+		return out[i].Evictor < out[j].Evictor
+	})
+	return out
+}

@@ -170,6 +170,10 @@ type Sim struct {
 	shadow     *lruShadow
 
 	victim *lruShadow
+
+	// attr is the optional miss-attribution sink; nil (the default) is
+	// the disabled mode and costs one nil-check branch per hook.
+	attr *Attribution
 }
 
 // New constructs a simulator; classify enables three-C miss classification
@@ -207,6 +211,14 @@ func New(cfg Config, classify bool) (*Sim, error) {
 
 // Config returns the simulated geometry.
 func (s *Sim) Config() Config { return s.cfg }
+
+// SetAttribution attaches a miss-attribution sink (nil detaches). The sink
+// only observes the simulation: every Stats field is byte-identical with
+// attribution on or off.
+func (s *Sim) SetAttribution(a *Attribution) { s.attr = a }
+
+// Attribution returns the attached attribution sink (nil when off).
+func (s *Sim) Attribution() *Attribution { return s.attr }
 
 // Stats returns a snapshot of accumulated statistics.
 func (s *Sim) Stats() Stats { return s.stats }
@@ -247,6 +259,7 @@ func (s *Sim) access(addr addrspace.Addr, size int64, cat object.Category, obj o
 	last := uint64(addr+addrspace.Addr(size)-1) >> s.setShift
 	for blk := first; blk <= last; blk++ {
 		hit, wasPrefetch, evicted, evictedOK := s.touchBlock(blk, dirty, false)
+		s.attr.access(blk)
 		if hit {
 			if wasPrefetch {
 				s.stats.PrefetchHits++
@@ -256,6 +269,7 @@ func (s *Sim) access(addr addrspace.Addr, size int64, cat object.Category, obj o
 			}
 			continue
 		}
+		s.attr.fill(blk, obj, evicted, evictedOK)
 		victimHit := false
 		if s.victim != nil {
 			victimHit = s.victim.remove(blk)
@@ -275,11 +289,16 @@ func (s *Sim) access(addr addrspace.Addr, size int64, cat object.Category, obj o
 			if s.classify {
 				s.stats.ClassMisses[s.classifyMiss(blk)]++
 			}
+			s.attr.miss(blk)
 		}
 		if s.cfg.Prefetch {
 			// Next-block prefetch rides along with the demand fill.
-			if pHit, _, _, _ := s.touchBlock(blk+1, false, true); !pHit {
+			if pHit, _, pEvicted, pEvictedOK := s.touchBlock(blk+1, false, true); !pHit {
 				s.stats.Prefetches++
+				// The prefetched block's fill is charged to the
+				// demanding object: it chose the placement that made
+				// the block adjacent.
+				s.attr.fill(blk+1, obj, pEvicted, pEvictedOK)
 			}
 		}
 	}
@@ -382,6 +401,7 @@ func (s *Sim) classifyMiss(blk uint64) MissClass {
 // Flush empties the cache contents but keeps statistics, modelling a
 // context switch. Dirty blocks are written back.
 func (s *Sim) Flush() {
+	s.attr.dropOwners()
 	if s.dmValid != nil {
 		for i := range s.dmValid {
 			if s.dmValid[i] && s.dmDirty[i] {

@@ -9,9 +9,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/exec"
+	"repro/internal/ledger"
 	"repro/internal/metrics"
+	"repro/internal/object"
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -63,6 +66,18 @@ type Experiment struct {
 	// first contact and drives profiling and every evaluation pass from
 	// replay. Artifacts are byte-identical to a live run.
 	Trace sim.TraceConfig
+
+	// Ledger, when non-nil, receives structured run events as the
+	// experiment executes: workload start/end, per-stage spans, the
+	// placement's phase-6 merge decisions, and one eval summary per
+	// (input × layout) unit. The writer is safe for concurrent use, so
+	// one ledger may be shared across parallel experiments.
+	Ledger *ledger.Writer
+	// OnStage, when non-nil, is called as each pipeline stage of this
+	// experiment begins (profile, place, then once per evaluation unit).
+	// It may be called from worker goroutines; keep it cheap and
+	// thread-safe. Progress displays hang off this hook.
+	OnStage func(workload string, stage metrics.Stage)
 }
 
 // Run profiles w on its train input, computes the placement, and evaluates
@@ -108,14 +123,28 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 		store = sim.NewTraceStore(e.Trace, w)
 	}
 
+	e.Ledger.WorkloadStart(ledger.WorkloadStart{
+		Workload: w.Name(),
+		Inputs:   inputLabels(inputs),
+		Layouts:  layoutNames(layouts),
+	})
+
+	e.stage(w.Name(), metrics.StageProfile)
+	profStart := time.Now()
 	pr, err := profilePass(store, w, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling %s: %w", w.Name(), err)
 	}
+	e.Ledger.Span(w.Name(), metrics.StageProfile.String(), profStart, time.Since(profStart))
+
+	e.stage(w.Name(), metrics.StagePlace)
+	placeStart := time.Now()
 	pm, err := sim.Place(w, pr, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: placing %s: %w", w.Name(), err)
 	}
+	e.Ledger.Span(w.Name(), metrics.StagePlace.String(), placeStart, time.Since(placeStart))
+	e.Ledger.Placement(ledgerPlacement(w.Name(), pm))
 
 	c := &Comparison{
 		Workload:  w,
@@ -151,20 +180,32 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 		}
 	}
 
+	// evalUnit runs one (input × layout) pass with its observability
+	// wrapping: the OnStage hook, a ledger span, and an eval summary.
+	// Both the sequential and the parallel path route through it, so a
+	// ledger records the same events either way (span interleaving and
+	// timing differ; results and summaries do not).
+	evalUnit := func(in workload.Input, kind sim.LayoutKind, passOpts sim.Options, hint uint64) (*sim.EvalResult, error) {
+		e.stage(w.Name(), metrics.StageEval)
+		start := time.Now()
+		res, err := evalPass(store, w, in, kind, pr, pm, passOpts, hint)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating %s/%s/%s: %w", w.Name(), in.Label, kind, err)
+		}
+		e.Ledger.Span(w.Name(), metrics.StageEval.String(), start, time.Since(start))
+		e.Ledger.Eval(ledgerEval(res))
+		return res, nil
+	}
+
 	var results []*sim.EvalResult
 	if opts.Parallelism > 1 && len(units) > 1 {
 		tasks := make([]exec.Task[*sim.EvalResult], len(units))
 		for ui, u := range units {
 			u := u
 			tasks[ui] = func(_ context.Context, mc *metrics.Collector) (*sim.EvalResult, error) {
-				in, kind := inputs[u.input], layouts[u.layout]
 				passOpts := opts
 				passOpts.Metrics = mc
-				res, err := evalPass(store, w, in, kind, pr, pm, passOpts, hints[u.input])
-				if err != nil {
-					return nil, fmt.Errorf("core: evaluating %s/%s/%s: %w", w.Name(), in.Label, kind, err)
-				}
-				return res, nil
+				return evalUnit(inputs[u.input], layouts[u.layout], passOpts, hints[u.input])
 			}
 		}
 		var err error
@@ -175,10 +216,9 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 	} else {
 		results = make([]*sim.EvalResult, len(units))
 		for ui, u := range units {
-			in, kind := inputs[u.input], layouts[u.layout]
-			res, err := evalPass(store, w, in, kind, pr, pm, opts, hints[u.input])
+			res, err := evalUnit(inputs[u.input], layouts[u.layout], opts, hints[u.input])
 			if err != nil {
-				return nil, fmt.Errorf("core: evaluating %s/%s/%s: %w", w.Name(), in.Label, kind, err)
+				return nil, err
 			}
 			results[ui] = res
 		}
@@ -193,7 +233,82 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 		}
 		byLayout[layouts[u.layout]] = results[ui]
 	}
+	if e.Ledger != nil {
+		we := ledger.WorkloadEnd{Workload: w.Name()}
+		for _, in := range inputs {
+			we.Reductions = append(we.Reductions, ledger.Reduction{
+				Input: in.Label, ReductionPct: c.Reduction(in.Label),
+			})
+		}
+		e.Ledger.WorkloadEnd(we)
+	}
 	return c, nil
+}
+
+// stage fires the experiment's OnStage hook, if any.
+func (e *Experiment) stage(workload string, s metrics.Stage) {
+	if e.OnStage != nil {
+		e.OnStage(workload, s)
+	}
+}
+
+func inputLabels(inputs []workload.Input) []string {
+	out := make([]string, len(inputs))
+	for i, in := range inputs {
+		out[i] = in.Label
+	}
+	return out
+}
+
+func layoutNames(layouts []sim.LayoutKind) []string {
+	out := make([]string, len(layouts))
+	for i, k := range layouts {
+		out[i] = string(k)
+	}
+	return out
+}
+
+// ledgerPlacement converts a placement map into its ledger event,
+// including the ordered phase-6 merge log.
+func ledgerPlacement(workload string, pm *placement.Map) ledger.Placement {
+	p := ledger.Placement{
+		Workload:          workload,
+		Globals:           len(pm.GlobalLayout),
+		SegmentBytes:      pm.GlobalSegSize,
+		HeapPlans:         len(pm.HeapPlans),
+		Bins:              pm.NumBins,
+		PredictedConflict: pm.PredictedConflict,
+	}
+	for _, step := range pm.MergeLog {
+		p.Merges = append(p.Merges, ledger.MergeDecision{
+			A: step.A, B: step.B, Weight: step.Weight,
+			ChosenLine: step.ChosenLine, Members: step.Members,
+		})
+	}
+	return p
+}
+
+// ledgerEval converts one evaluation result into its ledger event. The
+// category rates are emitted in enum order so the bytes are deterministic.
+func ledgerEval(res *sim.EvalResult) ledger.Eval {
+	ev := ledger.Eval{
+		Workload:        res.Workload,
+		Input:           res.Input.Label,
+		Layout:          string(res.Layout),
+		Accesses:        res.Stats.Accesses,
+		Misses:          res.Stats.Misses,
+		MissRatePct:     res.MissRate(),
+		TotalPages:      res.TotalPages,
+		WorkingSetPages: res.WorkingSet,
+	}
+	for c := 0; c < object.NumCategories; c++ {
+		cat := object.Category(c)
+		ev.ByCategoryPct = append(ev.ByCategoryPct, ledger.CategoryRate{
+			Category: cat.String(),
+			MissPct:  res.Stats.CategoryMissRate(cat),
+		})
+	}
+	return ev
 }
 
 // profilePass profiles the train input, live or from the trace store.

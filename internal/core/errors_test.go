@@ -120,10 +120,10 @@ func TestRunPopulatesMetrics(t *testing.T) {
 		t.Error("pipeline span shorter than its profile sub-span")
 	}
 	snap := mc.Snapshot()
-	if snap.Named["sim.misses."+string(sim.LayoutCCDP)] == 0 {
+	if v, _ := snap.NamedCounter("sim.misses." + string(sim.LayoutCCDP)); v == 0 {
 		t.Error("per-layout miss counter missing for ccdp")
 	}
-	if snap.Hists[metrics.HistAccessSize.String()].Count == 0 {
+	if h, _ := snap.Hist(metrics.HistAccessSize.String()); h.Count == 0 {
 		t.Error("access-size histogram empty")
 	}
 }

@@ -143,8 +143,8 @@ func TestMapMergesWorkerCollectors(t *testing.T) {
 	if got := mc.GetNamed("unit"); got != 20 {
 		t.Fatalf("merged named counter %d, want 20", got)
 	}
-	if snap := mc.Snapshot(); snap.Hists["access_size_bytes"].Count != 20 {
-		t.Fatalf("merged histogram count %d, want 20", snap.Hists["access_size_bytes"].Count)
+	if h, ok := mc.Snapshot().Hist("access_size_bytes"); !ok || h.Count != 20 {
+		t.Fatalf("merged histogram count %d, want 20", h.Count)
 	}
 }
 

@@ -1,0 +1,218 @@
+package ledger
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// scriptedLedger writes a small fixed run — two workloads, four eval
+// passes, spans, a placement, a metrics snapshot — with deterministic
+// timing derived from a fixed epoch, so the output bytes are stable.
+func scriptedLedger(w *Writer) {
+	epoch := w.Epoch()
+	at := func(ms int) time.Time { return epoch.Add(time.Duration(ms) * time.Millisecond) }
+
+	w.RunStart(RunStart{
+		Tool: "test", SHA: "deadbeef", Scale: 0.15, Parallelism: 2,
+		Workloads: []string{"alpha", "beta"}, Cache: "8KB direct-mapped",
+	})
+	for i, name := range []string{"alpha", "beta"} {
+		base := i * 100
+		w.WorkloadStart(WorkloadStart{Workload: name,
+			Inputs: []string{"train", "test"}, Layouts: []string{"natural", "ccdp"}})
+		w.Span(name, "profile", at(base+1), 20*time.Millisecond)
+		w.Span(name, "place", at(base+21), 5*time.Millisecond)
+		w.Placement(Placement{Workload: name, Globals: 10, SegmentBytes: 4096,
+			HeapPlans: 3, Bins: 2, PredictedConflict: 42,
+			Merges: []MergeDecision{{A: 0, B: 1, Weight: 100, ChosenLine: 3, Members: 2}}})
+		for j, in := range []string{"train", "test"} {
+			for k, lay := range []string{"natural", "ccdp"} {
+				nat := 10.0 - float64(i)
+				rate := nat
+				if lay == "ccdp" {
+					rate = nat * (1 - 0.1*float64(j+1)) // 10% / 20% reductions
+				}
+				w.Span(name, "eval", at(base+30+10*(2*j+k)), 8*time.Millisecond)
+				w.Eval(Eval{Workload: name, Input: in, Layout: lay,
+					Accesses: 1000, Misses: uint64(rate * 10), MissRatePct: rate,
+					ByCategoryPct: []CategoryRate{{Category: "stack", MissPct: rate / 2}}})
+			}
+		}
+		w.WorkloadEnd(WorkloadEnd{Workload: name, Reductions: []Reduction{
+			{Input: "train", ReductionPct: 10}, {Input: "test", ReductionPct: 20}}})
+	}
+	mc := metrics.New()
+	mc.Add(metrics.TraceEvents, 1234)
+	mc.AddNamed("sim.misses.ccdp", 99)
+	w.Metrics(mc.Snapshot())
+	w.RunEnd(RunEnd{Workloads: 2, AvgTrainReductionPct: 10,
+		AvgTestReductionPct: 20, WallNs: int64(250 * time.Millisecond)})
+}
+
+// TestGolden locks the exact serialized form of every event kind for
+// schema v1. A byte-level change here is a schema change: bump
+// SchemaVersion, re-freeze the fingerprint, and regenerate with -update.
+func TestGolden(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewAt(&buf, time.Unix(1700000000, 0).UTC())
+	scriptedLedger(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "golden_v1.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("ledger bytes differ from %s (schema change? bump SchemaVersion and regenerate with -update)\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// frozenFingerprint is the complete reachable schema of version 1,
+// rendered by SchemaFingerprint. If TestSchemaFrozen fails here, a field
+// was added, removed, renamed, or retyped without bumping SchemaVersion:
+// bump it, regenerate the golden file, and re-freeze this constant (the
+// test failure message prints the new value).
+const frozenFingerprint = "v1 Event{v:int seq:uint64 event:string" +
+	" runStart:*RunStart{schemaVersion:int tool:string sha:string scale:float64 parallelism:int workloads:[]string cache:string}" +
+	" workloadStart:*WorkloadStart{workload:string inputs:[]string layouts:[]string}" +
+	" span:*Span{workload:string stage:string startNs:int64 wallNs:int64}" +
+	" placement:*Placement{workload:string globals:int segmentBytes:int64 heapPlans:int bins:int predictedConflict:uint64 merges:[]MergeDecision{a:int b:int weight:uint64 chosenLine:int members:int}}" +
+	" eval:*Eval{workload:string input:string layout:string accesses:uint64 misses:uint64 missRatePct:float64 byCategoryPct:[]CategoryRate{category:string missPct:float64} totalPages:int workingSetPages:float64}" +
+	" workloadEnd:*WorkloadEnd{workload:string reductions:[]Reduction{input:string reductionPct:float64}}" +
+	" metrics:*Snapshot{counters:[]CounterSnapshot{name:string value:uint64} named:[]CounterSnapshot stages:[]StageSnapshot{name:string count:uint64 totalNanos:uint64 avgNanos:uint64 maxNanos:uint64} histograms:[]HistSnapshot{name:string count:uint64 sum:uint64 mean:float64 p50:uint64 p90:uint64 p99:uint64}}" +
+	" runEnd:*RunEnd{workloads:int avgTrainReductionPct:float64 avgTestReductionPct:float64 wallNs:int64}}"
+
+// TestSchemaFrozen is the tripwire the issue asks for: extending any
+// event payload (or metrics.Snapshot, which ledgers embed) without a
+// version bump fails this test.
+func TestSchemaFrozen(t *testing.T) {
+	got := SchemaFingerprint()
+	if got != frozenFingerprint {
+		t.Errorf("ledger schema changed without a version bump.\nIf intentional: bump SchemaVersion, regenerate the golden file, and freeze the new fingerprint:\n%s", got)
+	}
+}
+
+// TestReplayRoundTrip drives the scripted run through Replay and checks
+// the read side reconstructs the result numbers.
+func TestReplayRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewAt(&buf, time.Unix(1700000000, 0).UTC())
+	scriptedLedger(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	run, err := Replay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Start == nil || run.Start.Tool != "test" || run.Start.SchemaVersion != SchemaVersion {
+		t.Fatalf("run_start not reconstructed: %+v", run.Start)
+	}
+	if run.End == nil || run.End.Workloads != 2 {
+		t.Fatalf("run_end not reconstructed: %+v", run.End)
+	}
+	if got := run.WorkloadNames(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("workload names = %v", got)
+	}
+	if len(run.Evals) != 8 || len(run.Spans) != 12 || len(run.Placement) != 2 || len(run.Metrics) != 1 {
+		t.Fatalf("event counts: evals=%d spans=%d placements=%d metrics=%d",
+			len(run.Evals), len(run.Spans), len(run.Placement), len(run.Metrics))
+	}
+	// The scripted rates encode exactly 10% train / 20% test reductions.
+	for _, name := range []string{"alpha", "beta"} {
+		if got := run.Reduction(name, "train"); got < 9.99 || got > 10.01 {
+			t.Errorf("%s train reduction = %g, want 10", name, got)
+		}
+		if got := run.Reduction(name, "test"); got < 19.99 || got > 20.01 {
+			t.Errorf("%s test reduction = %g, want 20", name, got)
+		}
+	}
+	sum := run.Summary()
+	for _, want := range []string{"workload", "alpha", "beta", "avg", "10.00", "20.00"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	// The metrics snapshot survives the trip with its lookup helpers.
+	if v, ok := run.Metrics[0].Counter("trace.events"); !ok || v != 1234 {
+		t.Errorf("metrics counter trace.events = %d, %v", v, ok)
+	}
+}
+
+// TestReplayRejects checks the validation failure modes: wrong version,
+// broken sequence, unknown kind.
+func TestReplayRejects(t *testing.T) {
+	cases := map[string]string{
+		"version":  `{"v":999,"seq":0,"event":"run_end","runEnd":{}}`,
+		"sequence": `{"v":1,"seq":5,"event":"run_end","runEnd":{}}`,
+		"kind":     `{"v":1,"seq":0,"event":"nonsense"}`,
+		"json":     `{not json`,
+	}
+	for name, line := range cases {
+		if _, err := Replay(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("%s: Replay accepted %q", name, line)
+		}
+	}
+}
+
+// TestNilWriter holds every method to the nil-receiver contract.
+func TestNilWriter(t *testing.T) {
+	var w *Writer
+	w.RunStart(RunStart{})
+	w.WorkloadStart(WorkloadStart{})
+	w.Span("", "profile", time.Now(), time.Second)
+	w.Placement(Placement{})
+	w.Eval(Eval{})
+	w.WorkloadEnd(WorkloadEnd{})
+	w.Metrics(metrics.Snapshot{})
+	w.RunEnd(RunEnd{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCreateFile exercises the file-backed path end to end.
+func TestCreateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RunStart(RunStart{Tool: "test"})
+	w.RunEnd(RunEnd{Workloads: 0})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	run, err := ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Events != 2 || run.Start == nil || run.End == nil {
+		t.Fatalf("replayed %d events, start=%v end=%v", run.Events, run.Start, run.End)
+	}
+}

@@ -1,0 +1,164 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Run is a fully parsed ledger: every event, grouped by kind, in stream
+// order. It is the read-side counterpart of Writer — cmd/tables uses it
+// to re-render the CLI summary from a ledger file alone.
+type Run struct {
+	Start     *RunStart
+	Workloads []WorkloadStart
+	Spans     []Span
+	Placement []Placement
+	Evals     []Eval
+	Ends      []WorkloadEnd
+	Metrics   []metrics.Snapshot
+	End       *RunEnd
+
+	// Events is the total line count.
+	Events int
+}
+
+// Replay parses a ledger stream, validating the schema version on every
+// line and the sequence numbering across them.
+func Replay(r io.Reader) (*Run, error) {
+	run := &Run{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var want uint64
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("ledger: line %d: %w", want+1, err)
+		}
+		if ev.V != SchemaVersion {
+			return nil, fmt.Errorf("ledger: line %d: schema version %d, want %d", want+1, ev.V, SchemaVersion)
+		}
+		if ev.Seq != want {
+			return nil, fmt.Errorf("ledger: line %d: sequence %d, want %d (truncated or interleaved ledger)", want+1, ev.Seq, want)
+		}
+		want++
+		run.Events++
+		switch ev.Kind {
+		case KindRunStart:
+			run.Start = ev.RunStart
+		case KindWorkloadStart:
+			if ev.WorkloadStart != nil {
+				run.Workloads = append(run.Workloads, *ev.WorkloadStart)
+			}
+		case KindSpan:
+			if ev.Span != nil {
+				run.Spans = append(run.Spans, *ev.Span)
+			}
+		case KindPlacement:
+			if ev.Placement != nil {
+				run.Placement = append(run.Placement, *ev.Placement)
+			}
+		case KindEval:
+			if ev.Eval != nil {
+				run.Evals = append(run.Evals, *ev.Eval)
+			}
+		case KindWorkloadEnd:
+			if ev.WorkloadEnd != nil {
+				run.Ends = append(run.Ends, *ev.WorkloadEnd)
+			}
+		case KindMetrics:
+			if ev.Metrics != nil {
+				run.Metrics = append(run.Metrics, *ev.Metrics)
+			}
+		case KindRunEnd:
+			run.End = ev.RunEnd
+		default:
+			// Unknown kinds within the same schema version are an error:
+			// the schema is closed per version.
+			return nil, fmt.Errorf("ledger: line %d: unknown event kind %q", want, ev.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	return run, nil
+}
+
+// ReplayFile parses the ledger at path.
+func ReplayFile(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Replay(f)
+}
+
+// MissRate returns the recorded miss rate for (workload, input, layout),
+// or -1 when the ledger holds no such eval event.
+func (r *Run) MissRate(workload, input, layout string) float64 {
+	for i := range r.Evals {
+		e := &r.Evals[i]
+		if e.Workload == workload && e.Input == input && e.Layout == layout {
+			return e.MissRatePct
+		}
+	}
+	return -1
+}
+
+// Reduction recomputes the CCDP-vs-natural miss-rate reduction for
+// (workload, input) from the raw eval events — the same formula
+// core.Comparison.Reduction applies to live results.
+func (r *Run) Reduction(workload, input string) float64 {
+	nat := r.MissRate(workload, input, "natural")
+	ccdp := r.MissRate(workload, input, "ccdp")
+	if nat <= 0 || ccdp < 0 {
+		return 0
+	}
+	return 100 * (nat - ccdp) / nat
+}
+
+// WorkloadNames returns the distinct workloads with eval events, sorted.
+func (r *Run) WorkloadNames() []string {
+	seen := make(map[string]bool)
+	var names []string
+	for i := range r.Evals {
+		if w := r.Evals[i].Workload; !seen[w] {
+			seen[w] = true
+			names = append(names, w)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Summary re-renders the per-workload reduction table from the raw eval
+// events, in the exact format cmd/ccdpbench prints after a live run —
+// the acceptance check that a ledger alone carries the result numbers.
+func (r *Run) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s\n", "workload", "train red%", "test red%")
+	names := r.WorkloadNames()
+	var sumTrain, sumTest float64
+	for _, name := range names {
+		train := r.Reduction(name, "train")
+		test := r.Reduction(name, "test")
+		sumTrain += train
+		sumTest += test
+		fmt.Fprintf(&b, "%-12s %10.2f %10.2f\n", name, train, test)
+	}
+	if n := float64(len(names)); n > 0 {
+		fmt.Fprintf(&b, "%-12s %10.2f %10.2f\n", "avg", sumTrain/n, sumTest/n)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package ledger
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// SchemaFingerprint renders the complete reachable event schema — the
+// envelope plus every payload type, recursively, with JSON names and Go
+// kinds — as one canonical string. The freeze test compares it against a
+// constant recorded for SchemaVersion: any added, removed, renamed, or
+// retyped field changes the fingerprint and fails the test until
+// SchemaVersion is bumped and the constant re-frozen.
+//
+// Nested types from other packages (metrics.Snapshot) are walked too:
+// their fields appear verbatim on ledger lines, so changing them is a
+// ledger schema change like any other.
+func SchemaFingerprint() string {
+	var b strings.Builder
+	seen := make(map[reflect.Type]bool)
+	fmt.Fprintf(&b, "v%d ", SchemaVersion)
+	writeType(&b, reflect.TypeOf(Event{}), seen)
+	return b.String()
+}
+
+func writeType(b *strings.Builder, t reflect.Type, seen map[reflect.Type]bool) {
+	switch t.Kind() {
+	case reflect.Pointer:
+		b.WriteByte('*')
+		writeType(b, t.Elem(), seen)
+	case reflect.Slice:
+		b.WriteString("[]")
+		writeType(b, t.Elem(), seen)
+	case reflect.Map:
+		b.WriteString("map[")
+		writeType(b, t.Key(), seen)
+		b.WriteByte(']')
+		writeType(b, t.Elem(), seen)
+	case reflect.Struct:
+		b.WriteString(t.Name())
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		b.WriteByte('{')
+		emitted := 0
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			if emitted > 0 {
+				b.WriteByte(' ')
+			}
+			emitted++
+			name := f.Name
+			if tag, ok := f.Tag.Lookup("json"); ok {
+				if j := strings.Split(tag, ",")[0]; j != "" {
+					name = j
+				}
+			}
+			b.WriteString(name)
+			b.WriteByte(':')
+			writeType(b, f.Type, seen)
+		}
+		b.WriteByte('}')
+	default:
+		b.WriteString(t.Kind().String())
+	}
+}

@@ -17,6 +17,7 @@ package metrics
 
 import (
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -369,8 +370,15 @@ func (c *Collector) StageCount(s Stage) uint64 {
 	return c.stages[s].count.Load()
 }
 
+// CounterSnapshot is the exported view of one counter.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
 // StageSnapshot is the exported view of one stage's timings.
 type StageSnapshot struct {
+	Name       string `json:"name"`
 	Count      uint64 `json:"count"`
 	TotalNanos uint64 `json:"totalNanos"`
 	AvgNanos   uint64 `json:"avgNanos"`
@@ -380,6 +388,7 @@ type StageSnapshot struct {
 // HistSnapshot is the exported view of one histogram sketch. Quantiles are
 // power-of-two upper bounds.
 type HistSnapshot struct {
+	Name  string  `json:"name"`
 	Count uint64  `json:"count"`
 	Sum   uint64  `json:"sum"`
 	Mean  float64 `json:"mean"`
@@ -389,16 +398,51 @@ type HistSnapshot struct {
 }
 
 // Snapshot is a point-in-time export of every non-empty metric, shaped for
-// JSON artifacts.
+// JSON artifacts and the run ledger. Every section is a slice sorted by
+// name, so two snapshots of identical state marshal to identical bytes in
+// any encoder — not just ones that happen to sort map keys — and line
+// diffs between runs are stable.
 type Snapshot struct {
-	Counters map[string]uint64        `json:"counters,omitempty"`
-	Named    map[string]uint64        `json:"named,omitempty"`
-	Stages   map[string]StageSnapshot `json:"stages,omitempty"`
-	Hists    map[string]HistSnapshot  `json:"histograms,omitempty"`
+	Counters []CounterSnapshot `json:"counters,omitempty"`
+	Named    []CounterSnapshot `json:"named,omitempty"`
+	Stages   []StageSnapshot   `json:"stages,omitempty"`
+	Hists    []HistSnapshot    `json:"histograms,omitempty"`
 }
 
-// Snapshot exports the collector's current state. A nil collector returns
-// the zero Snapshot.
+// Counter returns the snapshot value of the named fixed counter.
+func (s Snapshot) Counter(name string) (uint64, bool) { return findCounter(s.Counters, name) }
+
+// NamedCounter returns the snapshot value of a dynamically-named counter.
+func (s Snapshot) NamedCounter(name string) (uint64, bool) { return findCounter(s.Named, name) }
+
+func findCounter(cs []CounterSnapshot, name string) (uint64, bool) {
+	i := sort.Search(len(cs), func(i int) bool { return cs[i].Name >= name })
+	if i < len(cs) && cs[i].Name == name {
+		return cs[i].Value, true
+	}
+	return 0, false
+}
+
+// Stage returns the named stage's snapshot.
+func (s Snapshot) Stage(name string) (StageSnapshot, bool) {
+	i := sort.Search(len(s.Stages), func(i int) bool { return s.Stages[i].Name >= name })
+	if i < len(s.Stages) && s.Stages[i].Name == name {
+		return s.Stages[i], true
+	}
+	return StageSnapshot{}, false
+}
+
+// Hist returns the named histogram's snapshot.
+func (s Snapshot) Hist(name string) (HistSnapshot, bool) {
+	i := sort.Search(len(s.Hists), func(i int) bool { return s.Hists[i].Name >= name })
+	if i < len(s.Hists) && s.Hists[i].Name == name {
+		return s.Hists[i], true
+	}
+	return HistSnapshot{}, false
+}
+
+// Snapshot exports the collector's current state, every section sorted by
+// name. A nil collector returns the zero Snapshot.
 func (c *Collector) Snapshot() Snapshot {
 	var s Snapshot
 	if c == nil {
@@ -406,55 +450,49 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	for i := 0; i < NumCounters; i++ {
 		if v := c.counters[i].Load(); v != 0 {
-			if s.Counters == nil {
-				s.Counters = make(map[string]uint64)
-			}
-			s.Counters[Counter(i).String()] = v
+			s.Counters = append(s.Counters, CounterSnapshot{Name: Counter(i).String(), Value: v})
 		}
 	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	for i := 0; i < NumStages; i++ {
 		st := &c.stages[i]
 		n := st.count.Load()
 		if n == 0 {
 			continue
 		}
-		if s.Stages == nil {
-			s.Stages = make(map[string]StageSnapshot)
-		}
 		total := st.nanos.Load()
-		s.Stages[Stage(i).String()] = StageSnapshot{
+		s.Stages = append(s.Stages, StageSnapshot{
+			Name:       Stage(i).String(),
 			Count:      n,
 			TotalNanos: total,
 			AvgNanos:   total / n,
 			MaxNanos:   st.max.Load(),
-		}
+		})
 	}
+	sort.Slice(s.Stages, func(i, j int) bool { return s.Stages[i].Name < s.Stages[j].Name })
 	for i := 0; i < NumHists; i++ {
 		h := &c.hists[i]
 		n := h.count.Load()
 		if n == 0 {
 			continue
 		}
-		if s.Hists == nil {
-			s.Hists = make(map[string]HistSnapshot)
-		}
 		sum := h.sum.Load()
-		s.Hists[Hist(i).String()] = HistSnapshot{
+		s.Hists = append(s.Hists, HistSnapshot{
+			Name:  Hist(i).String(),
 			Count: n,
 			Sum:   sum,
 			Mean:  float64(sum) / float64(n),
 			P50:   h.quantile(0.50),
 			P90:   h.quantile(0.90),
 			P99:   h.quantile(0.99),
-		}
+		})
 	}
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
 	c.mu.Lock()
-	if len(c.named) > 0 {
-		s.Named = make(map[string]uint64, len(c.named))
-		for k, v := range c.named {
-			s.Named[k] = v
-		}
+	for k, v := range c.named {
+		s.Named = append(s.Named, CounterSnapshot{Name: k, Value: v})
 	}
 	c.mu.Unlock()
+	sort.Slice(s.Named, func(i, j int) bool { return s.Named[i].Name < s.Named[j].Name })
 	return s
 }

@@ -45,8 +45,8 @@ func TestCountersConcurrent(t *testing.T) {
 	if got := c.GetNamed("sim.hits.natural"); got != workers*per {
 		t.Errorf("named = %d, want %d", got, workers*per)
 	}
-	if got := c.Snapshot().Hists[HistAccessSize.String()].Count; got != workers*per {
-		t.Errorf("hist count = %d, want %d", got, workers*per)
+	if h, ok := c.Snapshot().Hist(HistAccessSize.String()); !ok || h.Count != workers*per {
+		t.Errorf("hist count = %d, want %d", h.Count, workers*per)
 	}
 }
 
@@ -64,7 +64,7 @@ func TestStageSpans(t *testing.T) {
 		t.Errorf("StageTotal = %v, want >= 3ms", total)
 	}
 	snap := c.Snapshot()
-	st, ok := snap.Stages[StageProfile.String()]
+	st, ok := snap.Stage(StageProfile.String())
 	if !ok {
 		t.Fatal("profile stage missing from snapshot")
 	}
@@ -86,7 +86,7 @@ func TestHistogramQuantiles(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		c.Observe(HistAllocSize, 4096)
 	}
-	h := c.Snapshot().Hists[HistAllocSize.String()]
+	h, _ := c.Snapshot().Hist(HistAllocSize.String())
 	if h.Count != 100 || h.Sum != 90*16+10*4096 {
 		t.Fatalf("count/sum = %d/%d", h.Count, h.Sum)
 	}
@@ -104,7 +104,7 @@ func TestHistogramQuantiles(t *testing.T) {
 func TestHistogramZero(t *testing.T) {
 	c := New()
 	c.Observe(HistAllocSize, 0)
-	h := c.Snapshot().Hists[HistAllocSize.String()]
+	h, _ := c.Snapshot().Hist(HistAllocSize.String())
 	if h.P50 != 0 || h.Count != 1 {
 		t.Errorf("zero-value observation: P50=%d Count=%d", h.P50, h.Count)
 	}
@@ -211,7 +211,7 @@ func TestMergeFoldsEverything(t *testing.T) {
 	if got := dst.GetNamed("sim.misses.ccdp"); got != 1 {
 		t.Errorf("named ccdp = %d, want 1", got)
 	}
-	h := dst.Snapshot().Hists[HistAccessSize.String()]
+	h, _ := dst.Snapshot().Hist(HistAccessSize.String())
 	if h.Count != 3 || h.Sum != 8+8+4096 {
 		t.Errorf("merged histogram count/sum = %d/%d", h.Count, h.Sum)
 	}
@@ -232,10 +232,10 @@ func TestMergeStageMaxTakesLarger(t *testing.T) {
 		time.Sleep(d)
 		sp.Stop()
 	}
-	slowMax := slow.Snapshot().Stages[StageEval.String()].MaxNanos
+	slowSnap, _ := slow.Snapshot().Stage(StageEval.String())
 	fast.Merge(slow)
-	if got := fast.Snapshot().Stages[StageEval.String()].MaxNanos; got != slowMax {
-		t.Errorf("merged MaxNanos = %d, want the slower run's %d", got, slowMax)
+	if got, _ := fast.Snapshot().Stage(StageEval.String()); got.MaxNanos != slowSnap.MaxNanos {
+		t.Errorf("merged MaxNanos = %d, want the slower run's %d", got.MaxNanos, slowSnap.MaxNanos)
 	}
 }
 
@@ -284,10 +284,59 @@ func TestSnapshotJSON(t *testing.T) {
 	if err := json.Unmarshal(b, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Counters[TRGEdges.String()] != 42 || back.Named["sim.hits.ccdp"] != 9 {
+	if v, ok := back.Counter(TRGEdges.String()); !ok || v != 42 {
 		t.Errorf("round-trip lost counters: %+v", back)
 	}
-	if _, ok := back.Stages[StagePlace.String()]; !ok {
+	if v, ok := back.NamedCounter("sim.hits.ccdp"); !ok || v != 9 {
+		t.Errorf("round-trip lost named counters: %+v", back)
+	}
+	if _, ok := back.Stage(StagePlace.String()); !ok {
 		t.Error("round-trip lost stage")
+	}
+}
+
+// TestSnapshotDeterministicOrder pins the satellite contract: two
+// snapshots of identically-populated collectors marshal to identical
+// bytes, with every section sorted by name — regardless of the insertion
+// order of named counters.
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func(names []string) Snapshot {
+		c := New()
+		c.Add(SimMisses, 1)
+		c.Add(TraceEvents, 2)
+		c.Observe(HistAllocSize, 8)
+		c.Observe(HistAccessSize, 8)
+		for _, n := range names {
+			c.AddNamed(n, 3)
+		}
+		sp := c.Start(StageEval)
+		sp.Stop()
+		snap := c.Snapshot()
+		// Timings vary run to run; zero them so the byte comparison only
+		// sees structure and order.
+		for i := range snap.Stages {
+			snap.Stages[i].TotalNanos, snap.Stages[i].AvgNanos, snap.Stages[i].MaxNanos = 0, 0, 0
+		}
+		return snap
+	}
+	a := build([]string{"zz", "aa", "mm"})
+	b := build([]string{"mm", "zz", "aa"})
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("snapshots of identical state differ:\n%s\n%s", ja, jb)
+	}
+	for _, section := range [][]CounterSnapshot{a.Counters, a.Named} {
+		for i := 1; i < len(section); i++ {
+			if section[i-1].Name >= section[i].Name {
+				t.Fatalf("section not sorted: %q before %q", section[i-1].Name, section[i].Name)
+			}
+		}
 	}
 }

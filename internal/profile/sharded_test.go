@@ -309,10 +309,10 @@ func TestShardedMetricsParity(t *testing.T) {
 		t.Errorf("per-shard edge counters sum to %d, outside [%d, %d]", perShard, merged, 2*merged)
 	}
 	snap := shCfg.Metrics.Snapshot()
-	if h, ok := snap.Hists[metrics.HistQueueOccupancy.String()]; !ok || h.Count == 0 {
+	if h, ok := snap.Hist(metrics.HistQueueOccupancy.String()); !ok || h.Count == 0 {
 		t.Error("queue occupancy histogram missing from sharded snapshot")
 	}
-	if h, ok := seqCfg.Metrics.Snapshot().Hists[metrics.HistQueueOccupancy.String()]; !ok || h.Count == 0 {
+	if h, ok := seqCfg.Metrics.Snapshot().Hist(metrics.HistQueueOccupancy.String()); !ok || h.Count == 0 {
 		t.Error("queue occupancy histogram missing from sequential snapshot")
 	}
 }

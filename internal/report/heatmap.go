@@ -1,0 +1,137 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/object"
+)
+
+// heatRamp maps a 0..1 intensity to a terminal glyph, darkest last. The
+// first rune renders a set with zero misses, so cold sets read as gaps.
+var heatRamp = []rune(" .:-=+*#%@")
+
+// Heatmap renders the per-set miss counts of one attributed evaluation
+// pass as an ASCII grid, cols sets per row, each cell's glyph scaled
+// against the hottest set. It is the conflict picture behind the miss
+// rate: a direct-mapped cache with a few saturated rows is the exact
+// pathology CCDP's placement spreads out.
+func Heatmap(st *cache.AttributionStats, cols int) string {
+	if st == nil || len(st.Sets) == 0 {
+		return "no attribution data\n"
+	}
+	if cols <= 0 {
+		cols = 64
+	}
+	max := st.MaxSetMisses()
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-set misses, %d sets, hottest %d (scale \"%s\")\n",
+		len(st.Sets), max, string(heatRamp))
+	for row := 0; row < len(st.Sets); row += cols {
+		end := row + cols
+		if end > len(st.Sets) {
+			end = len(st.Sets)
+		}
+		fmt.Fprintf(&b, "%4d ", row)
+		for s := row; s < end; s++ {
+			b.WriteRune(heatGlyph(st.Sets[s].Misses, max))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// heatGlyph scales one set's miss count against the hottest set. Any
+// nonzero count renders at least the first nonzero glyph.
+func heatGlyph(misses, max uint64) rune {
+	if misses == 0 || max == 0 {
+		return heatRamp[0]
+	}
+	idx := 1 + int(uint64(len(heatRamp)-2)*misses/max)
+	if idx >= len(heatRamp) {
+		idx = len(heatRamp) - 1
+	}
+	return heatRamp[idx]
+}
+
+// TopSets tabulates the n hottest cache sets by miss count with their
+// access/eviction counters and share of total misses.
+func TopSets(st *cache.AttributionStats, n int) string {
+	if st == nil || len(st.Sets) == 0 {
+		return "no attribution data\n"
+	}
+	if n <= 0 {
+		n = 8
+	}
+	type row struct {
+		set int
+		cache.SetStats
+	}
+	rows := make([]row, 0, len(st.Sets))
+	var total uint64
+	for s := range st.Sets {
+		total += st.Sets[s].Misses
+		if st.Sets[s].Misses > 0 {
+			rows = append(rows, row{set: s, SetStats: st.Sets[s]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Misses != rows[j].Misses {
+			return rows[i].Misses > rows[j].Misses
+		}
+		return rows[i].set < rows[j].set
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %10s %10s %10s %7s\n", "set", "accesses", "misses", "evictions", "%miss")
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.Misses) / float64(total)
+		}
+		fmt.Fprintf(&b, "%4d %10d %10d %10d %6.2f%%\n", r.set, r.Accesses, r.Misses, r.Evictions, share)
+	}
+	return b.String()
+}
+
+// TopConflicts tabulates the heaviest (victim, evictor) object pairs from
+// the attribution sketch, resolving object names through the pass's
+// table. Count is a space-saving overestimate; ±err shows its bound.
+func TopConflicts(st *cache.AttributionStats, objs *object.Table, n int) string {
+	if st == nil || len(st.Pairs) == 0 {
+		return "no conflict pairs recorded\n"
+	}
+	if n <= 0 {
+		n = 10
+	}
+	pairs := st.Pairs
+	if len(pairs) > n {
+		pairs = pairs[:n]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-28s %10s %8s\n", "victim", "evictor", "count", "±err")
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "%-28s %-28s %10d %8d\n",
+			objectLabel(objs, p.Victim), objectLabel(objs, p.Evictor), p.Count, p.Err)
+	}
+	return b.String()
+}
+
+// objectLabel names an object for the conflict table: category plus
+// symbolic name, falling back to the raw ID when the table is absent or
+// the object is out of range (a trace replay with a truncated table).
+func objectLabel(objs *object.Table, id object.ID) string {
+	if objs == nil || int(id) < 0 || int(id) >= objs.Len() {
+		return fmt.Sprintf("obj#%d", id)
+	}
+	in := objs.Get(id)
+	name := in.Name
+	if name == "" {
+		name = fmt.Sprintf("obj#%d", id)
+	}
+	return fmt.Sprintf("%s:%s", in.Category, name)
+}

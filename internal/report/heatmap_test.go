@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/object"
+)
+
+// fakeAttribution builds a 16-set attribution snapshot with one hot set,
+// one warm set, and a known conflict pair list.
+func fakeAttribution() *cache.AttributionStats {
+	st := &cache.AttributionStats{Sets: make([]cache.SetStats, 16)}
+	st.Sets[3] = cache.SetStats{Accesses: 5000, Misses: 1000, Evictions: 900}
+	st.Sets[7] = cache.SetStats{Accesses: 800, Misses: 100, Evictions: 80}
+	st.Pairs = []cache.ConflictPair{
+		{Victim: 1, Evictor: 2, Count: 750, Err: 0},
+		{Victim: 2, Evictor: 1, Count: 240, Err: 10},
+	}
+	return st
+}
+
+func TestHeatmap(t *testing.T) {
+	st := fakeAttribution()
+	out := Heatmap(st, 8)
+	if !strings.Contains(out, "16 sets, hottest 1000") {
+		t.Errorf("missing header: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+	// Set 3 (hottest) renders the darkest glyph; set 7 a lighter one; the
+	// rest the zero glyph.
+	row0 := []rune(lines[1])
+	cells := row0[len(row0)-8:]
+	if cells[3] != '@' {
+		t.Errorf("hottest set glyph = %q, want '@' in %q", cells[3], lines[1])
+	}
+	if cells[0] != ' ' {
+		t.Errorf("cold set glyph = %q, want ' '", cells[0])
+	}
+}
+
+func TestHeatmapScalesWarmSets(t *testing.T) {
+	st := fakeAttribution()
+	out := Heatmap(st, 16)
+	row := []rune(strings.Split(out, "\n")[1])
+	cells := row[len(row)-16:]
+	if cells[3] != '@' || cells[7] == ' ' || cells[7] == '@' {
+		t.Errorf("glyphs: hot=%q warm=%q (row %q)", cells[3], cells[7], string(row))
+	}
+}
+
+func TestHeatmapNil(t *testing.T) {
+	if out := Heatmap(nil, 0); !strings.Contains(out, "no attribution data") {
+		t.Errorf("nil heatmap = %q", out)
+	}
+}
+
+func TestTopSets(t *testing.T) {
+	out := TopSets(fakeAttribution(), 4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 nonzero sets:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "   3") || !strings.Contains(lines[1], "1000") {
+		t.Errorf("hottest row = %q", lines[1])
+	}
+	// Shares: 1000/1100 and 100/1100.
+	if !strings.Contains(lines[1], "90.91%") || !strings.Contains(lines[2], "9.09%") {
+		t.Errorf("shares wrong:\n%s", out)
+	}
+}
+
+func TestTopConflicts(t *testing.T) {
+	objs := object.NewTable(4096)
+	a := objs.AddGlobal("alpha", 64)
+	b := objs.AddGlobal("beta", 64)
+	st := &cache.AttributionStats{Pairs: []cache.ConflictPair{
+		{Victim: a, Evictor: b, Count: 750},
+		{Victim: b, Evictor: a, Count: 240, Err: 10},
+	}}
+	out := TopConflicts(st, objs, 10)
+	if !strings.Contains(out, "Global:alpha") || !strings.Contains(out, "Global:beta") {
+		t.Errorf("names not resolved:\n%s", out)
+	}
+	if !strings.Contains(out, "750") || !strings.Contains(out, "240") {
+		t.Errorf("counts missing:\n%s", out)
+	}
+	// Without a table the raw IDs still render.
+	raw := TopConflicts(st, nil, 1)
+	if !strings.Contains(raw, "obj#") {
+		t.Errorf("fallback labels missing:\n%s", raw)
+	}
+	if empty := TopConflicts(&cache.AttributionStats{}, objs, 5); !strings.Contains(empty, "no conflict pairs") {
+		t.Errorf("empty = %q", empty)
+	}
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestWriteJSONFields decodes the export and ties every field back to
+// the in-memory results it was rendered from (TestWriteJSON in
+// report_test.go covers shape; this covers values).
+func TestWriteJSONFields(t *testing.T) {
+	cmps := smallComparisons(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, cmps); err != nil {
+		t.Fatal(err)
+	}
+
+	var progs []JSONProgram
+	if err := json.Unmarshal(buf.Bytes(), &progs); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(progs) != len(cmps) {
+		t.Fatalf("got %d programs, want %d", len(progs), len(cmps))
+	}
+	for i, p := range progs {
+		cmp := cmps[i]
+		if p.Program != cmp.Workload.Name() {
+			t.Errorf("program[%d] = %q, want %q", i, p.Program, cmp.Workload.Name())
+		}
+		if p.HeapPlaced != cmp.Workload.HeapPlacement() {
+			t.Errorf("%s: heapPlacement = %v", p.Program, p.HeapPlaced)
+		}
+		if p.Placement.Globals != len(cmp.Placement.GlobalLayout) ||
+			p.Placement.SegmentBytes != cmp.Placement.GlobalSegSize ||
+			p.Placement.Merges != len(cmp.Placement.MergeLog) ||
+			p.Placement.PredictedConflict != cmp.Placement.PredictedConflict {
+			t.Errorf("%s: placement section %+v diverges from map", p.Program, p.Placement)
+		}
+		for _, input := range []string{"train", "test"} {
+			byLayout, ok := p.Inputs[input]
+			if !ok {
+				t.Fatalf("%s: input %q missing", p.Program, input)
+			}
+			if got, want := p.Reductions[input], cmp.Reduction(input); math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s/%s: reduction = %g, want %g", p.Program, input, got, want)
+			}
+			for _, layout := range []string{"natural", "ccdp", "random"} {
+				jr, ok := byLayout[layout]
+				if !ok {
+					t.Fatalf("%s/%s/%s missing", p.Program, input, layout)
+				}
+				res := cmp.Result(input, sim.LayoutKind(layout))
+				if jr.Accesses != res.Stats.Accesses || jr.Misses != res.Stats.Misses {
+					t.Errorf("%s/%s/%s: accesses/misses %d/%d, want %d/%d",
+						p.Program, input, layout, jr.Accesses, jr.Misses, res.Stats.Accesses, res.Stats.Misses)
+				}
+				if math.Abs(jr.MissRate-res.MissRate()) > 1e-9 {
+					t.Errorf("%s/%s/%s: missRate %g, want %g", p.Program, input, layout, jr.MissRate, res.MissRate())
+				}
+				if jr.TotalPage != res.TotalPages || math.Abs(jr.WorkSet-res.WorkingSet) > 1e-9 {
+					t.Errorf("%s/%s/%s: paging %d/%g, want %d/%g",
+						p.Program, input, layout, jr.TotalPage, jr.WorkSet, res.TotalPages, res.WorkingSet)
+				}
+			}
+		}
+	}
+}
+
+// TestWriteJSONDeterministic locks the export's byte stability for the
+// same results — the property downstream diffing tools rely on.
+func TestWriteJSONDeterministic(t *testing.T) {
+	cmps := smallComparisons(t)
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, cmps); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, cmps); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same results differ byte-for-byte")
+	}
+}

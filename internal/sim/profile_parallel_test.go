@@ -96,7 +96,7 @@ func TestProfilePassParallelMetricsParity(t *testing.T) {
 	if merged := uint64(pp.Graph.NumEdges()); perShard < merged || perShard > 2*merged {
 		t.Errorf("per-shard edge counters sum to %d, outside [%d, %d]", perShard, merged, 2*merged)
 	}
-	if h, ok := par.Metrics.Snapshot().Hists[metrics.HistQueueOccupancy.String()]; !ok || h.Count == 0 {
+	if h, ok := par.Metrics.Snapshot().Hist(metrics.HistQueueOccupancy.String()); !ok || h.Count == 0 {
 		t.Error("queue occupancy histogram missing from parallel run")
 	}
 }

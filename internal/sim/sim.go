@@ -55,6 +55,17 @@ type Options struct {
 	// Nil disables collection; the hot paths then pay a single predictable
 	// nil-check branch.
 	Metrics *metrics.Collector
+
+	// Attribution enables the simulator's miss-attribution mode on every
+	// evaluation pass: per-cache-set access/miss/eviction counters and a
+	// bounded top-K (victim, evictor) conflict-pair sketch, surfaced on
+	// EvalResult.Attribution. Off by default; when off the simulator pays
+	// one nil-check branch per hook and results are byte-identical (the
+	// differential test in internal/cache holds it to that).
+	Attribution bool
+	// AttributionPairs caps the conflict-pair sketch (0 selects
+	// cache.DefaultAttributionPairs).
+	AttributionPairs int
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -219,6 +230,10 @@ type EvalResult struct {
 	TotalPages int
 	WorkingSet float64
 
+	// Attribution holds the per-set and conflict-pair miss attribution
+	// (nil unless Options.Attribution).
+	Attribution *cache.AttributionStats
+
 	AllocStats heapsim.Stats
 }
 
@@ -279,6 +294,9 @@ func EvalFrom(src EventStream, wname string, heapPlace bool, in workload.Input, 
 	if err != nil {
 		return nil, err
 	}
+	if opts.Attribution {
+		cs.SetAttribution(cache.NewAttribution(opts.Cache, opts.AttributionPairs))
+	}
 	counter := trace.NewCounter(table)
 	sink := &resolver{objs: table, lay: lay, alloc: alloc, sim: cs, counter: counter}
 	if opts.TrackPages {
@@ -300,6 +318,7 @@ func EvalFrom(src EventStream, wname string, heapPlace bool, in workload.Input, 
 		AllocStats: alloc.Stats(),
 	}
 	res.ObjRefs, res.ObjMisses = cs.ObjectStats()
+	res.Attribution = cs.Attribution().Stats()
 	if sink.pages != nil {
 		res.TotalPages = sink.pages.TotalPages()
 		res.WorkingSet = sink.pages.WorkingSet()

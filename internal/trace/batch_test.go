@@ -146,9 +146,10 @@ func TestBatchedMetricsMatchSingleEventPath(t *testing.T) {
 		}
 	}
 	bs, ss := batched.Snapshot(), single.Snapshot()
-	if bs.Hists["access_size_bytes"] != ss.Hists["access_size_bytes"] {
-		t.Fatalf("access-size sketch differs: %+v vs %+v",
-			bs.Hists["access_size_bytes"], ss.Hists["access_size_bytes"])
+	bh, _ := bs.Hist("access_size_bytes")
+	sh, _ := ss.Hist("access_size_bytes")
+	if bh != sh {
+		t.Fatalf("access-size sketch differs: %+v vs %+v", bh, sh)
 	}
 }
 

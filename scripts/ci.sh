@@ -24,8 +24,8 @@ echo "==> test"
 go test ./...
 
 if [ "${1:-}" != "fast" ]; then
-    echo "==> race (exec, profile, core, sim, trace, metrics, benchsuite)"
-    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/trace/... ./internal/metrics/... ./internal/benchsuite/...
+    echo "==> race (exec, profile, core, sim, trace, metrics, benchsuite, ledger)"
+    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/trace/... ./internal/metrics/... ./internal/benchsuite/... ./internal/ledger/...
 
     echo "==> fuzz smoke (persist, trace)"
     go test -fuzz=FuzzReadProfile -fuzztime=15s ./internal/persist
@@ -34,7 +34,26 @@ if [ "${1:-}" != "fast" ]; then
 fi
 
 echo "==> bench gate"
-go run ./cmd/ccdpbench -baseline bench_baseline.json -out "BENCH_local.json"
+go run ./cmd/ccdpbench -baseline bench_baseline.json -out "BENCH_local.json" -ledger "LEDGER_local.jsonl"
+
+echo "==> re-render ledger"
+go run ./cmd/tables -from-ledger "LEDGER_local.jsonl"
+
+echo "==> debug endpoint smoke"
+go build -o /tmp/ccdpbench-ci ./cmd/ccdpbench
+/tmp/ccdpbench-ci -scale 0.2 -seq-compare=false -q -debug-addr 127.0.0.1:18080 -out /tmp/bench_debug.json &
+pid=$!
+ok=""
+for i in $(seq 1 50); do
+    if curl -sf http://127.0.0.1:18080/debug/snapshot | grep -q '"total"'; then
+        curl -sf -o /dev/null http://127.0.0.1:18080/debug/pprof/
+        ok=1
+        break
+    fi
+    sleep 0.2
+done
+wait "$pid"
+[ -n "$ok" ] || { echo "debug endpoint never answered" >&2; exit 1; }
 
 echo "==> replay determinism"
 go run ./cmd/ccdpbench -record /tmp/ccdp-traces-ci -replay-compare -q -out /tmp/bench_replay.json
