@@ -37,6 +37,8 @@ func main() {
 	loadPlacement := flag.String("load-placement", "", "read the placement map from this file instead of placing")
 	record := flag.String("record", "", "record each input's event stream to trace files in this directory (first contact records, later passes replay)")
 	replay := flag.String("replay", "", "drive every pass from previously recorded trace files in this directory (missing traces are an error)")
+	traceDir := flag.String("trace-dir", "", "shared content-addressed trace store directory: like -record, but safe to share across concurrent processes and CI runs, with maintenance")
+	traceMaxB := flag.Int64("trace-max-bytes", 0, "trace store size cap in bytes; least-recently-used entries are evicted beyond it (0 = uncapped)")
 	explainMisses := flag.Bool("explain-misses", false, "run the simulator in attribution mode and print per-set miss heatmaps and top conflict pairs for every evaluated pass")
 	ledgerPath := flag.String("ledger", "", "stream structured run events (spans, placement decisions, eval summaries) to this JSONL file")
 	flag.Parse()
@@ -64,16 +66,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccdp: -load-profile and -load-placement must be used together")
 		os.Exit(2)
 	}
-	if *record != "" && *replay != "" {
-		fmt.Fprintln(os.Stderr, "ccdp: -record and -replay are mutually exclusive")
+	modes := 0
+	for _, dir := range []string{*record, *replay, *traceDir} {
+		if dir != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "ccdp: -record, -replay, and -trace-dir are mutually exclusive")
 		os.Exit(2)
 	}
 	tc := sim.TraceConfig{Dir: *record}
 	if *replay != "" {
 		tc = sim.TraceConfig{Dir: *replay, RequireRecorded: true}
 	}
+	if *traceDir != "" {
+		tc = sim.TraceConfig{Dir: *traceDir, MaxBytes: *traceMaxB}
+	}
 	if tc.Enabled() && *loadProfile != "" {
-		fmt.Fprintln(os.Stderr, "ccdp: -record/-replay cannot combine with -load-profile")
+		fmt.Fprintln(os.Stderr, "ccdp: -record/-replay/-trace-dir cannot combine with -load-profile")
 		os.Exit(2)
 	}
 	var lw *ledger.Writer
@@ -103,6 +114,14 @@ func main() {
 		lw.Close()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *traceDir != "" {
+		// Store-managed mode gets the housekeeping pass: pack small
+		// shards, enforce -trace-max-bytes, sweep crash debris.
+		if err := sim.MaintainTraceDir(tc, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "ccdp: trace store maintenance:", err)
+			os.Exit(2)
+		}
 	}
 	if lw != nil {
 		lw.RunEnd(ledger.RunEnd{

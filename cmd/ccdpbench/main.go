@@ -56,7 +56,11 @@ func run() int {
 		minSpeedup   = flag.Float64("min-speedup", 0, "fail (exit 1) when the seq-compare speedup falls below this on a machine with >= 4 CPUs (0 = no gate; skipped with a notice on smaller machines)")
 		record       = flag.String("record", "", "drive the suite from trace files in this directory, recording each input's stream on first contact")
 		replay       = flag.String("replay", "", "drive the suite from previously recorded trace files in this directory (missing traces are an error)")
-		replayComp   = flag.Bool("replay-compare", false, "with -record/-replay, also run the suite live and verify the results are byte-identical")
+		traceDir     = flag.String("trace-dir", "", "shared content-addressed trace store directory: like -record, but safe to share across concurrent processes and CI runs, with maintenance")
+		traceMaxB    = flag.Int64("trace-max-bytes", 0, "trace store size cap in bytes; least-recently-used entries are evicted beyond it (0 = uncapped)")
+		traceMaint   = flag.Bool("trace-maintain", true, "run trace store maintenance (bundle packing, size-cap eviction, crash-debris sweep) after the suite")
+		requireHits  = flag.Bool("require-store-hits", false, "fail (exit 1) when any trace had to be recorded this run, i.e. the store was not fully warm")
+		replayComp   = flag.Bool("replay-compare", false, "with -record/-replay/-trace-dir, also run the suite live and verify the results are byte-identical")
 		quiet        = flag.Bool("q", false, "suppress the per-workload table")
 		quietAll     = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 		ledgerPath   = flag.String("ledger", "", "stream structured run events (spans, placement decisions, eval summaries) to this JSONL file")
@@ -71,16 +75,29 @@ func run() int {
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
-	if *record != "" && *replay != "" {
-		fmt.Fprintln(os.Stderr, "ccdpbench: -record and -replay are mutually exclusive")
+	modes := 0
+	for _, dir := range []string{*record, *replay, *traceDir} {
+		if dir != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "ccdpbench: -record, -replay, and -trace-dir are mutually exclusive")
 		return 2
 	}
 	tc := sim.TraceConfig{Dir: *record}
 	if *replay != "" {
 		tc = sim.TraceConfig{Dir: *replay, RequireRecorded: true}
 	}
+	if *traceDir != "" {
+		tc = sim.TraceConfig{Dir: *traceDir, MaxBytes: *traceMaxB}
+	}
 	if *replayComp && !tc.Enabled() {
-		fmt.Fprintln(os.Stderr, "ccdpbench: -replay-compare requires -record or -replay")
+		fmt.Fprintln(os.Stderr, "ccdpbench: -replay-compare requires -record, -replay, or -trace-dir")
+		return 2
+	}
+	if *requireHits && !tc.Enabled() {
+		fmt.Fprintln(os.Stderr, "ccdpbench: -require-store-hits requires -record, -replay, or -trace-dir")
 		return 2
 	}
 
@@ -131,6 +148,14 @@ func run() int {
 		return 2
 	}
 	wall := time.Since(start)
+	if tc.Enabled() && *traceMaint {
+		// Maintenance before the snapshot, so pack/evict counters land in
+		// the artifact alongside the run's hit/miss accounting.
+		if err := sim.MaintainTraceDir(tc, mc); err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench: trace store maintenance:", err)
+			return 2
+		}
+	}
 	art := benchsuite.BuildArtifact(resolveSHA(*sha), effScale, cmps, mc.Snapshot())
 	art.Timing = &benchsuite.Timing{
 		Parallelism:  *parallel,
@@ -212,6 +237,22 @@ func run() int {
 		fmt.Println("speedup gate skipped: requires -parallel > 1 with -seq-compare")
 	}
 
+	storeExit := 0
+	if tc.Enabled() {
+		// One awk-friendly line per run: CI sums recorded= across
+		// concurrent processes to verify the claim protocol.
+		fmt.Printf("trace store: hits=%d recorded=%d waits=%d evicted=%d packed=%d written=%dB read=%dB\n",
+			mc.Get(metrics.StoreHits), mc.Get(metrics.StoreMisses),
+			mc.Get(metrics.StoreClaimWaits), mc.Get(metrics.StoreEvictions),
+			mc.Get(metrics.StorePacked), mc.Get(metrics.StoreBytesWritten),
+			mc.Get(metrics.StoreBytesRead))
+		if *requireHits && mc.Get(metrics.StoreMisses) > 0 {
+			fmt.Fprintf(os.Stderr, "GATE FAIL: %d traces recorded with -require-store-hits (store was not fully warm)\n",
+				mc.Get(metrics.StoreMisses))
+			storeExit = 1
+		}
+	}
+
 	if !*quiet {
 		printSummary(art, wall, mc)
 	}
@@ -222,7 +263,7 @@ func run() int {
 			return 2
 		}
 		fmt.Println("baseline written:", *updateBase)
-		return 0
+		return storeExit
 	}
 
 	outPath := *out
@@ -236,7 +277,7 @@ func run() int {
 	fmt.Println("artifact written:", outPath)
 
 	if *baselinePath == "" {
-		return 0
+		return storeExit
 	}
 	base, err := benchsuite.LoadArtifact(*baselinePath)
 	if err != nil {
@@ -255,7 +296,7 @@ func run() int {
 	}
 	fmt.Printf("gate OK: avg test reduction %.2f%% (baseline %.2f%%, tolerance %.2f)\n",
 		art.AvgTestReductionPct, base.AvgTestReductionPct, *headlineTol)
-	return 0
+	return storeExit
 }
 
 // startProgressLine spawns the stderr progress ticker — workloads done,

@@ -93,7 +93,7 @@ func TestReplaySuiteMatchesLive(t *testing.T) {
 		t.Fatalf("traced suite diverged from live:\nlive:   %s\ntraced: %s", live, traced)
 	}
 
-	files, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	files, err := filepath.Glob(filepath.Join(dir, "*.ctrace"))
 	if err != nil {
 		t.Fatal(err)
 	}

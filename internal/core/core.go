@@ -120,7 +120,7 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 	}
 	var store *sim.TraceStore
 	if e.Trace.Enabled() {
-		store = sim.NewTraceStore(e.Trace, w)
+		store = sim.NewTraceStore(e.Trace, w, opts.Metrics)
 	}
 
 	e.Ledger.WorkloadStart(ledger.WorkloadStart{

@@ -46,19 +46,47 @@ const (
 	SimMisses
 	// PlacementMerges counts phase-6 compound merges.
 	PlacementMerges
+	// StoreHits counts trace-store lookups served from an existing entry
+	// (standalone file or bundle member); StoreMisses counts lookups that
+	// had to record the artifact fresh. A warm store serves every lookup
+	// from cache: StoreMisses == 0.
+	StoreHits
+	StoreMisses
+	// StoreClaimWaits counts lookups that found another process (or
+	// goroutine) holding the recording claim and waited for it to publish
+	// instead of recording themselves.
+	StoreClaimWaits
+	// StoreEvictions counts files removed by the store's LRU size-cap
+	// pass (a bundle counts once, however many entries it packs).
+	StoreEvictions
+	// StorePacked counts small entries consolidated into bundle files by
+	// the maintenance pass.
+	StorePacked
+	// StoreBytesWritten accumulates compressed bytes published into the
+	// store; StoreBytesRead accumulates compressed bytes opened for
+	// replay from existing entries.
+	StoreBytesWritten
+	StoreBytesRead
 
 	NumCounters int = iota
 )
 
 var counterNames = [NumCounters]string{
-	TraceEvents:     "trace.events",
-	TraceAllocs:     "trace.allocs",
-	QueueEvictions:  "profile.queue_evictions",
-	TRGEdges:        "trg.edges",
-	TRGWeight:       "trg.weight",
-	SimAccesses:     "sim.accesses",
-	SimMisses:       "sim.misses",
-	PlacementMerges: "placement.merges",
+	TraceEvents:       "trace.events",
+	TraceAllocs:       "trace.allocs",
+	QueueEvictions:    "profile.queue_evictions",
+	TRGEdges:          "trg.edges",
+	TRGWeight:         "trg.weight",
+	SimAccesses:       "sim.accesses",
+	SimMisses:         "sim.misses",
+	PlacementMerges:   "placement.merges",
+	StoreHits:         "store.hits",
+	StoreMisses:       "store.misses",
+	StoreClaimWaits:   "store.claim_waits",
+	StoreEvictions:    "store.evictions",
+	StorePacked:       "store.packed",
+	StoreBytesWritten: "store.bytes_written",
+	StoreBytesRead:    "store.bytes_read",
 }
 
 // String returns the counter's export name.

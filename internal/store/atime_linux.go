@@ -1,0 +1,18 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+	"time"
+)
+
+// atime returns the file's access time. The store bumps it explicitly on
+// every open (os.Chtimes), so the LRU ordering survives noatime mounts.
+func atime(fi os.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package store
+
+import (
+	"os"
+	"time"
+)
+
+// atime falls back to the modification time where the platform's stat
+// shape is not wired up; recency then tracks publication order, which
+// still yields a sane (if coarser) LRU.
+func atime(fi os.FileInfo) time.Time {
+	return fi.ModTime()
+}

@@ -1,0 +1,312 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Bundles pack many small entries into one file so a store full of tiny
+// shards stays sequential-I/O friendly (one open + one contiguous read
+// per replay, fewer inodes, one LRU unit):
+//
+//	magic "ccdpbndl1"
+//	uvarint memberCount | uvarint indexLen | index | payloads
+//	index entry: str entryName | uvarint offset | uvarint size
+//
+// Offsets are relative to the payload base (the byte after the index).
+// Each payload is the member's complete framed stream, byte-for-byte the
+// standalone file it replaced, so bundle replay round-trips identically.
+
+var bundleMagic = []byte("ccdpbndl1")
+
+const maxBundleMembers = 1 << 20
+
+// bundleFile is one parsed bundle index, cached per Store and validated
+// against (size, mtime) on every refresh.
+type bundleFile struct {
+	path    string
+	size    int64
+	mtime   time.Time
+	base    int64
+	entries map[string]bundleMember
+}
+
+type bundleMember struct{ off, size int64 }
+
+// openBundled looks k up across the directory's bundles.
+func (s *Store) openBundled(k Key) (io.ReadCloser, bool, error) {
+	s.mu.Lock()
+	if err := s.refreshBundlesLocked(); err != nil {
+		s.mu.Unlock()
+		return nil, false, err
+	}
+	var (
+		b *bundleFile
+		m bundleMember
+	)
+	// Deterministic path order so duplicate members (possible after an
+	// evict-then-repack cycle; contents are identical) resolve stably.
+	paths := make([]string, 0, len(s.bundles))
+	for p := range s.bundles {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if mem, ok := s.bundles[p].entries[k.name()]; ok {
+			b, m = s.bundles[p], mem
+			break
+		}
+	}
+	s.mu.Unlock()
+	if b == nil {
+		return nil, false, nil
+	}
+	f, err := os.Open(b.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Evicted between index refresh and open: drop the stale
+			// index and report a miss.
+			s.mu.Lock()
+			delete(s.bundles, b.path)
+			s.mu.Unlock()
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	_ = os.Chtimes(b.path, time.Now(), time.Time{})
+	sr := io.NewSectionReader(f, b.base+m.off, m.size)
+	fr, err := NewFrameReader(bufio.NewReaderSize(sr, 64<<10))
+	if err != nil {
+		f.Close()
+		return nil, false, fmt.Errorf("store: %s in %s: %w", k, filepath.Base(b.path), err)
+	}
+	s.cfg.Metrics.Add(metrics.StoreBytesRead, uint64(m.size))
+	return &entryReader{Reader: fr, c: f}, true, nil
+}
+
+// refreshBundlesLocked re-scans the directory's bundle files, reparsing
+// any whose (size, mtime) changed and dropping removed ones. Caller
+// holds s.mu.
+func (s *Store) refreshBundlesLocked() error {
+	des, err := os.ReadDir(s.cfg.Dir)
+	if os.IsNotExist(err) {
+		for p := range s.bundles {
+			delete(s.bundles, p)
+		}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool)
+	for _, de := range des {
+		name := de.Name()
+		if !strings.HasPrefix(name, bundlePrefix) || !strings.HasSuffix(name, bundleExt) {
+			continue
+		}
+		path := filepath.Join(s.cfg.Dir, name)
+		seen[path] = true
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		if b, ok := s.bundles[path]; ok && b.size == fi.Size() && b.mtime.Equal(fi.ModTime()) {
+			continue
+		}
+		b, err := parseBundle(path, fi)
+		if err != nil {
+			return err
+		}
+		s.bundles[path] = b
+	}
+	for p := range s.bundles {
+		if !seen[p] {
+			delete(s.bundles, p)
+		}
+	}
+	return nil
+}
+
+// parseBundle reads and validates a bundle's index.
+func parseBundle(path string, fi os.FileInfo) (*bundleFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic := make([]byte, len(bundleMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: %s: reading bundle magic: %w", path, noEOF(err))
+	}
+	if !bytes.Equal(magic, bundleMagic) {
+		return nil, fmt.Errorf("store: %s: bad bundle magic %q", path, magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: bundle header: %w", path, noEOF(err))
+	}
+	if count > maxBundleMembers {
+		return nil, fmt.Errorf("store: %s: implausible bundle member count %d", path, count)
+	}
+	idxLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: bundle header: %w", path, noEOF(err))
+	}
+	if idxLen > maxFrameLen {
+		return nil, fmt.Errorf("store: %s: implausible bundle index length %d", path, idxLen)
+	}
+	idx := make([]byte, idxLen)
+	if _, err := io.ReadFull(br, idx); err != nil {
+		return nil, fmt.Errorf("store: %s: bundle index: %w", path, noEOF(err))
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	base := int64(len(bundleMagic)) +
+		int64(binary.PutUvarint(scratch[:], count)) +
+		int64(binary.PutUvarint(scratch[:], idxLen)) +
+		int64(idxLen)
+	b := &bundleFile{
+		path:    path,
+		size:    fi.Size(),
+		mtime:   fi.ModTime(),
+		base:    base,
+		entries: make(map[string]bundleMember, count),
+	}
+	r := bytes.NewReader(idx)
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := binary.ReadUvarint(r)
+		if err != nil || nameLen > 1<<12 {
+			return nil, fmt.Errorf("store: %s: corrupt bundle index entry %d", path, i)
+		}
+		nb := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, nb); err != nil {
+			return nil, fmt.Errorf("store: %s: corrupt bundle index entry %d", path, i)
+		}
+		off, err1 := binary.ReadUvarint(r)
+		size, err2 := binary.ReadUvarint(r)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("store: %s: corrupt bundle index entry %d", path, i)
+		}
+		if int64(off)+int64(size) > fi.Size()-base || int64(off) < 0 || int64(size) < 0 {
+			return nil, fmt.Errorf("store: %s: bundle member %q outside file", path, nb)
+		}
+		b.entries[string(nb)] = bundleMember{off: int64(off), size: int64(size)}
+	}
+	return b, nil
+}
+
+// pack consolidates small standalone entries into one bundle. Packers
+// serialize on a directory-level claim; entries claimed by a producer
+// are left alone.
+func (s *Store) pack() error {
+	if s.cfg.PackThreshold < 0 {
+		return nil
+	}
+	entries, err := s.listEvictable()
+	if err != nil {
+		return err
+	}
+	var members []lruEntry
+	for _, e := range entries {
+		if !e.bundle && !e.claimed && e.size < s.cfg.PackThreshold {
+			members = append(members, e)
+		}
+	}
+	if len(members) < 2 {
+		return nil
+	}
+	packKey := Key{Tag: "pack", Hash: "dir"}
+	claimed, err := s.claim(packKey)
+	if err != nil {
+		return err
+	}
+	if !claimed {
+		return nil // another packer is active; skip this round
+	}
+	defer s.release(packKey)
+	stopTouch := s.keepClaimFresh(packKey)
+	defer stopTouch()
+
+	sort.Slice(members, func(i, j int) bool { return members[i].name < members[j].name })
+	var idx bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	uv := func(v uint64) { idx.Write(scratch[:binary.PutUvarint(scratch[:], v)]) }
+	var off int64
+	nameHash := sha256.New()
+	for _, m := range members {
+		uv(uint64(len(m.name)))
+		idx.WriteString(m.name)
+		uv(uint64(off))
+		uv(uint64(m.size))
+		off += m.size
+		nameHash.Write([]byte(m.name))
+	}
+
+	tmp, err := os.CreateTemp(s.cfg.Dir, tmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(tmp, 256<<10)
+	write := func(p []byte) error {
+		_, err := bw.Write(p)
+		return err
+	}
+	err = write(bundleMagic)
+	if err == nil {
+		err = write(scratch[:binary.PutUvarint(scratch[:], uint64(len(members)))])
+	}
+	if err == nil {
+		err = write(scratch[:binary.PutUvarint(scratch[:], uint64(idx.Len()))])
+	}
+	if err == nil {
+		err = write(idx.Bytes())
+	}
+	for _, m := range members {
+		if err != nil {
+			break
+		}
+		var mf *os.File
+		if mf, err = os.Open(m.path); err != nil {
+			break
+		}
+		var n int64
+		n, err = io.Copy(bw, mf)
+		mf.Close()
+		if err == nil && n != m.size {
+			err = fmt.Errorf("store: %s changed size during packing", m.name)
+		}
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: packing bundle: %w", err)
+	}
+	sum := nameHash.Sum(nil)
+	dst := filepath.Join(s.cfg.Dir, bundlePrefix+hex.EncodeToString(sum[:8])+bundleExt)
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	for _, m := range members {
+		os.Remove(m.path)
+	}
+	s.cfg.Metrics.Add(metrics.StorePacked, uint64(len(members)))
+	return nil
+}

@@ -1,0 +1,318 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// dirBytes sums the store directory's entry and bundle sizes.
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, de := range des {
+		name := de.Name()
+		if strings.HasSuffix(name, entryExt) || strings.HasSuffix(name, bundleExt) {
+			fi, err := de.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// payloadFor derives a deterministic per-key payload: incompressible so
+// entry sizes are predictable relative to the cap.
+func payloadFor(i, size int) []byte {
+	rng := rand.New(rand.NewSource(int64(i + 1)))
+	b := make([]byte, size)
+	rng.Read(b)
+	return b
+}
+
+// TestEvictRespectsCap writes well past the size cap from concurrent
+// writers and checks the directory settles under it with the newest
+// entries surviving.
+func TestEvictRespectsCap(t *testing.T) {
+	const capBytes = 256 << 10
+	mc := metrics.New()
+	dir := t.TempDir()
+	s := New(Config{Dir: dir, MaxBytes: capBytes, PackThreshold: -1, Metrics: mc})
+
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := KeyOf("cap", fmt.Sprintf("entry-%d", i))
+			rc, err := s.GetOrFill(k, func(w io.Writer) error {
+				_, err := w.Write(payloadFor(i, 32<<10))
+				return err
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = io.Copy(io.Discard, rc)
+			rc.Close()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Maintain(); err != nil {
+		t.Fatalf("Maintain: %v", err)
+	}
+	if got := dirBytes(t, dir); got > capBytes {
+		t.Fatalf("store holds %d bytes, cap is %d", got, capBytes)
+	}
+	if mc.Get(metrics.StoreEvictions) == 0 {
+		t.Fatal("cap exceeded but no evictions counted")
+	}
+}
+
+// TestEvictSkipsClaimed pins one entry with a fresh claim file (a live
+// producer or pinning reader) and checks eviction removes everything else
+// before ever touching it.
+func TestEvictSkipsClaimed(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Dir: dir, PackThreshold: -1})
+	var keys []Key
+	for i := 0; i < 4; i++ {
+		k := KeyOf("pin", fmt.Sprintf("e%d", i))
+		keys = append(keys, k)
+		rc, err := s.GetOrFill(k, func(w io.Writer) error {
+			_, err := w.Write(payloadFor(i, 16<<10))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Close()
+	}
+	pinned := keys[1]
+	if err := os.WriteFile(s.claimPathFor(pinned.name()), []byte("pin"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.cfg.MaxBytes = 1 // force everything evictable out
+	if err := s.evict(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.entryPath(pinned)); err != nil {
+		t.Fatalf("claimed entry was evicted: %v", err)
+	}
+	for _, k := range keys {
+		if k == pinned {
+			continue
+		}
+		if _, err := os.Stat(s.entryPath(k)); !os.IsNotExist(err) {
+			t.Fatalf("unclaimed entry %s survived a 1-byte cap", k)
+		}
+	}
+}
+
+// TestEvictLRUOrder backdates one entry's times and checks it goes first.
+func TestEvictLRUOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Dir: dir, PackThreshold: -1})
+	var keys []Key
+	for i := 0; i < 3; i++ {
+		k := KeyOf("lru", fmt.Sprintf("e%d", i))
+		keys = append(keys, k)
+		rc, err := s.GetOrFill(k, func(w io.Writer) error {
+			_, err := w.Write(payloadFor(i, 16<<10))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Close()
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(s.entryPath(keys[0]), old, old); err != nil {
+		t.Fatal(err)
+	}
+	// Cap out one entry's worth: only the backdated one should go.
+	fi1, _ := os.Stat(s.entryPath(keys[1]))
+	fi2, _ := os.Stat(s.entryPath(keys[2]))
+	s.cfg.MaxBytes = fi1.Size() + fi2.Size()
+	if err := s.evict(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.entryPath(keys[0])); !os.IsNotExist(err) {
+		t.Fatal("LRU entry survived eviction")
+	}
+	for _, k := range keys[1:] {
+		if _, err := os.Stat(s.entryPath(k)); err != nil {
+			t.Fatalf("recently used entry %s evicted: %v", k, err)
+		}
+	}
+}
+
+// TestPackRoundTrip records small entries, packs them, and checks every
+// member replays byte-identically from the bundle, the standalone files
+// are gone, Entries() still counts them, and lookups count as hits.
+func TestPackRoundTrip(t *testing.T) {
+	mc := metrics.New()
+	dir := t.TempDir()
+	s := New(Config{Dir: dir, PackThreshold: DefaultPackThreshold, Metrics: mc})
+
+	const n = 5
+	want := make(map[string][]byte, n)
+	var keys []Key
+	for i := 0; i < n; i++ {
+		k := KeyOf("packrt", fmt.Sprintf("shard-%d", i))
+		keys = append(keys, k)
+		payload := payloadFor(i, 2<<10)
+		want[k.name()] = payload
+		rc, err := s.GetOrFill(k, func(w io.Writer) error {
+			_, err := w.Write(payload)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Close()
+	}
+	if err := s.Maintain(); err != nil {
+		t.Fatalf("Maintain: %v", err)
+	}
+	bundles, _ := filepath.Glob(filepath.Join(dir, bundlePrefix+"*"+bundleExt))
+	if len(bundles) != 1 {
+		t.Fatalf("expected 1 bundle, found %d", len(bundles))
+	}
+	standalone, _ := filepath.Glob(filepath.Join(dir, "*"+entryExt))
+	if len(standalone) != 0 {
+		t.Fatalf("packed members left standalone: %v", standalone)
+	}
+	if got, err := s.Entries(); err != nil || got != n {
+		t.Fatalf("Entries()=%d err=%v, want %d", got, err, n)
+	}
+	if got := mc.Get(metrics.StorePacked); got != n {
+		t.Fatalf("packed counter=%d, want %d", got, n)
+	}
+
+	hitsBefore := mc.Get(metrics.StoreHits)
+	for _, k := range keys {
+		rc, ok, err := s.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("bundled %s: ok=%v err=%v", k, ok, err)
+		}
+		got, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			t.Fatalf("reading bundled %s: %v", k, err)
+		}
+		if !bytes.Equal(got, want[k.name()]) {
+			t.Fatalf("bundled %s diverged from original payload", k)
+		}
+	}
+	if got := mc.Get(metrics.StoreHits) - hitsBefore; got != n {
+		t.Fatalf("bundled lookups counted %d hits, want %d", got, n)
+	}
+
+	// A fresh Store over the same directory (another process) must see the
+	// bundled entries too.
+	s2 := New(Config{Dir: dir})
+	rc, ok, err := s2.Get(keys[0])
+	if err != nil || !ok {
+		t.Fatalf("fresh store missed bundled entry: ok=%v err=%v", ok, err)
+	}
+	if got := readAllClose(t, rc); !bytes.Equal(got, want[keys[0].name()]) {
+		t.Fatal("fresh store read diverged")
+	}
+}
+
+// TestPackSkipsLargeAndClaimed checks the pack pass leaves big entries and
+// claimed entries standalone.
+func TestPackSkipsLargeAndClaimed(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Dir: dir, PackThreshold: 4 << 10})
+	big := KeyOf("pk", "big")
+	small1 := KeyOf("pk", "small1")
+	small2 := KeyOf("pk", "small2")
+	claimed := KeyOf("pk", "claimed")
+	for i, k := range []Key{big, small1, small2, claimed} {
+		size := 512
+		if k == big {
+			size = 64 << 10
+		}
+		rc, err := s.GetOrFill(k, func(w io.Writer) error {
+			_, err := w.Write(payloadFor(i, size))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Close()
+	}
+	if err := os.WriteFile(s.claimPathFor(claimed.name()), []byte("live"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.pack(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Key{big, claimed} {
+		if _, err := os.Stat(s.entryPath(k)); err != nil {
+			t.Fatalf("%s should have stayed standalone: %v", k, err)
+		}
+	}
+	for _, k := range []Key{small1, small2} {
+		if _, err := os.Stat(s.entryPath(k)); !os.IsNotExist(err) {
+			t.Fatalf("%s should have been packed", k)
+		}
+	}
+}
+
+// TestPackBundleEvictsAsUnit checks a bundle is one LRU unit: evicting it
+// drops all members at once and the store reports them absent (miss, not
+// corruption).
+func TestPackBundleEvictsAsUnit(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Dir: dir})
+	var keys []Key
+	for i := 0; i < 3; i++ {
+		k := KeyOf("bev", fmt.Sprintf("m%d", i))
+		keys = append(keys, k)
+		rc, err := s.GetOrFill(k, func(w io.Writer) error {
+			_, err := w.Write(payloadFor(i, 1<<10))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Close()
+	}
+	if err := s.pack(); err != nil {
+		t.Fatal(err)
+	}
+	s.cfg.MaxBytes = 1
+	if err := s.evict(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if _, ok, err := s.Get(k); err != nil || ok {
+			t.Fatalf("evicted bundle member %s: ok=%v err=%v", k, ok, err)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The framing layer turns an artifact's byte stream into a sequence of
+// independently compressed, checksummed blocks:
+//
+//	magic "ccdpfrm1"
+//	frame*: uvarint rawLen | uvarint compLen | crc32(raw) LE | compLen flate bytes
+//	end:    uvarint 0
+//
+// Frames are self-contained (each is its own flate stream), so a reader
+// decodes strictly sequentially — the access pattern trace replay wants —
+// and any corruption is caught at the frame where it happens: a bad
+// length, a short read, a flate error, or a checksum mismatch each surface
+// as an error, never as a panic or as silently wrong bytes downstream.
+
+var frameMagic = []byte("ccdpfrm1")
+
+const (
+	// DefaultBlockSize is the uncompressed frame payload target: big
+	// enough that flate amortizes, small enough that a corrupt frame
+	// loses little and decode buffers stay modest.
+	DefaultBlockSize = 256 << 10
+	// maxFrameLen bounds both the raw and compressed lengths decoded
+	// from the wire; anything larger cannot come from a FrameWriter.
+	maxFrameLen = 1 << 26
+)
+
+// FrameWriter compresses a byte stream into frames. Errors are sticky and
+// surfaced by every subsequent call; Close writes the end marker.
+type FrameWriter struct {
+	w       io.Writer
+	block   int
+	buf     []byte
+	comp    bytes.Buffer
+	fl      *flate.Writer
+	n       int64
+	err     error
+	closed  bool
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// NewFrameWriter writes the stream magic and returns a writer that cuts
+// frames of blockSize uncompressed bytes (<= 0 selects DefaultBlockSize).
+func NewFrameWriter(w io.Writer, blockSize int) *FrameWriter {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	fw := &FrameWriter{w: w, block: blockSize}
+	// BestSpeed: the store is a cache in front of an expensive producer;
+	// cheap compression on the record path beats ratio.
+	fw.fl, _ = flate.NewWriter(&fw.comp, flate.BestSpeed)
+	fw.write(frameMagic)
+	return fw
+}
+
+func (fw *FrameWriter) write(p []byte) {
+	if fw.err != nil {
+		return
+	}
+	n, err := fw.w.Write(p)
+	fw.n += int64(n)
+	fw.err = err
+}
+
+func (fw *FrameWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(fw.scratch[:], v)
+	fw.write(fw.scratch[:n])
+}
+
+// Write implements io.Writer, cutting a frame each time a full block of
+// uncompressed bytes accumulates.
+func (fw *FrameWriter) Write(p []byte) (int, error) {
+	if fw.closed {
+		return 0, errors.New("store: write on closed FrameWriter")
+	}
+	if fw.err != nil {
+		return 0, fw.err
+	}
+	total := len(p)
+	for len(p) > 0 && fw.err == nil {
+		if len(fw.buf) == 0 && len(p) >= fw.block {
+			fw.flushFrame(p[:fw.block])
+			p = p[fw.block:]
+			continue
+		}
+		n := fw.block - len(fw.buf)
+		if n > len(p) {
+			n = len(p)
+		}
+		fw.buf = append(fw.buf, p[:n]...)
+		p = p[n:]
+		if len(fw.buf) == fw.block {
+			fw.flushFrame(fw.buf)
+			fw.buf = fw.buf[:0]
+		}
+	}
+	if fw.err != nil {
+		return 0, fw.err
+	}
+	return total, nil
+}
+
+func (fw *FrameWriter) flushFrame(raw []byte) {
+	if fw.err != nil || len(raw) == 0 {
+		return
+	}
+	fw.comp.Reset()
+	fw.fl.Reset(&fw.comp)
+	if _, err := fw.fl.Write(raw); err != nil {
+		fw.err = err
+		return
+	}
+	if err := fw.fl.Close(); err != nil {
+		fw.err = err
+		return
+	}
+	fw.uvarint(uint64(len(raw)))
+	fw.uvarint(uint64(fw.comp.Len()))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(raw))
+	fw.write(crc[:])
+	fw.write(fw.comp.Bytes())
+}
+
+// Close flushes the final partial frame and writes the end marker. It is
+// idempotent and returns the first error the writer hit.
+func (fw *FrameWriter) Close() error {
+	if fw.closed {
+		return fw.err
+	}
+	fw.closed = true
+	fw.flushFrame(fw.buf)
+	fw.buf = nil
+	fw.uvarint(0)
+	return fw.err
+}
+
+// BytesWritten returns the compressed (on-the-wire) byte count so far,
+// including magic and frame headers.
+func (fw *FrameWriter) BytesWritten() int64 { return fw.n }
+
+// noEOF converts a bare io.EOF into io.ErrUnexpectedEOF: inside a frame
+// stream, running out of bytes before the end marker is truncation, not a
+// clean end.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// FrameReader decodes a frame stream strictly sequentially. Any
+// malformed input — truncation, implausible lengths, flate errors,
+// checksum mismatches — returns an error; FrameReader never panics.
+type FrameReader struct {
+	br    *bufio.Reader
+	fl    io.ReadCloser
+	comp  []byte
+	frame []byte
+	pos   int
+	done  bool
+	err   error
+}
+
+// NewFrameReader validates the stream magic and returns the reader.
+func NewFrameReader(r io.Reader) (*FrameReader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	magic := make([]byte, len(frameMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: reading frame magic: %w", noEOF(err))
+	}
+	if !bytes.Equal(magic, frameMagic) {
+		return nil, fmt.Errorf("store: bad frame magic %q", magic)
+	}
+	return &FrameReader{br: br}, nil
+}
+
+// Read implements io.Reader over the decompressed stream.
+func (fr *FrameReader) Read(p []byte) (int, error) {
+	if fr.err != nil {
+		return 0, fr.err
+	}
+	for fr.pos == len(fr.frame) {
+		if fr.done {
+			return 0, io.EOF
+		}
+		if err := fr.next(); err != nil {
+			fr.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, fr.frame[fr.pos:])
+	fr.pos += n
+	return n, nil
+}
+
+// next decodes and verifies one frame (or the end marker).
+func (fr *FrameReader) next() error {
+	rawLen, err := binary.ReadUvarint(fr.br)
+	if err != nil {
+		return fmt.Errorf("store: reading frame length: %w", noEOF(err))
+	}
+	if rawLen == 0 {
+		fr.done = true
+		fr.frame, fr.pos = nil, 0
+		return nil
+	}
+	compLen, err := binary.ReadUvarint(fr.br)
+	if err != nil {
+		return fmt.Errorf("store: reading frame length: %w", noEOF(err))
+	}
+	if rawLen > maxFrameLen || compLen > maxFrameLen {
+		return fmt.Errorf("store: implausible frame lengths raw=%d comp=%d", rawLen, compLen)
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(fr.br, crcb[:]); err != nil {
+		return fmt.Errorf("store: reading frame checksum: %w", noEOF(err))
+	}
+	if uint64(cap(fr.comp)) < compLen {
+		fr.comp = make([]byte, compLen)
+	}
+	fr.comp = fr.comp[:compLen]
+	if _, err := io.ReadFull(fr.br, fr.comp); err != nil {
+		return fmt.Errorf("store: reading frame payload: %w", noEOF(err))
+	}
+	if fr.fl == nil {
+		fr.fl = flate.NewReader(bytes.NewReader(fr.comp))
+	} else if err := fr.fl.(flate.Resetter).Reset(bytes.NewReader(fr.comp), nil); err != nil {
+		return fmt.Errorf("store: resetting frame decompressor: %w", err)
+	}
+	if uint64(cap(fr.frame)) < rawLen {
+		fr.frame = make([]byte, rawLen)
+	}
+	fr.frame = fr.frame[:rawLen]
+	if _, err := io.ReadFull(fr.fl, fr.frame); err != nil {
+		return fmt.Errorf("store: decompressing frame: %w", noEOF(err))
+	}
+	var one [1]byte
+	if n, _ := fr.fl.Read(one[:]); n != 0 {
+		return errors.New("store: frame decompresses past its declared length")
+	}
+	if got, want := crc32.ChecksumIEEE(fr.frame), binary.LittleEndian.Uint32(crcb[:]); got != want {
+		return fmt.Errorf("store: frame checksum mismatch (got %#x, want %#x)", got, want)
+	}
+	fr.pos = 0
+	return nil
+}

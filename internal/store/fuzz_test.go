@@ -1,0 +1,127 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+// Fuzz test for the frame decoder: whatever bytes arrive — truncated
+// streams, flipped bits, implausible lengths, hostile varints — the
+// reader must return an error or the faithful payload, never panic, and
+// never allocate proportionally to an attacker-controlled length field.
+
+// frameStream encodes payload into a well-formed frame stream.
+func frameStream(payload []byte, blockSize int) []byte {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf, blockSize)
+	fw.Write(payload)
+	fw.Close()
+	return buf.Bytes()
+}
+
+// rawFrames hand-assembles a stream from explicit header fields and
+// payload bytes, for shapes the writer would refuse to produce.
+func rawFrames(frames ...[]byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(frameMagic)
+	for _, f := range frames {
+		buf.Write(f)
+	}
+	return buf.Bytes()
+}
+
+// frame encodes one frame with the given declared lengths, checksum, and
+// compressed bytes — all independently forgeable.
+func frame(rawLen, compLen uint64, crc uint32, comp []byte) []byte {
+	var b []byte
+	var tmp [binary.MaxVarintLen64]byte
+	b = append(b, tmp[:binary.PutUvarint(tmp[:], rawLen)]...)
+	b = append(b, tmp[:binary.PutUvarint(tmp[:], compLen)]...)
+	var c [4]byte
+	binary.LittleEndian.PutUint32(c[:], crc)
+	b = append(b, c[:]...)
+	return append(b, comp...)
+}
+
+func FuzzFrameReader(f *testing.F) {
+	valid := frameStream(bytes.Repeat([]byte("trace event bytes "), 1000), 4<<10)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])        // truncated mid-frame
+	f.Add(valid[:len(frameMagic)])     // magic only, no end marker
+	f.Add(frameStream(nil, 0))         // empty payload: magic + end marker
+	f.Add([]byte("ccdpfrm2"))          // wrong magic
+	f.Add([]byte("junk"))              // short junk
+	f.Add([]byte{})                    // empty input
+	f.Add(frameStream([]byte("x"), 1)) // many tiny frames
+
+	// Bad checksum over otherwise valid flate bytes.
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(frameMagic)+2+4] ^= 0x01 // flip a bit inside the first crc/payload region
+	f.Add(badCRC)
+
+	// Implausible declared lengths: must be rejected before allocation.
+	f.Add(rawFrames(frame(1<<40, 4, 0, []byte{1, 2, 3, 4})))
+	f.Add(rawFrames(frame(4, 1<<40, 0, nil)))
+	// compLen lies about the payload size.
+	f.Add(rawFrames(frame(4, 100, 0, []byte{1, 2})))
+	// rawLen smaller than what the flate stream actually inflates to.
+	good := frameStream([]byte("eightchr"), 0)
+	f.Add(rawFrames(frame(2, uint64(len(good)-len(frameMagic)-7), crc32.ChecksumIEEE([]byte("ei")), good[len(frameMagic)+7:])))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := NewFrameReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Drain via a small buffer so the partial-frame copy path runs too.
+		var n int64
+		buf := make([]byte, 773)
+		for {
+			m, err := fr.Read(buf)
+			n += int64(m)
+			if err != nil {
+				break
+			}
+			if n > 1<<28 {
+				t.Fatalf("decoder produced %d bytes from %d input bytes", n, len(data))
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsBehave pins the non-panicking contract on the handcrafted
+// seeds without needing the fuzz engine: each either fails loudly or
+// round-trips exactly.
+func TestFuzzSeedsBehave(t *testing.T) {
+	payload := bytes.Repeat([]byte("abc"), 5000)
+	valid := frameStream(payload, 4<<10)
+
+	fr, err := NewFrameReader(bytes.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := io.ReadAll(fr); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("valid seed failed: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"oversized rawLen", rawFrames(frame(1<<40, 4, 0, []byte{1, 2, 3, 4}))},
+		{"oversized compLen", rawFrames(frame(4, 1<<40, 0, nil))},
+		{"short payload", rawFrames(frame(4, 100, 0, []byte{1, 2}))},
+		{"truncated", valid[:len(valid)-3]},
+	} {
+		fr, err := NewFrameReader(bytes.NewReader(tc.data))
+		if err != nil {
+			continue
+		}
+		if _, err := io.ReadAll(fr); err == nil {
+			t.Errorf("%s: decoded cleanly", tc.name)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 #!/usr/bin/env sh
 # Local mirror of .github/workflows/ci.yml: run every CI gate in one shot.
+# Keep the two in sync when adding or changing steps (ci.yml carries the
+# same cross-pointer).
 # Usage: scripts/ci.sh [fast]
 #   fast  skips the race and fuzz jobs (the slow half).
 set -eu
@@ -23,14 +25,25 @@ fi
 echo "==> test"
 go test ./...
 
-if [ "${1:-}" != "fast" ]; then
-    echo "==> race (exec, profile, core, sim, trace, metrics, benchsuite, ledger)"
-    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/trace/... ./internal/metrics/... ./internal/benchsuite/... ./internal/ledger/...
+# CI additionally runs the build-test job on a go-version matrix
+# (1.22.x, 1.23.x); locally you test whatever toolchain is installed.
 
-    echo "==> fuzz smoke (persist, trace)"
+echo "==> govulncheck"
+if command -v govulncheck > /dev/null 2>&1; then
+    govulncheck ./...
+else
+    echo "govulncheck not installed; skipping (CI runs it)"
+fi
+
+if [ "${1:-}" != "fast" ]; then
+    echo "==> race (exec, profile, core, sim, store, trace, metrics, benchsuite, ledger)"
+    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/store/... ./internal/trace/... ./internal/metrics/... ./internal/benchsuite/... ./internal/ledger/...
+
+    echo "==> fuzz smoke (persist, trace, store)"
     go test -fuzz=FuzzReadProfile -fuzztime=15s ./internal/persist
     go test -fuzz=FuzzReadPlacement -fuzztime=15s ./internal/persist
     go test -run=NONE -fuzz=FuzzTraceReader -fuzztime=15s ./internal/trace
+    go test -run=NONE -fuzz=FuzzFrameReader -fuzztime=15s ./internal/store
 fi
 
 echo "==> bench gate"
@@ -55,8 +68,36 @@ done
 wait "$pid"
 [ -n "$ok" ] || { echo "debug endpoint never answered" >&2; exit 1; }
 
-echo "==> replay determinism"
-go run ./cmd/ccdpbench -record /tmp/ccdp-traces-ci -replay-compare -q -out /tmp/bench_replay.json
+echo "==> replay determinism (shared store, two-pass)"
+# Pass 1 fills the shared store (CI restores it via actions/cache keyed on
+# sim.TraceGenVersion + go.sum); pass 2 must find it fully warm — any
+# re-record fails via -require-store-hits.
+go run ./cmd/ccdpbench -trace-dir /tmp/ccdp-trace-store -replay-compare -q -out /tmp/bench_replay.json
+go run ./cmd/ccdpbench -trace-dir /tmp/ccdp-trace-store -replay-compare -require-store-hits -q -out /tmp/bench_replay2.json
+
+echo "==> multi-process store stress"
+# Four concurrent processes against one cold store: the claim protocol
+# must let exactly one record each key (recorded= counts sum to the
+# distinct trace file count) and every process must replay byte-identical
+# to its live run. See the matching ci.yml step.
+rm -rf /tmp/ccdp-trace-stress
+pids=""
+for i in 1 2 3 4; do
+    /tmp/ccdpbench-ci -workloads compress,espresso -scale 0.05 -seq-compare=false \
+        -trace-dir /tmp/ccdp-trace-stress -trace-maintain=false -replay-compare \
+        -q -quiet -out "/tmp/stress-$i.json" > "/tmp/stress-$i.log" 2>&1 &
+    pids="$pids $!"
+done
+fail=0
+for p in $pids; do wait "$p" || fail=1; done
+cat /tmp/stress-*.log
+[ "$fail" = 0 ] || { echo "a stress process failed" >&2; exit 1; }
+recorded=$(grep -ho 'recorded=[0-9]*' /tmp/stress-*.log | cut -d= -f2 | awk '{s+=$1} END {print s}')
+files=$(ls /tmp/ccdp-trace-stress/*.ctrace | wc -l)
+echo "recorded=$recorded across processes, distinct traces=$files"
+[ "$recorded" = "$files" ] || { echo "claim protocol leaked a double-record" >&2; exit 1; }
+/tmp/ccdpbench-ci -workloads compress,espresso -scale 0.05 -seq-compare=false \
+    -trace-dir /tmp/ccdp-trace-stress -require-store-hits -replay-compare -q -quiet -out /tmp/stress-warm.json
 
 echo "==> multi-core speedup gate"
 go run ./cmd/ccdpbench -parallel 4 -min-speedup 1.5 -q -out /tmp/bench_speedup.json
