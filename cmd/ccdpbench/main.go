@@ -33,7 +33,9 @@ import (
 	"repro/internal/cache"
 	"repro/internal/ledger"
 	"repro/internal/metrics"
+	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -65,6 +67,18 @@ func run() int {
 		quietAll     = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 		ledgerPath   = flag.String("ledger", "", "stream structured run events (spans, placement decisions, eval summaries) to this JSONL file")
 		debugAddr    = flag.String("debug-addr", "", "serve /debug/snapshot (live metrics + progress JSON) and /debug/pprof on this address while the suite runs")
+
+		sweepMode    = flag.Bool("sweep", false, "run a layout sweep (decode-once grid evaluation) instead of the benchmark suite")
+		sweepGridF   = flag.String("sweep-grid", "", "JSON grid file describing the sweep axes (overrides the -sweep-* axis flags)")
+		sweepWkld    = flag.String("sweep-workload", "compress", "workload the sweep replays")
+		sweepSizes   = flag.String("sweep-sizes", "", "comma-separated L1 cache sizes in bytes (default 8192)")
+		sweepBlocks  = flag.String("sweep-blocks", "", "comma-separated L1 line sizes in bytes (default 32)")
+		sweepAssocs  = flag.String("sweep-assocs", "", "comma-separated L1 associativities (default 1)")
+		sweepChunks  = flag.String("sweep-chunks", "", "comma-separated profiling chunk sizes (default: derived from cache size)")
+		sweepQueues  = flag.String("sweep-queues", "", "comma-separated recency-queue thresholds (default: derived from cache size)")
+		sweepLayouts = flag.String("sweep-layouts", "", "comma-separated layout variants (default natural,ccdp)")
+		sweepL2      = flag.String("sweep-l2", "", "semicolon-separated L2 points as size/block/assoc/tlb (e.g. 98304/32/3/32); each multiplies the grid by an L1+L2 hierarchy variant")
+		sweepComp    = flag.Bool("sweep-compare", true, "also run every cell as an independent replay, verify byte-identical results, and record the speedup")
 	)
 	flag.Parse()
 
@@ -99,6 +113,18 @@ func run() int {
 	if *requireHits && !tc.Enabled() {
 		fmt.Fprintln(os.Stderr, "ccdpbench: -require-store-hits requires -record, -replay, or -trace-dir")
 		return 2
+	}
+
+	if *sweepMode {
+		return runSweep(sweepFlags{
+			grid: *sweepGridF, workload: *sweepWkld,
+			sizes: *sweepSizes, blocks: *sweepBlocks, assocs: *sweepAssocs,
+			chunks: *sweepChunks, queues: *sweepQueues, layouts: *sweepLayouts,
+			l2: *sweepL2, compare: *sweepComp,
+			scale: *scale, parallel: *parallel, trace: tc,
+			traceMaint: *traceMaint, requireHits: *requireHits,
+			sha: resolveSHA(*sha), out: *out, ledgerPath: *ledgerPath,
+		})
 	}
 
 	mc := metrics.New()
@@ -297,6 +323,193 @@ func run() int {
 	fmt.Printf("gate OK: avg test reduction %.2f%% (baseline %.2f%%, tolerance %.2f)\n",
 		art.AvgTestReductionPct, base.AvgTestReductionPct, *headlineTol)
 	return storeExit
+}
+
+// sweepFlags carries the parsed -sweep-* flag set into runSweep.
+type sweepFlags struct {
+	grid     string
+	workload string
+	sizes    string
+	blocks   string
+	assocs   string
+	chunks   string
+	queues   string
+	layouts  string
+	l2       string
+	compare  bool
+
+	scale       float64
+	parallel    int
+	trace       sim.TraceConfig
+	traceMaint  bool
+	requireHits bool
+	sha         string
+	out         string
+	ledgerPath  string
+}
+
+// runSweep is the -sweep mode: expand the grid, prepare profiles and
+// placements once, run the decode-once engine, render the matrix /
+// Pareto / axis tables, and (with -sweep-compare) hold the engine to
+// byte-identical results against independent per-cell replays while
+// measuring the speedup. Inputs come from benchsuite.ScaledInputs so
+// store-backed sweeps share trace keys with suite runs over the same
+// -scale.
+func runSweep(f sweepFlags) int {
+	w, err := workload.Get(f.workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpbench:", err)
+		return 2
+	}
+	var grid sweep.Grid
+	if f.grid != "" {
+		grid, err = sweep.LoadGridFile(f.grid)
+	} else {
+		grid, err = sweep.ParseAxes(f.sizes, f.blocks, f.assocs, f.chunks, f.queues, f.layouts, f.l2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpbench:", err)
+		return 2
+	}
+
+	mc := metrics.New()
+	opts := sim.DefaultOptions()
+	opts.Parallelism = f.parallel
+	opts.Metrics = mc
+
+	inputs := benchsuite.ScaledInputs(w, f.scale)
+	prep, err := sweep.NewPrep(sweep.Request{
+		Workload: w, Train: inputs[0], Test: inputs[1],
+		Grid: grid, Options: opts, Trace: f.trace,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpbench: sweep prep:", err)
+		return 2
+	}
+
+	res, err := prep.RunShared(f.parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpbench: sweep:", err)
+		return 2
+	}
+	if f.trace.Enabled() && f.traceMaint {
+		if err := sim.MaintainTraceDir(f.trace, mc); err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench: trace store maintenance:", err)
+			return 2
+		}
+	}
+
+	var indNanos int64
+	var indRate, speedup float64
+	if f.compare {
+		ind, err := prep.RunIndependent(f.parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench: independent sweep:", err)
+			return 2
+		}
+		if err := sweep.DiffResults(res, ind); err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench: shared vs independent:", err)
+			return 2
+		}
+		indNanos = ind.WallNanos
+		indRate = ind.ConfigsPerSec()
+		speedup = float64(ind.WallNanos) / float64(res.WallNanos)
+	}
+
+	rows := res.Rows()
+	title := fmt.Sprintf("%s/%s sweep (%d cells)", res.Workload, res.Input, len(rows))
+	fmt.Print(report.SweepMatrix(title, rows))
+	fmt.Println()
+	fmt.Print(report.SweepPareto("pareto frontier (miss rate vs cache bytes)", rows))
+	if axes := report.SweepAxes("per-axis marginal deltas", rows); axes != "" {
+		fmt.Println()
+		fmt.Print(axes)
+	}
+
+	// One awk-friendly line, the sweep twin of "trace store:" below.
+	fmt.Printf("sweep: cells=%d configs_per_sec=%.1f decode_share_pct=%.1f independent_configs_per_sec=%.1f speedup=%.2f\n",
+		len(res.Cells), res.ConfigsPerSec(), res.DecodeSharePct(), indRate, speedup)
+
+	storeExit := 0
+	if f.trace.Enabled() {
+		fmt.Printf("trace store: hits=%d recorded=%d waits=%d evicted=%d packed=%d written=%dB read=%dB\n",
+			mc.Get(metrics.StoreHits), mc.Get(metrics.StoreMisses),
+			mc.Get(metrics.StoreClaimWaits), mc.Get(metrics.StoreEvictions),
+			mc.Get(metrics.StorePacked), mc.Get(metrics.StoreBytesWritten),
+			mc.Get(metrics.StoreBytesRead))
+		if f.requireHits && mc.Get(metrics.StoreMisses) > 0 {
+			fmt.Fprintf(os.Stderr, "GATE FAIL: %d traces recorded with -require-store-hits (store was not fully warm)\n",
+				mc.Get(metrics.StoreMisses))
+			storeExit = 1
+		}
+	}
+
+	if f.ledgerPath != "" {
+		lw, err := ledger.Create(f.ledgerPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench:", err)
+			return 2
+		}
+		lw.RunStart(ledger.RunStart{
+			Tool: "ccdpbench", SHA: f.sha, Scale: f.scale,
+			Parallelism: f.parallel, Workloads: []string{f.workload},
+			Cache: cache.DefaultConfig.String(),
+		})
+		lw.Sweep(sweepEvent(res, rows))
+		lw.Metrics(mc.Snapshot())
+		lw.RunEnd(ledger.RunEnd{WallNs: res.WallNanos})
+		if err := lw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpbench: ledger:", err)
+			return 2
+		}
+		fmt.Fprintln(os.Stderr, "ledger written:", f.ledgerPath)
+	}
+
+	art := benchsuite.BuildArtifact(f.sha, f.scale, nil, mc.Snapshot())
+	art.Timing = &benchsuite.Timing{
+		Parallelism:                   f.parallel,
+		WallNanos:                     res.WallNanos,
+		SweepCells:                    len(res.Cells),
+		SweepWallNanos:                res.WallNanos,
+		SweepIndependentNanos:         indNanos,
+		SweepConfigsPerSec:            res.ConfigsPerSec(),
+		SweepIndependentConfigsPerSec: indRate,
+		SweepSpeedup:                  speedup,
+		SweepDecodeSharePct:           res.DecodeSharePct(),
+	}
+	outPath := f.out
+	if outPath == "" {
+		outPath = "BENCH_" + f.sha + "_sweep.json"
+	}
+	if err := art.WriteFile(outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpbench:", err)
+		return 2
+	}
+	fmt.Println("artifact written:", outPath)
+	return storeExit
+}
+
+// sweepEvent converts a sweep result into its ledger payload.
+func sweepEvent(res *sweep.Result, rows []report.SweepRow) ledger.Sweep {
+	engine := "independent"
+	if res.Shared {
+		engine = "shared"
+	}
+	s := ledger.Sweep{
+		Workload: res.Workload, Input: res.Input, Engine: engine,
+		WallNs: res.WallNanos, DecodeNs: res.DecodeNanos,
+		Batches: res.Batches, Events: res.Events,
+		ConfigsPerSec: res.ConfigsPerSec(), DecodeSharePct: res.DecodeSharePct(),
+	}
+	for _, r := range rows {
+		s.Cells = append(s.Cells, ledger.SweepCell{
+			Size: r.Size, Block: r.Block, Assoc: r.Assoc, L2: r.L2, TLB: r.TLB,
+			Chunk: r.Chunk, Queue: r.Queue, Layout: r.Layout, Bytes: r.Bytes,
+			Accesses: r.Accesses, Misses: r.Misses, MissRatePct: r.MissRatePct,
+			Pareto: r.Pareto,
+		})
+	}
+	return s
 }
 
 // startProgressLine spawns the stderr progress ticker — workloads done,

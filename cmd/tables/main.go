@@ -155,12 +155,38 @@ func renderLedger(path string) error {
 		fmt.Printf(", %d events\n", run.Events)
 	}
 	fmt.Print(run.Summary())
+	for i := range run.Sweeps {
+		fmt.Println()
+		fmt.Print(renderSweep(&run.Sweeps[i]))
+	}
 	if re := run.End; re != nil {
 		fmt.Printf("recorded averages: train %.2f%%, test %.2f%%, wall %v\n",
 			re.AvgTrainReductionPct, re.AvgTestReductionPct,
 			time.Duration(re.WallNs).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// renderSweep re-renders one recorded sweep event through the same
+// report renderers ccdpbench -sweep prints live, so the ledger alone
+// reproduces the matrix and Pareto frontier.
+func renderSweep(s *ledger.Sweep) string {
+	rows := make([]report.SweepRow, len(s.Cells))
+	for i, c := range s.Cells {
+		rows[i] = report.SweepRow{
+			Size: c.Size, Block: c.Block, Assoc: c.Assoc, L2: c.L2, TLB: c.TLB,
+			Chunk: c.Chunk, Queue: c.Queue, Layout: c.Layout, Bytes: c.Bytes,
+			Accesses: c.Accesses, Misses: c.Misses, MissRatePct: c.MissRatePct,
+			Pareto: c.Pareto,
+		}
+	}
+	var b strings.Builder
+	title := fmt.Sprintf("%s/%s sweep (%d cells, %s engine, %.1f configs/sec)",
+		s.Workload, s.Input, len(rows), s.Engine, s.ConfigsPerSec)
+	b.WriteString(report.SweepMatrix(title, rows))
+	b.WriteString("\n")
+	b.WriteString(report.SweepPareto("pareto frontier (miss rate vs cache bytes)", rows))
+	return b.String()
 }
 
 // runVictim prints the hardware-vs-software comparison: a small victim

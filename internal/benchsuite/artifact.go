@@ -84,6 +84,19 @@ type Timing struct {
 	// driving passes from trace-file replay — decode plus in-line
 	// handling (0 when the suite ran live or metrics were off).
 	ReplayNanos int64 `json:"replayNanos,omitempty"`
+
+	// Sweep fields record the layout-sweep engine's acceptance numbers
+	// when a -sweep run produced this artifact: the shared decode-once
+	// engine's wall clock and throughput versus the independent
+	// one-replay-per-cell comparison run (0/absent when no sweep ran or
+	// no comparison was taken).
+	SweepCells                    int     `json:"sweepCells,omitempty"`
+	SweepWallNanos                int64   `json:"sweepWallNanos,omitempty"`
+	SweepIndependentNanos         int64   `json:"sweepIndependentNanos,omitempty"`
+	SweepConfigsPerSec            float64 `json:"sweepConfigsPerSec,omitempty"`
+	SweepIndependentConfigsPerSec float64 `json:"sweepIndependentConfigsPerSec,omitempty"`
+	SweepSpeedup                  float64 `json:"sweepSpeedup,omitempty"`
+	SweepDecodeSharePct           float64 `json:"sweepDecodeSharePct,omitempty"`
 }
 
 // BuildArtifact assembles an artifact from a suite run.

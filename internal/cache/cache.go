@@ -86,6 +86,21 @@ func (c Config) String() string {
 	return fmt.Sprintf("%dKB/%dB %s", c.Size/1024, c.BlockSize, kind)
 }
 
+// Short renders the geometry compactly for dense tables and ledger rows,
+// e.g. "8K/32/dm" or "96K/32/3w". Sizes that are not whole kilobytes print
+// in bytes ("512B/32/dm").
+func (c Config) Short() string {
+	size := fmt.Sprintf("%dB", c.Size)
+	if c.Size >= 1024 && c.Size%1024 == 0 {
+		size = fmt.Sprintf("%dK", c.Size/1024)
+	}
+	way := "dm"
+	if c.Assoc > 1 {
+		way = fmt.Sprintf("%dw", c.Assoc)
+	}
+	return fmt.Sprintf("%s/%d/%s", size, c.BlockSize, way)
+}
+
 // MissClass partitions misses per Hill & Smith's three Cs.
 type MissClass uint8
 

@@ -1,0 +1,46 @@
+package exec
+
+// FreeList is a bounded, concurrency-safe object free list for recycling
+// buffers across the producer and workers of a Stream. It exists for the
+// broadcast shape: a producer allocates an item, hands it to every worker,
+// and the *last* worker to finish (tracked by a refcount on the item)
+// returns it here, so steady-state streaming allocates nothing.
+//
+// Both operations are non-blocking: Get falls back to the constructor when
+// the list is empty, and Put drops the item when the list is full. The
+// list therefore never deadlocks a pipeline — it only bounds how much
+// recycling happens — and the capacity just needs to cover the maximum
+// number of items in flight (producer + per-worker channel depths).
+type FreeList[T any] struct {
+	ch chan T
+	mk func() T
+}
+
+// NewFreeList returns a list holding at most capacity items, constructing
+// fresh ones with mk when empty. capacity is clamped to >= 1.
+func NewFreeList[T any](capacity int, mk func() T) *FreeList[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FreeList[T]{ch: make(chan T, capacity), mk: mk}
+}
+
+// Get returns a pooled item, or a newly constructed one when none is
+// available. It never blocks.
+func (f *FreeList[T]) Get() T {
+	select {
+	case v := <-f.ch:
+		return v
+	default:
+		return f.mk()
+	}
+}
+
+// Put returns an item to the list, dropping it when the list is full. The
+// caller must not retain the item afterwards. It never blocks.
+func (f *FreeList[T]) Put(v T) {
+	select {
+	case f.ch <- v:
+	default:
+	}
+}

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFreeListRecycles checks the happy path: a returned item comes back
+// from Get instead of a fresh construction.
+func TestFreeListRecycles(t *testing.T) {
+	made := 0
+	fl := NewFreeList(2, func() *int { made++; v := new(int); return v })
+
+	a := fl.Get()
+	if made != 1 {
+		t.Fatalf("made = %d after first Get, want 1", made)
+	}
+	fl.Put(a)
+	if b := fl.Get(); b != a {
+		t.Error("Get did not return the pooled item")
+	}
+	if made != 1 {
+		t.Errorf("made = %d after recycled Get, want 1", made)
+	}
+}
+
+// TestFreeListNeverBlocks holds both operations to the non-blocking
+// contract: Get on empty constructs, Put on full drops.
+func TestFreeListNeverBlocks(t *testing.T) {
+	fl := NewFreeList(1, func() int { return 7 })
+	if got := fl.Get(); got != 7 {
+		t.Fatalf("Get on empty = %d, want constructed 7", got)
+	}
+	fl.Put(1)
+	fl.Put(2) // full: must drop, not block
+	if got := fl.Get(); got != 1 {
+		t.Errorf("Get = %d, want the first Put's 1", got)
+	}
+	if got := fl.Get(); got != 7 {
+		t.Errorf("Get after drain = %d, want constructed 7 (second Put should have been dropped)", got)
+	}
+}
+
+// TestFreeListClampsCapacity checks capacity < 1 still yields a working
+// one-slot list.
+func TestFreeListClampsCapacity(t *testing.T) {
+	fl := NewFreeList(0, func() string { return "new" })
+	fl.Put("kept")
+	if got := fl.Get(); got != "kept" {
+		t.Errorf("Get = %q, want %q", got, "kept")
+	}
+}
+
+// TestFreeListConcurrent exercises the list from many goroutines under
+// the race detector.
+func TestFreeListConcurrent(t *testing.T) {
+	fl := NewFreeList(8, func() *[16]byte { return new([16]byte) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				fl.Put(fl.Get())
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -47,6 +47,11 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// TotalBytes is the stack's total cache capacity (L1 + L2) — the x axis
+// of capacity-vs-miss-rate frontiers, where a hierarchy point competes
+// against single-level geometries on combined bytes.
+func (c Config) TotalBytes() int64 { return c.L1.Size + c.L2.Size }
+
 // Stats aggregates the per-level results.
 type Stats struct {
 	L1 cache.Stats
@@ -110,6 +115,17 @@ func New(cfg Config) (*Sim, error) {
 	}
 	return s, nil
 }
+
+// SetAttribution attaches a miss-attribution sink to the L1 — the level
+// whose set-conflict picture placement argues from. L2 and TLB touches are
+// not attributed. This mirrors cache.Sim.SetAttribution so Options.
+// Attribution behaves consistently whether a pass drives one cache or the
+// full stack: attribution never feeds back into the simulation, and a nil
+// sink is the disabled mode.
+func (s *Sim) SetAttribution(a *cache.Attribution) { s.l1.SetAttribution(a) }
+
+// Attribution returns the L1's attribution sink (nil when disabled).
+func (s *Sim) Attribution() *cache.Attribution { return s.l1.Attribution() }
 
 // Access simulates one read through every level and returns the number of
 // L1 block misses, matching cache.Sim's contract.

@@ -11,14 +11,15 @@
 // fields — "v" (schema version), "seq" (0-based line number), "event"
 // (the event kind) — plus exactly one kind-specific payload field:
 //
-//	{"v":1,"seq":0,"event":"run_start","runStart":{...}}
-//	{"v":1,"seq":1,"event":"workload_start","workloadStart":{...}}
-//	{"v":1,"seq":2,"event":"span","span":{...}}
-//	{"v":1,"seq":3,"event":"placement","placement":{...}}
-//	{"v":1,"seq":4,"event":"eval","eval":{...}}
-//	{"v":1,"seq":5,"event":"workload_end","workloadEnd":{...}}
-//	{"v":1,"seq":6,"event":"metrics","metrics":{...}}
-//	{"v":1,"seq":7,"event":"run_end","runEnd":{...}}
+//	{"v":2,"seq":0,"event":"run_start","runStart":{...}}
+//	{"v":2,"seq":1,"event":"workload_start","workloadStart":{...}}
+//	{"v":2,"seq":2,"event":"span","span":{...}}
+//	{"v":2,"seq":3,"event":"placement","placement":{...}}
+//	{"v":2,"seq":4,"event":"eval","eval":{...}}
+//	{"v":2,"seq":5,"event":"sweep","sweep":{...}}
+//	{"v":2,"seq":6,"event":"workload_end","workloadEnd":{...}}
+//	{"v":2,"seq":7,"event":"metrics","metrics":{...}}
+//	{"v":2,"seq":8,"event":"run_end","runEnd":{...}}
 //
 // Span times are nanoseconds relative to the writer's epoch (the run
 // start), so two ledgers of the same seeded run differ only in timing
@@ -46,7 +47,9 @@ import (
 
 // SchemaVersion identifies the event schema. Bump it on any change to the
 // envelope or any payload type (the fingerprint test enforces this).
-const SchemaVersion = 1
+// Version history: v1 = the original eight event kinds; v2 added the
+// "sweep" event (layout-sweep grid results).
+const SchemaVersion = 2
 
 // Event is the per-line envelope. Exactly one payload pointer is non-nil,
 // matching Kind.
@@ -60,6 +63,7 @@ type Event struct {
 	Span          *Span             `json:"span,omitempty"`
 	Placement     *Placement        `json:"placement,omitempty"`
 	Eval          *Eval             `json:"eval,omitempty"`
+	Sweep         *Sweep            `json:"sweep,omitempty"`
 	WorkloadEnd   *WorkloadEnd      `json:"workloadEnd,omitempty"`
 	Metrics       *metrics.Snapshot `json:"metrics,omitempty"`
 	RunEnd        *RunEnd           `json:"runEnd,omitempty"`
@@ -72,6 +76,7 @@ const (
 	KindSpan          = "span"
 	KindPlacement     = "placement"
 	KindEval          = "eval"
+	KindSweep         = "sweep"
 	KindWorkloadEnd   = "workload_end"
 	KindMetrics       = "metrics"
 	KindRunEnd        = "run_end"
@@ -148,6 +153,43 @@ type Eval struct {
 type CategoryRate struct {
 	Category string  `json:"category"`
 	MissPct  float64 `json:"missPct"`
+}
+
+// Sweep records one layout-sweep execution: the grid's per-cell results
+// plus the engine's throughput accounting. Cells carry the same plain
+// fields as report.SweepRow, so cmd/tables re-renders the comparison
+// matrix and Pareto frontier from the ledger alone.
+type Sweep struct {
+	Workload string `json:"workload"`
+	Input    string `json:"input"`
+	// Engine names the execution path: "shared" (decode-once broadcast)
+	// or "independent" (one replay per cell).
+	Engine string      `json:"engine"`
+	Cells  []SweepCell `json:"cells,omitempty"`
+
+	WallNs         int64   `json:"wallNs"`
+	DecodeNs       int64   `json:"decodeNs,omitempty"`
+	Batches        uint64  `json:"batches,omitempty"`
+	Events         uint64  `json:"events,omitempty"`
+	ConfigsPerSec  float64 `json:"configsPerSec"`
+	DecodeSharePct float64 `json:"decodeSharePct,omitempty"`
+}
+
+// SweepCell is one grid point's result within a Sweep event.
+type SweepCell struct {
+	Size        int64   `json:"size"`
+	Block       int64   `json:"block"`
+	Assoc       int     `json:"assoc"`
+	L2          string  `json:"l2,omitempty"`
+	TLB         int     `json:"tlb,omitempty"`
+	Chunk       int64   `json:"chunk,omitempty"`
+	Queue       int64   `json:"queue,omitempty"`
+	Layout      string  `json:"layout"`
+	Bytes       int64   `json:"bytes"`
+	Accesses    uint64  `json:"accesses"`
+	Misses      uint64  `json:"misses"`
+	MissRatePct float64 `json:"missRatePct"`
+	Pareto      bool    `json:"pareto,omitempty"`
 }
 
 // WorkloadEnd closes one workload: the CCDP-vs-natural miss-rate
@@ -302,6 +344,11 @@ func (l *Writer) Placement(p Placement) {
 // Eval emits one evaluation pass summary.
 func (l *Writer) Eval(e Eval) {
 	l.emit(KindEval, func(ev *Event) { ev.Eval = &e })
+}
+
+// Sweep emits one layout-sweep result event.
+func (l *Writer) Sweep(s Sweep) {
+	l.emit(KindSweep, func(ev *Event) { ev.Sweep = &s })
 }
 
 // WorkloadEnd emits a workload_end event.

@@ -21,6 +21,7 @@ type Run struct {
 	Spans     []Span
 	Placement []Placement
 	Evals     []Eval
+	Sweeps    []Sweep
 	Ends      []WorkloadEnd
 	Metrics   []metrics.Snapshot
 	End       *RunEnd
@@ -71,6 +72,10 @@ func Replay(r io.Reader) (*Run, error) {
 		case KindEval:
 			if ev.Eval != nil {
 				run.Evals = append(run.Evals, *ev.Eval)
+			}
+		case KindSweep:
+			if ev.Sweep != nil {
+				run.Sweeps = append(run.Sweeps, *ev.Sweep)
 			}
 		case KindWorkloadEnd:
 			if ev.WorkloadEnd != nil {

@@ -68,6 +68,12 @@ const (
 	StoreBytesWritten
 	StoreBytesRead
 
+	// SweepCells counts grid cells evaluated by the layout-sweep engine;
+	// SweepBatches counts the enriched event batches its shared decoder
+	// broadcast to the per-cell evaluators.
+	SweepCells
+	SweepBatches
+
 	NumCounters int = iota
 )
 
@@ -87,6 +93,8 @@ var counterNames = [NumCounters]string{
 	StorePacked:       "store.packed",
 	StoreBytesWritten: "store.bytes_written",
 	StoreBytesRead:    "store.bytes_read",
+	SweepCells:        "sweep.cells",
+	SweepBatches:      "sweep.batches",
 }
 
 // String returns the counter's export name.
@@ -104,11 +112,13 @@ type Stage int
 // and the placement phases of the paper's Figure 1 (3 and 5 share an
 // implementation pass, as do 0 and 4's popularity work inside them).
 const (
-	StagePipeline Stage = iota // one core.Run end to end
-	StageProfile               // profiling pass (TRG construction)
-	StagePlace                 // placement.Compute, phases 0-8
-	StageEval                  // one evaluation pass (cache simulation)
-	StageReplay                // trace-file replay decode (I/O + event rebuild)
+	StagePipeline  Stage = iota // one core.Run end to end
+	StageProfile                // profiling pass (TRG construction)
+	StagePlace                  // placement.Compute, phases 0-8
+	StageEval                   // one evaluation pass (cache simulation)
+	StageReplay                 // trace-file replay decode (I/O + event rebuild)
+	StageSweep                  // one shared-decode sweep pass over a grid
+	StageSweepPrep              // sweep profile/placement preparation fan-out
 
 	StagePhaseHeapBins       // phase 1: heap preprocessing + bin tags
 	StagePhaseStackConstants // phase 2: stack vs constants
@@ -127,6 +137,8 @@ var stageNames = [NumStages]string{
 	StagePlace:               "place",
 	StageEval:                "eval",
 	StageReplay:              "replay",
+	StageSweep:               "sweep",
+	StageSweepPrep:           "sweep.prep",
 	StagePhaseHeapBins:       "place.phase1_heap_bins",
 	StagePhaseStackConstants: "place.phase2_stack_constants",
 	StagePhaseCompounds:      "place.phase3_5_compounds",

@@ -140,6 +140,14 @@ func ReadProfile(r io.Reader) (*profile.Profile, error) {
 		if err := sc.scanf("edge %d %d %d", &a, &b, &wt); err != nil {
 			return nil, err
 		}
+		// The node half of each chunk key must name a declared node:
+		// Finalize and placement index g.nodes by it, so a hostile key
+		// would otherwise panic instead of erroring.
+		for _, k := range [2]uint64{a, b} {
+			if nd := trg.ChunkKey(k).Node(); int(nd) >= numNodes {
+				return nil, fmt.Errorf("persist: edge %d: chunk key %d names node %d, have %d nodes", i, k, nd, numNodes)
+			}
+		}
 		g.AddWeight(trg.ChunkKey(a), trg.ChunkKey(b), wt)
 	}
 	p.Graph = g

@@ -1,0 +1,252 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SweepRow is one grid cell of a layout sweep, reduced to the plain
+// strings and numbers the renderers below need. Both the live sweep
+// engine and the ledger's recorded sweep events convert into this type,
+// so `ccdpbench -sweep` and `tables -from-ledger` render identically.
+type SweepRow struct {
+	Size  int64  // L1 size in bytes
+	Block int64  // L1 line size in bytes
+	Assoc int    // L1 ways
+	L2    string // L2 short label ("" for single-level cells)
+	TLB   int    // data-TLB entries (hierarchy cells only)
+	Chunk int64  // profiling chunk size (0 = default)
+	Queue int64  // recency-queue threshold (0 = default)
+
+	Layout string
+
+	Bytes       int64 // total cache capacity (L1+L2)
+	Accesses    uint64
+	Misses      uint64
+	MissRatePct float64
+
+	Pareto bool // set by MarkPareto
+}
+
+// CacheLabel renders the L1 geometry like cache.Config.Short.
+func (r SweepRow) CacheLabel() string {
+	size := fmt.Sprintf("%dB", r.Size)
+	if r.Size >= 1024 && r.Size%1024 == 0 {
+		size = fmt.Sprintf("%dK", r.Size/1024)
+	}
+	way := "dm"
+	if r.Assoc > 1 {
+		way = fmt.Sprintf("%dw", r.Assoc)
+	}
+	return fmt.Sprintf("%s/%d/%s", size, r.Block, way)
+}
+
+// ConfigLabel renders everything but the layout: the matrix row key.
+func (r SweepRow) ConfigLabel() string {
+	var b strings.Builder
+	b.WriteString(r.CacheLabel())
+	if r.L2 != "" {
+		b.WriteString("+L2:" + r.L2)
+	}
+	if r.Chunk > 0 {
+		fmt.Fprintf(&b, " c%d", r.Chunk)
+	}
+	if r.Queue > 0 {
+		fmt.Fprintf(&b, " q%d", r.Queue)
+	}
+	return b.String()
+}
+
+// MarkPareto sets Pareto on every row not dominated on the
+// (capacity, miss rate) plane: a row is kept when no other row has both
+// fewer-or-equal bytes and a lower-or-equal miss rate with at least one
+// strict inequality. Rows are marked in place.
+func MarkPareto(rows []SweepRow) {
+	for i := range rows {
+		rows[i].Pareto = true
+		for j := range rows {
+			if i == j {
+				continue
+			}
+			a, b := &rows[i], &rows[j]
+			if b.Bytes <= a.Bytes && b.MissRatePct <= a.MissRatePct &&
+				(b.Bytes < a.Bytes || b.MissRatePct < a.MissRatePct) {
+				rows[i].Pareto = false
+				break
+			}
+		}
+	}
+}
+
+// SweepMatrix renders the comparison matrix: one row per configuration
+// (geometry, hierarchy, profiling knobs), one column per layout variant,
+// cells holding miss rates. Pareto-frontier cells are starred.
+func SweepMatrix(title string, rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	var configs, layouts []string
+	cell := map[string]*SweepRow{}
+	for i := range rows {
+		r := &rows[i]
+		ck, lk := r.ConfigLabel(), r.Layout
+		if _, ok := cell[ck+"\x00"+lk]; !ok {
+			cell[ck+"\x00"+lk] = r
+		}
+		if !contains(configs, ck) {
+			configs = append(configs, ck)
+		}
+		if !contains(layouts, lk) {
+			layouts = append(layouts, lk)
+		}
+	}
+	fmt.Fprintf(&b, "%-28s %9s", "config", "bytes")
+	for _, l := range layouts {
+		fmt.Fprintf(&b, " %9s", l)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, ck := range configs {
+		var bytes int64
+		for _, l := range layouts {
+			if r := cell[ck+"\x00"+l]; r != nil {
+				bytes = r.Bytes
+			}
+		}
+		fmt.Fprintf(&b, "%-28s %9d", ck, bytes)
+		for _, l := range layouts {
+			r := cell[ck+"\x00"+l]
+			if r == nil {
+				fmt.Fprintf(&b, " %9s", "-")
+				continue
+			}
+			star := " "
+			if r.Pareto {
+				star = "*"
+			}
+			fmt.Fprintf(&b, " %8.3f%s", r.MissRatePct, star)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "(*: on the capacity/miss-rate Pareto frontier)\n")
+	return b.String()
+}
+
+// SweepPareto renders the miss-rate-vs-cache-bytes frontier: the
+// undominated cells in capacity order — the cheapest configuration at
+// every achievable miss rate.
+func SweepPareto(title string, rows []SweepRow) string {
+	var front []SweepRow
+	for _, r := range rows {
+		if r.Pareto {
+			front = append(front, r)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Bytes != front[j].Bytes {
+			return front[i].Bytes < front[j].Bytes
+		}
+		return front[i].MissRatePct < front[j].MissRatePct
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%9s %-28s %-8s %12s %12s %8s\n",
+		"bytes", "config", "layout", "accesses", "misses", "miss%")
+	for _, r := range front {
+		fmt.Fprintf(&b, "%9d %-28s %-8s %12d %12d %8.3f\n",
+			r.Bytes, r.ConfigLabel(), r.Layout, r.Accesses, r.Misses, r.MissRatePct)
+	}
+	return b.String()
+}
+
+// sweepAxes are the grid dimensions SweepAxes attributes deltas to.
+var sweepAxes = []struct {
+	name string
+	// key renders every field EXCEPT the axis, so rows sharing a key
+	// differ only along the axis.
+	key func(SweepRow) string
+	// val renders the axis value itself (for the span report).
+	val func(SweepRow) string
+}{
+	{"size", func(r SweepRow) string {
+		return fmt.Sprintf("b%d a%d %s t%d c%d q%d %s", r.Block, r.Assoc, r.L2, r.TLB, r.Chunk, r.Queue, r.Layout)
+	}, func(r SweepRow) string { return fmt.Sprintf("%d", r.Size) }},
+	{"block", func(r SweepRow) string {
+		return fmt.Sprintf("s%d a%d %s t%d c%d q%d %s", r.Size, r.Assoc, r.L2, r.TLB, r.Chunk, r.Queue, r.Layout)
+	}, func(r SweepRow) string { return fmt.Sprintf("%d", r.Block) }},
+	{"assoc", func(r SweepRow) string {
+		return fmt.Sprintf("s%d b%d %s t%d c%d q%d %s", r.Size, r.Block, r.L2, r.TLB, r.Chunk, r.Queue, r.Layout)
+	}, func(r SweepRow) string { return fmt.Sprintf("%d", r.Assoc) }},
+	{"chunk", func(r SweepRow) string {
+		return fmt.Sprintf("s%d b%d a%d %s t%d q%d %s", r.Size, r.Block, r.Assoc, r.L2, r.TLB, r.Queue, r.Layout)
+	}, func(r SweepRow) string { return fmt.Sprintf("%d", r.Chunk) }},
+	{"queue", func(r SweepRow) string {
+		return fmt.Sprintf("s%d b%d a%d %s t%d c%d %s", r.Size, r.Block, r.Assoc, r.L2, r.TLB, r.Chunk, r.Layout)
+	}, func(r SweepRow) string { return fmt.Sprintf("%d", r.Queue) }},
+	{"layout", func(r SweepRow) string {
+		return fmt.Sprintf("s%d b%d a%d %s t%d c%d q%d", r.Size, r.Block, r.Assoc, r.L2, r.TLB, r.Chunk, r.Queue)
+	}, func(r SweepRow) string { return r.Layout }},
+	{"l2", func(r SweepRow) string {
+		return fmt.Sprintf("s%d b%d a%d c%d q%d %s", r.Size, r.Block, r.Assoc, r.Chunk, r.Queue, r.Layout)
+	}, func(r SweepRow) string {
+		if r.L2 == "" {
+			return "none"
+		}
+		return r.L2
+	}},
+}
+
+// SweepAxes renders the per-axis marginal-delta attribution table: for
+// every grid axis, rows are grouped so group members differ only along
+// that axis, and the miss-rate span (max - min) inside each group
+// measures how much that axis alone moves the result. Axes the grid
+// does not actually vary (all groups singleton) are omitted.
+func SweepAxes(title string, rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %7s %12s %12s  %s\n",
+		"axis", "groups", "avg-span", "max-span", "(miss-rate pct points across the axis)")
+	for _, ax := range sweepAxes {
+		groups := map[string][]SweepRow{}
+		for _, r := range rows {
+			k := ax.key(r)
+			groups[k] = append(groups[k], r)
+		}
+		var spans []float64
+		for _, g := range groups {
+			if len(g) < 2 {
+				continue
+			}
+			lo, hi := g[0].MissRatePct, g[0].MissRatePct
+			for _, r := range g[1:] {
+				if r.MissRatePct < lo {
+					lo = r.MissRatePct
+				}
+				if r.MissRatePct > hi {
+					hi = r.MissRatePct
+				}
+			}
+			spans = append(spans, hi-lo)
+		}
+		if len(spans) == 0 {
+			continue
+		}
+		var sum, max float64
+		for _, s := range spans {
+			sum += s
+			if s > max {
+				max = s
+			}
+		}
+		fmt.Fprintf(&b, "%-8s %7d %12.3f %12.3f\n", ax.name, len(spans), sum/float64(len(spans)), max)
+	}
+	return b.String()
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

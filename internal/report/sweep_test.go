@@ -1,0 +1,110 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sweepRows() []SweepRow {
+	return []SweepRow{
+		{Size: 4096, Block: 32, Assoc: 1, Layout: "natural", Bytes: 4096,
+			Accesses: 1000, Misses: 190, MissRatePct: 19.0},
+		{Size: 4096, Block: 32, Assoc: 1, Layout: "ccdp", Bytes: 4096,
+			Accesses: 1000, Misses: 160, MissRatePct: 16.0},
+		{Size: 8192, Block: 32, Assoc: 1, Layout: "natural", Bytes: 8192,
+			Accesses: 1000, Misses: 170, MissRatePct: 17.0},
+		{Size: 8192, Block: 32, Assoc: 1, Layout: "ccdp", Bytes: 8192,
+			Accesses: 1000, Misses: 130, MissRatePct: 13.0},
+	}
+}
+
+// TestMarkPareto pins the dominance rule: a row survives iff no other row
+// is at least as small and at least as fast with one strict inequality.
+func TestMarkPareto(t *testing.T) {
+	rows := sweepRows()
+	MarkPareto(rows)
+	want := []bool{false, true, false, true} // each size's ccdp dominates its natural
+	for i, r := range rows {
+		if r.Pareto != want[i] {
+			t.Errorf("row %d (%s %s): Pareto = %v, want %v", i, r.ConfigLabel(), r.Layout, r.Pareto, want[i])
+		}
+	}
+
+	// Equal points must both survive: neither strictly dominates.
+	eq := []SweepRow{
+		{Size: 4096, Bytes: 4096, MissRatePct: 10, Layout: "a"},
+		{Size: 4096, Bytes: 4096, MissRatePct: 10, Layout: "b"},
+	}
+	MarkPareto(eq)
+	if !eq[0].Pareto || !eq[1].Pareto {
+		t.Errorf("equal points: Pareto = %v, %v, want both true", eq[0].Pareto, eq[1].Pareto)
+	}
+}
+
+// TestSweepMatrix checks the matrix layout: one row per config, one
+// column per layout, stars on frontier cells.
+func TestSweepMatrix(t *testing.T) {
+	rows := sweepRows()
+	MarkPareto(rows)
+	out := SweepMatrix("test matrix", rows)
+	for _, want := range []string{"test matrix", "4K/32/dm", "8K/32/dm", "natural", "ccdp", "16.000*", "19.000 ", "Pareto frontier"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 {
+		t.Errorf("matrix has %d lines, want 5 (title, header, 2 configs, legend):\n%s", lines, out)
+	}
+}
+
+// TestSweepPareto checks the frontier table lists only undominated rows,
+// in capacity order.
+func TestSweepPareto(t *testing.T) {
+	rows := sweepRows()
+	MarkPareto(rows)
+	out := SweepPareto("frontier", rows)
+	if strings.Contains(out, "natural") {
+		t.Errorf("frontier contains a dominated row:\n%s", out)
+	}
+	i4, i8 := strings.Index(out, "4096"), strings.Index(out, "8192")
+	if i4 < 0 || i8 < 0 || i4 > i8 {
+		t.Errorf("frontier not in capacity order (4096 at %d, 8192 at %d):\n%s", i4, i8, out)
+	}
+}
+
+// TestSweepAxes checks the marginal-delta table: varied axes appear with
+// the right spans, unvaried axes are omitted.
+func TestSweepAxes(t *testing.T) {
+	rows := sweepRows()
+	out := SweepAxes("axes", rows)
+	if !strings.Contains(out, "size") || !strings.Contains(out, "layout") {
+		t.Errorf("axes table missing a varied axis:\n%s", out)
+	}
+	for _, absent := range []string{"block", "assoc", "chunk", "queue", "l2"} {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, absent+" ") {
+				t.Errorf("axes table lists unvaried axis %q:\n%s", absent, out)
+			}
+		}
+	}
+	// size groups fix layout: spans are 19-17=2 (natural) and 16-13=3
+	// (ccdp), so avg 2.5, max 3.
+	if !strings.Contains(out, "2.500") || !strings.Contains(out, "3.000") {
+		t.Errorf("size axis spans wrong, want avg 2.500 max 3.000:\n%s", out)
+	}
+}
+
+// TestSweepRowLabels pins the label formats the matrix keys rows by.
+func TestSweepRowLabels(t *testing.T) {
+	r := SweepRow{Size: 8192, Block: 32, Assoc: 2, L2: "96K/32/3w", Chunk: 512, Queue: 16384}
+	if got, want := r.CacheLabel(), "8K/32/2w"; got != want {
+		t.Errorf("CacheLabel = %q, want %q", got, want)
+	}
+	if got, want := r.ConfigLabel(), "8K/32/2w+L2:96K/32/3w c512 q16384"; got != want {
+		t.Errorf("ConfigLabel = %q, want %q", got, want)
+	}
+	plain := SweepRow{Size: 1 << 20, Block: 64, Assoc: 1}
+	if got, want := plain.ConfigLabel(), "1024K/64/dm"; got != want {
+		t.Errorf("ConfigLabel = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestEncodeNil checks missing results encode as loud sentinels that can
+// never match a real encoding (or each other across result kinds).
+func TestEncodeNil(t *testing.T) {
+	en := EncodeEvalResult(nil)
+	hn := EncodeHierarchyResult(nil)
+	if string(en) != "evalresult: nil\n" {
+		t.Errorf("nil eval encoding = %q", en)
+	}
+	if string(hn) != "hierresult: nil\n" {
+		t.Errorf("nil hierarchy encoding = %q", hn)
+	}
+	if bytes.Equal(en, hn) {
+		t.Error("nil encodings of different result kinds match")
+	}
+	if bytes.Equal(en, EncodeEvalResult(&EvalResult{})) {
+		t.Error("nil encoding matches a zero result")
+	}
+}
+
+// TestEncodeDiscriminates checks the encoding moves when any compared
+// field moves, and is deterministic when nothing does.
+func TestEncodeDiscriminates(t *testing.T) {
+	mk := func() *EvalResult {
+		return &EvalResult{
+			Layout:    LayoutCCDP,
+			Stats:     cache.Stats{Config: cache.DefaultConfig, Accesses: 100, Misses: 7},
+			ObjRefs:   []uint64{3, 1},
+			ObjMisses: []uint64{1, 0},
+		}
+	}
+	base := mk()
+	if !bytes.Equal(EncodeEvalResult(base), EncodeEvalResult(mk())) {
+		t.Fatal("identical results encode differently")
+	}
+	for name, mutate := range map[string]func(*EvalResult){
+		"layout":   func(r *EvalResult) { r.Layout = LayoutNatural },
+		"misses":   func(r *EvalResult) { r.Stats.Misses++ },
+		"objrefs":  func(r *EvalResult) { r.ObjRefs[0]++ },
+		"pages":    func(r *EvalResult) { r.TotalPages++ },
+		"alloc":    func(r *EvalResult) { r.AllocStats.Allocs++ },
+		"classes":  func(r *EvalResult) { r.Stats.ClassMisses[0]++ },
+		"category": func(r *EvalResult) { r.Stats.CategoryMisses[1]++ },
+	} {
+		m := mk()
+		mutate(m)
+		if bytes.Equal(EncodeEvalResult(base), EncodeEvalResult(m)) {
+			t.Errorf("%s change not reflected in encoding", name)
+		}
+	}
+}
+
+// TestEncodeAttribution checks attribution encodes sparsely (only
+// touched sets) and distinguishes nil from empty.
+func TestEncodeAttribution(t *testing.T) {
+	r := &EvalResult{Attribution: &cache.AttributionStats{
+		Sets:  make([]cache.SetStats, 256),
+		Pairs: []cache.ConflictPair{{Victim: 1, Evictor: 2, Count: 9}},
+	}}
+	r.Attribution.Sets[5] = cache.SetStats{Accesses: 10, Misses: 2, Evictions: 1}
+	enc := string(EncodeEvalResult(r))
+	if !strings.Contains(enc, "attrib sets=256 pairs=1\n") {
+		t.Errorf("encoding missing attribution header:\n%s", enc)
+	}
+	if !strings.Contains(enc, "set 5 10 2 1\n") {
+		t.Errorf("encoding missing touched set:\n%s", enc)
+	}
+	if strings.Count(enc, "\nset ") != 1 {
+		t.Errorf("encoding not sparse, want exactly one set line:\n%s", enc)
+	}
+	if !strings.Contains(enc, "pair 1 2 9 0\n") {
+		t.Errorf("encoding missing conflict pair:\n%s", enc)
+	}
+
+	bare := &EvalResult{}
+	if !strings.Contains(string(EncodeEvalResult(bare)), "attrib nil\n") {
+		t.Error("nil attribution not marked")
+	}
+	empty := &EvalResult{Attribution: &cache.AttributionStats{}}
+	if bytes.Equal(EncodeEvalResult(bare), EncodeEvalResult(empty)) {
+		t.Error("nil and empty attribution encode identically")
+	}
+}

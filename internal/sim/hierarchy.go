@@ -1,11 +1,8 @@
 package sim
 
 import (
-	"fmt"
-
-	"repro/internal/heapsim"
+	"repro/internal/cache"
 	"repro/internal/hierarchy"
-	"repro/internal/layout"
 	"repro/internal/placement"
 	"repro/internal/workload"
 )
@@ -16,57 +13,49 @@ type HierarchyResult struct {
 	Input    workload.Input
 	Layout   LayoutKind
 	Stats    hierarchy.Stats
+
+	// Attribution holds the L1 miss attribution (nil unless
+	// Options.Attribution) — the same per-set counters and conflict-pair
+	// sketch a single-level pass reports, so attribution propagates
+	// consistently across both evaluation shapes.
+	Attribution *cache.AttributionStats
 }
 
 // EvalHierarchy replays the workload through an L1+L2+TLB stack under the
 // given layout — the "other levels of the memory hierarchy" study the
 // paper sketches at the end of section 5.1.
 func EvalHierarchy(w workload.Workload, in workload.Input, kind LayoutKind, pr *ProfileResult, pm *placement.Map, hcfg hierarchy.Config, opts Options) (*HierarchyResult, error) {
-	sink := &resolver{}
-	table, prog, em := buildRun(w, in, sink, opts)
+	return EvalHierarchyFrom(Live(w, in, opts), w.Name(), w.HeapPlacement(), in, kind, pr, pm, hcfg, opts)
+}
 
-	var lay *layout.Layout
-	var alloc heapsim.Allocator
-	switch kind {
-	case LayoutNatural:
-		lay = layout.Natural(table)
-		alloc = heapsim.NewFirstFit()
-	case LayoutRandom:
-		lay = layout.Random(table, opts.RandomSeed)
-		alloc = heapsim.NewRandomFit(opts.RandomSeed + 1)
-	case LayoutCCDP:
-		if pr == nil || pm == nil {
-			return nil, fmt.Errorf("sim: ccdp hierarchy evaluation requires a profile and placement")
-		}
-		var err error
-		lay, err = layout.FromPlacement(table, pr.Profile, pm)
-		if err != nil {
-			return nil, err
-		}
-		if w.HeapPlacement() {
-			alloc = heapsim.NewCustom(pm)
-		} else {
-			alloc = heapsim.NewFirstFit()
-		}
-	default:
-		return nil, fmt.Errorf("sim: unknown layout kind %q", kind)
+// EvalHierarchyFrom runs one multi-level evaluation pass over any event
+// source — the live model or a trace replay — mirroring EvalFrom's
+// contract: wname labels the result, heapPlace selects the CCDP custom
+// allocator, and opts.Attribution attaches the L1 attribution sink.
+func EvalHierarchyFrom(src EventStream, wname string, heapPlace bool, in workload.Input, kind LayoutKind, pr *ProfileResult, pm *placement.Map, hcfg hierarchy.Config, opts Options) (*HierarchyResult, error) {
+	defer src.Close()
+
+	table := src.Objects()
+	lay, alloc, err := BuildLayout(table, kind, heapPlace, pr, pm, opts)
+	if err != nil {
+		return nil, err
 	}
-
 	hs, err := hierarchy.New(hcfg)
 	if err != nil {
 		return nil, err
 	}
-	sink.objs = table
-	sink.lay = lay
-	sink.alloc = alloc
-	sink.sim = hs
-
-	w.Run(in, prog)
-	em.Flush()
+	if opts.Attribution {
+		hs.SetAttribution(cache.NewAttribution(hcfg.L1, opts.AttributionPairs))
+	}
+	sink := &resolver{objs: table, lay: lay, alloc: alloc, sim: hs}
+	if err := src.Drive(sink); err != nil {
+		return nil, err
+	}
 	return &HierarchyResult{
-		Workload: w.Name(),
-		Input:    in,
-		Layout:   kind,
-		Stats:    hs.Stats(),
+		Workload:    wname,
+		Input:       in,
+		Layout:      kind,
+		Stats:       hs.Stats(),
+		Attribution: hs.Attribution().Stats(),
 	}, nil
 }

@@ -263,31 +263,9 @@ func EvalFrom(src EventStream, wname string, heapPlace bool, in workload.Input, 
 	defer src.Close()
 
 	table := src.Objects()
-	var lay *layout.Layout
-	var alloc heapsim.Allocator
-	switch kind {
-	case LayoutNatural:
-		lay = layout.Natural(table)
-		alloc = heapsim.NewFirstFit()
-	case LayoutRandom:
-		lay = layout.Random(table, opts.RandomSeed)
-		alloc = heapsim.NewRandomFit(opts.RandomSeed + 1)
-	case LayoutCCDP:
-		if pr == nil || pm == nil {
-			return nil, fmt.Errorf("sim: ccdp evaluation requires a profile and placement")
-		}
-		var err error
-		lay, err = layout.FromPlacement(table, pr.Profile, pm)
-		if err != nil {
-			return nil, err
-		}
-		if heapPlace {
-			alloc = heapsim.NewCustom(pm)
-		} else {
-			alloc = heapsim.NewFirstFit()
-		}
-	default:
-		return nil, fmt.Errorf("sim: unknown layout kind %q", kind)
+	lay, alloc, err := BuildLayout(table, kind, heapPlace, pr, pm, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	cs, err := cache.New(opts.Cache, opts.Classify)
@@ -330,6 +308,34 @@ func EvalFrom(src EventStream, wname string, heapPlace bool, in workload.Input, 
 		m.AddNamed("sim.misses."+string(kind), res.Stats.Misses)
 	}
 	return res, nil
+}
+
+// BuildLayout materializes the address layout and heap allocator for one
+// layout kind over a frozen object table — the shared preamble of every
+// evaluation pass (single-level, hierarchy, and the sweep engine's
+// per-cell evaluators). heapPlace selects the CCDP custom allocator; pr
+// and pm are required only for LayoutCCDP.
+func BuildLayout(table *object.Table, kind LayoutKind, heapPlace bool, pr *ProfileResult, pm *placement.Map, opts Options) (*layout.Layout, heapsim.Allocator, error) {
+	switch kind {
+	case LayoutNatural:
+		return layout.Natural(table), heapsim.NewFirstFit(), nil
+	case LayoutRandom:
+		return layout.Random(table, opts.RandomSeed), heapsim.NewRandomFit(opts.RandomSeed + 1), nil
+	case LayoutCCDP:
+		if pr == nil || pm == nil {
+			return nil, nil, fmt.Errorf("sim: ccdp evaluation requires a profile and placement")
+		}
+		lay, err := layout.FromPlacement(table, pr.Profile, pm)
+		if err != nil {
+			return nil, nil, err
+		}
+		if heapPlace {
+			return lay, heapsim.NewCustom(pm), nil
+		}
+		return lay, heapsim.NewFirstFit(), nil
+	default:
+		return nil, nil, fmt.Errorf("sim: unknown layout kind %q", kind)
+	}
 }
 
 // CountRefs runs the workload with only a counter attached and returns the

@@ -1,0 +1,651 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addrspace"
+	"repro/internal/cache"
+	"repro/internal/exec"
+	"repro/internal/heapsim"
+	"repro/internal/hierarchy"
+	"repro/internal/metrics"
+	"repro/internal/object"
+	"repro/internal/placement"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// batchSize is how many enriched events one broadcast batch carries.
+// Large enough that per-batch synchronization (one channel send per
+// worker, one atomic decrement per worker) is noise against the
+// simulation work; small enough that the in-flight window stays cheap.
+const batchSize = 4096
+
+// streamDepth is the per-worker batch-channel depth: how far the shared
+// decoder may run ahead of the slowest evaluator before backpressure.
+const streamDepth = 8
+
+// Request describes one sweep: a workload's stored trace replayed
+// through every cell of a grid. Train profiles, test evaluates —
+// the paper's train/test discipline, per cell.
+type Request struct {
+	Workload workload.Workload
+	Train    workload.Input
+	Test     workload.Input
+	Grid     Grid
+
+	// Options is the base configuration cells derive theirs from (via
+	// Cell.Options). Options.Parallelism bounds the preparation fan-out.
+	Options sim.Options
+
+	// Trace selects the trace source: an enabled config replays from the
+	// shared store (recording on first contact unless RequireRecorded);
+	// a disabled one records both inputs into memory once.
+	Trace sim.TraceConfig
+}
+
+// Prep is a sweep with its per-cell dependencies resolved: the expanded
+// cell list, the deduplicated profile passes, and the per-(profile,
+// geometry) placements. The same Prep feeds both execution paths, so a
+// differential run compares simulation engines, not preparation inputs.
+type Prep struct {
+	req       Request
+	heapPlace bool
+	cells     []Cell
+	cellOpts  []sim.Options
+	prs       []*sim.ProfileResult // per cell; nil unless the layout needs one
+	pms       []*placement.Map     // per cell; nil unless the layout needs one
+
+	ts         *sim.TraceStore
+	trainTrace []byte // in-memory traces when the store is disabled
+	testTrace  []byte
+}
+
+// CellResult pairs a cell with its evaluation; exactly one of Eval and
+// Hier is set, matching Cell.L2.
+type CellResult struct {
+	Cell Cell
+	Eval *sim.EvalResult
+	Hier *sim.HierarchyResult
+}
+
+// MissRatePct is the cell's headline miss rate: the L1 miss rate for
+// single-level cells, the global (per-reference) L2 miss rate for
+// hierarchy cells — each level's misses per original access, so cells
+// compete on what escapes the modeled capacity.
+func (c *CellResult) MissRatePct() float64 {
+	if c.Hier != nil {
+		return c.Hier.Stats.L2GlobalMissRate()
+	}
+	return c.Eval.Stats.MissRate()
+}
+
+// Accesses returns the cell's reference count.
+func (c *CellResult) Accesses() uint64 {
+	if c.Hier != nil {
+		return c.Hier.Stats.L1.Accesses
+	}
+	return c.Eval.Stats.Accesses
+}
+
+// Misses returns the misses behind MissRatePct.
+func (c *CellResult) Misses() uint64 {
+	if c.Hier != nil {
+		return c.Hier.Stats.L2.Misses
+	}
+	return c.Eval.Stats.Misses
+}
+
+// Result is one sweep execution.
+type Result struct {
+	Workload string
+	Input    string
+	Cells    []CellResult
+
+	WallNanos   int64
+	DecodeNanos int64 // shared path only: time inside the trace decoder
+	Batches     uint64
+	Events      uint64
+	Shared      bool // which engine produced this
+}
+
+// ConfigsPerSec is the sweep's throughput in grid cells per second.
+func (r *Result) ConfigsPerSec() float64 {
+	if r.WallNanos <= 0 {
+		return 0
+	}
+	return float64(len(r.Cells)) / (float64(r.WallNanos) / 1e9)
+}
+
+// DecodeSharePct is the fraction of wall time the shared pass spent
+// decoding the trace (reader + emitter, measured as the gaps between
+// collector callbacks). The whole point of the engine: this cost is
+// paid once however many cells ride the broadcast.
+func (r *Result) DecodeSharePct() float64 {
+	if r.WallNanos <= 0 {
+		return 0
+	}
+	return 100 * float64(r.DecodeNanos) / float64(r.WallNanos)
+}
+
+// Rows converts the result for the report renderers.
+func (r *Result) Rows() []report.SweepRow {
+	rows := make([]report.SweepRow, len(r.Cells))
+	for i := range r.Cells {
+		cr := &r.Cells[i]
+		row := report.SweepRow{
+			Size:        cr.Cell.Cache.Size,
+			Block:       cr.Cell.Cache.BlockSize,
+			Assoc:       cr.Cell.Cache.Assoc,
+			Chunk:       cr.Cell.Chunk,
+			Queue:       cr.Cell.Queue,
+			Layout:      string(cr.Cell.Layout),
+			Bytes:       cr.Cell.Bytes(),
+			Accesses:    cr.Accesses(),
+			Misses:      cr.Misses(),
+			MissRatePct: cr.MissRatePct(),
+		}
+		if cr.Cell.L2 != nil {
+			row.L2 = cr.Cell.L2.Short()
+			row.TLB = cr.Cell.TLB
+		}
+		rows[i] = row
+	}
+	report.MarkPareto(rows)
+	return rows
+}
+
+// NewPrep expands the grid and runs every profiling and placement pass
+// the cells need, deduplicated: cells sharing an effective (chunk,
+// queue) share one profile of the train input, and CCDP cells sharing
+// (profile, L1 geometry) share one placement. Passes fan out across
+// req.Options.Parallelism workers; each pass runs with inner
+// parallelism 1 so preparation is reproducible at any worker count.
+func NewPrep(req Request) (*Prep, error) {
+	if req.Workload == nil {
+		return nil, fmt.Errorf("sweep: nil workload")
+	}
+	cells, err := req.Grid.Cells()
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	p := &Prep{req: req, heapPlace: req.Workload.HeapPlacement(), cells: cells}
+
+	mc := req.Options.Metrics
+	span := mc.Start(metrics.StageSweepPrep)
+	defer span.Stop()
+
+	if req.Trace.Enabled() {
+		p.ts = sim.NewTraceStore(req.Trace, req.Workload, mc)
+	} else {
+		recOpts := req.Options
+		recOpts.Metrics = nil
+		var buf bytes.Buffer
+		if err := sim.RecordTrace(req.Workload, req.Train, &buf, recOpts); err != nil {
+			return nil, fmt.Errorf("sweep: recording train trace: %w", err)
+		}
+		p.trainTrace = buf.Bytes()
+		buf = bytes.Buffer{}
+		if err := sim.RecordTrace(req.Workload, req.Test, &buf, recOpts); err != nil {
+			return nil, fmt.Errorf("sweep: recording test trace: %w", err)
+		}
+		p.testTrace = buf.Bytes()
+	}
+
+	p.cellOpts = make([]sim.Options, len(cells))
+	for i, c := range cells {
+		p.cellOpts[i] = c.Options(req.Options)
+	}
+
+	// Deduplicate and run the profile passes (CCDP cells only).
+	var profKeys []string
+	profIdx := map[string]int{}
+	for i, c := range cells {
+		if c.Layout != sim.LayoutCCDP {
+			continue
+		}
+		k := c.profileKey(req.Options)
+		if _, ok := profIdx[k]; !ok {
+			profIdx[k] = i
+			profKeys = append(profKeys, k)
+		}
+	}
+	profTasks := make([]exec.Task[*sim.ProfileResult], len(profKeys))
+	for ti, k := range profKeys {
+		opts := p.cellOpts[profIdx[k]]
+		opts.Parallelism = 1
+		profTasks[ti] = func(ctx context.Context, wmc *metrics.Collector) (*sim.ProfileResult, error) {
+			opts := opts
+			opts.Metrics = wmc
+			src, err := p.open(req.Train, opts)
+			if err != nil {
+				return nil, err
+			}
+			return sim.ProfileFrom(src, opts)
+		}
+	}
+	profResults, err := exec.Map(context.Background(), req.Options.Parallelism, mc, profTasks)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: profiling: %w", err)
+	}
+	profiles := map[string]*sim.ProfileResult{}
+	for ti, k := range profKeys {
+		profiles[k] = profResults[ti]
+	}
+
+	// Deduplicate and run the placement passes.
+	var placeKeys []string
+	placeIdx := map[string]int{}
+	for i, c := range cells {
+		if c.Layout != sim.LayoutCCDP {
+			continue
+		}
+		k := c.placementKey(req.Options)
+		if _, ok := placeIdx[k]; !ok {
+			placeIdx[k] = i
+			placeKeys = append(placeKeys, k)
+		}
+	}
+	placeTasks := make([]exec.Task[*placement.Map], len(placeKeys))
+	for ti, k := range placeKeys {
+		i := placeIdx[k]
+		opts := p.cellOpts[i]
+		pr := profiles[cells[i].profileKey(req.Options)]
+		placeTasks[ti] = func(ctx context.Context, wmc *metrics.Collector) (*placement.Map, error) {
+			opts := opts
+			opts.Metrics = wmc
+			return sim.Place(req.Workload, pr, opts)
+		}
+	}
+	placeResults, err := exec.Map(context.Background(), req.Options.Parallelism, mc, placeTasks)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: placement: %w", err)
+	}
+	placements := map[string]*placement.Map{}
+	for ti, k := range placeKeys {
+		placements[k] = placeResults[ti]
+	}
+
+	p.prs = make([]*sim.ProfileResult, len(cells))
+	p.pms = make([]*placement.Map, len(cells))
+	for i, c := range cells {
+		if c.Layout != sim.LayoutCCDP {
+			continue
+		}
+		p.prs[i] = profiles[c.profileKey(req.Options)]
+		p.pms[i] = placements[c.placementKey(req.Options)]
+	}
+	return p, nil
+}
+
+// Cells returns the expanded grid.
+func (p *Prep) Cells() []Cell { return p.cells }
+
+// open returns a replay stream for the input's trace.
+func (p *Prep) open(in workload.Input, opts sim.Options) (sim.EventStream, error) {
+	if p.ts != nil {
+		return p.ts.Open(in, opts)
+	}
+	buf := p.testTrace
+	if in.Label == p.req.Train.Label {
+		buf = p.trainTrace
+	}
+	return sim.OpenReplay(bytes.NewReader(buf), opts)
+}
+
+// rec is one decoder-enriched event: everything a per-cell evaluator
+// needs, resolved against the (mutating) object table at decode time so
+// the evaluators never touch shared mutable state. For Load/Store, cat
+// and size describe the access; for Alloc, size is the allocation
+// length and xor the object's XOR name; for Free, size is the freed
+// object's recorded size (what the resolver reads from the table).
+type rec struct {
+	kind trace.Kind
+	cat  object.Category
+	obj  object.ID
+	off  int64
+	size int64
+	xor  uint64
+}
+
+// batch is one broadcast unit: a run of recs plus the refcount the last
+// worker uses to recycle it.
+type batch struct {
+	recs    []rec
+	pending atomic.Int32
+}
+
+// collector is the decoder-side enricher: a trace handler that tallies
+// the shared counter, converts events to recs, and broadcasts full
+// batches. It also measures decode time as the gaps between its
+// callbacks — time spent in the reader and emitter, not in simulation.
+type collector struct {
+	objs    *object.Table
+	counter *trace.Counter
+	st      *exec.Stream[*batch]
+	fl      *exec.FreeList[*batch]
+	cur     *batch
+	workers int32
+
+	batches     uint64
+	events      uint64
+	decodeNanos int64
+	lastExit    time.Time
+}
+
+func (c *collector) enter() {
+	c.decodeNanos += time.Since(c.lastExit).Nanoseconds()
+}
+
+func (c *collector) exit() { c.lastExit = time.Now() }
+
+func (c *collector) HandleEvent(ev trace.Event) {
+	c.enter()
+	c.add(ev)
+	c.exit()
+}
+
+func (c *collector) HandleBatch(evs []trace.Event) {
+	c.enter()
+	for i := range evs {
+		c.add(evs[i])
+	}
+	c.exit()
+}
+
+func (c *collector) add(ev trace.Event) {
+	c.counter.HandleEvent(ev)
+	c.events++
+	r := rec{kind: ev.Kind, obj: ev.Obj, off: ev.Off}
+	in := c.objs.Get(ev.Obj)
+	switch ev.Kind {
+	case trace.Load, trace.Store:
+		r.cat = in.Category
+		r.size = ev.Size
+	case trace.Alloc:
+		r.size = ev.Size
+		r.xor = in.XORName
+	case trace.Free:
+		r.size = in.Size
+	}
+	c.cur.recs = append(c.cur.recs, r)
+	if len(c.cur.recs) >= batchSize {
+		c.flush()
+	}
+}
+
+func (c *collector) flush() {
+	if len(c.cur.recs) == 0 {
+		return
+	}
+	c.cur.pending.Store(c.workers)
+	c.st.Send(c.cur)
+	c.batches++
+	c.cur = c.fl.Get()
+}
+
+// accessor is the common face of cache.Sim and hierarchy.Sim.
+type accessor interface {
+	Access(addr addrspace.Addr, size int64, cat object.Category, obj object.ID) int
+	Write(addr addrspace.Addr, size int64, cat object.Category, obj object.ID) int
+}
+
+// cellEval is one grid cell's private simulation state. process
+// replicates sim's resolver event loop exactly — same clock discipline
+// (ticks on Load/Store only), same heap address table growth, same free
+// semantics — over enriched recs instead of raw events, which is what
+// makes the shared pass byte-identical to an independent replay.
+type cellEval struct {
+	sim        accessor
+	cs         *cache.Sim     // set for single-level cells
+	hs         *hierarchy.Sim // set for hierarchy cells
+	alloc      heapsim.Allocator
+	staticAddr []addrspace.Addr
+	heapAddr   []addrspace.Addr
+	clock      uint64
+}
+
+func (e *cellEval) process(recs []rec) {
+	for i := range recs {
+		r := &recs[i]
+		switch r.kind {
+		case trace.Load, trace.Store:
+			e.clock++
+			var base addrspace.Addr
+			if r.cat == object.Heap {
+				base = e.heapAddr[r.obj]
+			} else {
+				base = e.staticAddr[r.obj]
+			}
+			addr := base + addrspace.Addr(r.off)
+			if r.kind == trace.Store {
+				e.sim.Write(addr, r.size, r.cat, r.obj)
+			} else {
+				e.sim.Access(addr, r.size, r.cat, r.obj)
+			}
+		case trace.Alloc:
+			addr := e.alloc.Alloc(r.size, r.xor, e.clock)
+			for int(r.obj) >= len(e.heapAddr) {
+				e.heapAddr = append(e.heapAddr, 0)
+			}
+			e.heapAddr[r.obj] = addr
+		case trace.Free:
+			e.alloc.Free(e.heapAddr[r.obj], r.size, e.clock)
+		}
+	}
+}
+
+// RunShared executes the sweep on the decode-once/eval-many engine: one
+// replay of the test trace feeds every cell. parallel bounds the worker
+// count (clamped to the cell count); each worker owns a contiguous
+// range of cells, so results are identical at any parallelism.
+func (p *Prep) RunShared(parallel int) (*Result, error) {
+	mc := p.req.Options.Metrics
+	span := mc.Start(metrics.StageSweep)
+	defer span.Stop()
+	start := time.Now()
+
+	src, err := p.open(p.req.Test, p.req.Options)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	table := src.Objects()
+
+	// Build the per-cell evaluators against the pre-drive table: layouts
+	// and static addresses depend only on the static objects the trace
+	// header declares, exactly as sim.EvalFrom builds them before the
+	// first event.
+	evals := make([]*cellEval, len(p.cells))
+	for i, cell := range p.cells {
+		opts := p.cellOpts[i]
+		lay, alloc, err := sim.BuildLayout(table, cell.Layout, p.heapPlace, p.prs[i], p.pms[i], opts)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: cell %d (%s): %w", i, cell.Label(), err)
+		}
+		e := &cellEval{alloc: alloc, staticAddr: make([]addrspace.Addr, table.Len())}
+		table.ForEach(func(in *object.Info) {
+			if in.Category != object.Heap {
+				e.staticAddr[in.ID] = lay.Addr(in)
+			}
+		})
+		if cell.L2 == nil {
+			cs, err := cache.New(opts.Cache, opts.Classify)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: cell %d (%s): %w", i, cell.Label(), err)
+			}
+			if opts.Attribution {
+				cs.SetAttribution(cache.NewAttribution(opts.Cache, opts.AttributionPairs))
+			}
+			e.cs, e.sim = cs, cs
+		} else {
+			hcfg := hierarchy.Config{L1: cell.Cache, L2: *cell.L2, TLBEntries: cell.TLB}
+			hs, err := hierarchy.New(hcfg)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: cell %d (%s): %w", i, cell.Label(), err)
+			}
+			if opts.Attribution {
+				hs.SetAttribution(cache.NewAttribution(hcfg.L1, opts.AttributionPairs))
+			}
+			e.hs, e.sim = hs, hs
+		}
+		evals[i] = e
+	}
+
+	if parallel < 1 {
+		parallel = 1
+	}
+	workers := parallel
+	if workers > len(p.cells) {
+		workers = len(p.cells)
+	}
+	// Contiguous cell ranges per worker: worker w evaluates
+	// [w*per, min((w+1)*per, n)).
+	per := (len(p.cells) + workers - 1) / workers
+
+	fl := exec.NewFreeList(streamDepth+4, func() *batch {
+		return &batch{recs: make([]rec, 0, batchSize)}
+	})
+	st := exec.NewStream(workers, streamDepth, func(w int, b *batch) {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(evals) {
+			hi = len(evals)
+		}
+		for i := lo; i < hi; i++ {
+			evals[i].process(b.recs)
+		}
+		if b.pending.Add(-1) == 0 {
+			b.recs = b.recs[:0]
+			fl.Put(b)
+		}
+	})
+
+	counter := trace.NewCounter(table)
+	col := &collector{
+		objs:     table,
+		counter:  counter,
+		st:       st,
+		fl:       fl,
+		cur:      fl.Get(),
+		workers:  int32(workers),
+		lastExit: time.Now(),
+	}
+	driveErr := src.Drive(col)
+	col.flush()
+	st.Close()
+	if driveErr != nil {
+		return nil, driveErr
+	}
+
+	res := &Result{
+		Workload:    p.req.Workload.Name(),
+		Input:       p.req.Test.Label,
+		Cells:       make([]CellResult, len(p.cells)),
+		WallNanos:   time.Since(start).Nanoseconds(),
+		DecodeNanos: col.decodeNanos,
+		Batches:     col.batches,
+		Events:      col.events,
+		Shared:      true,
+	}
+	for i, cell := range p.cells {
+		e := evals[i]
+		cr := CellResult{Cell: cell}
+		if e.cs != nil {
+			er := &sim.EvalResult{
+				Layout:  cell.Layout,
+				Stats:   e.cs.Stats(),
+				Counter: counter,
+				Objects: table,
+			}
+			er.ObjRefs, er.ObjMisses = e.cs.ObjectStats()
+			er.Attribution = e.cs.Attribution().Stats()
+			er.AllocStats = e.alloc.Stats()
+			cr.Eval = er
+		} else {
+			cr.Hier = &sim.HierarchyResult{
+				Layout:      cell.Layout,
+				Stats:       e.hs.Stats(),
+				Attribution: e.hs.Attribution().Stats(),
+			}
+		}
+		res.Cells[i] = cr
+	}
+	mc.Add(metrics.SweepCells, uint64(len(p.cells)))
+	mc.Add(metrics.SweepBatches, col.batches)
+	return res, nil
+}
+
+// RunIndependent executes the same sweep the pre-engine way: every cell
+// replays and decodes the trace for itself (sim.EvalFrom /
+// sim.EvalHierarchyFrom over its own stream), fanned across parallel
+// workers. This is the baseline the shared engine's speedup is measured
+// against, and the oracle its results are diffed against.
+func (p *Prep) RunIndependent(parallel int) (*Result, error) {
+	mc := p.req.Options.Metrics
+	start := time.Now()
+	tasks := make([]exec.Task[CellResult], len(p.cells))
+	for i := range p.cells {
+		i := i
+		cell := p.cells[i]
+		tasks[i] = func(ctx context.Context, wmc *metrics.Collector) (CellResult, error) {
+			opts := p.cellOpts[i]
+			opts.Metrics = wmc
+			src, err := p.open(p.req.Test, opts)
+			if err != nil {
+				return CellResult{}, err
+			}
+			cr := CellResult{Cell: cell}
+			if cell.L2 == nil {
+				cr.Eval, err = sim.EvalFrom(src, "", p.heapPlace, workload.Input{}, cell.Layout, p.prs[i], p.pms[i], opts, 0)
+			} else {
+				hcfg := hierarchy.Config{L1: cell.Cache, L2: *cell.L2, TLBEntries: cell.TLB}
+				cr.Hier, err = sim.EvalHierarchyFrom(src, "", p.heapPlace, workload.Input{}, cell.Layout, p.prs[i], p.pms[i], hcfg, opts)
+			}
+			return cr, err
+		}
+	}
+	cells, err := exec.Map(context.Background(), parallel, mc, tasks)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Workload:  p.req.Workload.Name(),
+		Input:     p.req.Test.Label,
+		Cells:     cells,
+		WallNanos: time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+// DiffResults compares two runs of the same grid cell by cell through
+// the persisted result encoding and reports the first mismatch. Nil
+// error means every cell is byte-identical.
+func DiffResults(a, b *Result) error {
+	if len(a.Cells) != len(b.Cells) {
+		return fmt.Errorf("sweep: cell count mismatch: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		ca, cb := &a.Cells[i], &b.Cells[i]
+		var ea, eb []byte
+		if ca.Hier != nil || cb.Hier != nil {
+			ea = sim.EncodeHierarchyResult(ca.Hier)
+			eb = sim.EncodeHierarchyResult(cb.Hier)
+		} else {
+			ea = sim.EncodeEvalResult(ca.Eval)
+			eb = sim.EncodeEvalResult(cb.Eval)
+		}
+		if !bytes.Equal(ea, eb) {
+			return fmt.Errorf("sweep: cell %d (%s) diverged:\n--- a ---\n%s--- b ---\n%s",
+				i, ca.Cell.Label(), ea, eb)
+		}
+	}
+	return nil
+}

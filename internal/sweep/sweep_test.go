@@ -1,0 +1,359 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/hierarchy"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// smallRequest builds a sweep request over a reduced-scale workload with
+// in-memory traces (no store directory), the shape every test here uses.
+func smallRequest(t *testing.T, name string, frac float64, g Grid) Request {
+	t.Helper()
+	w, err := workload.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := w.Train(), w.Test()
+	train.Bursts = int(float64(train.Bursts) * frac)
+	test.Bursts = int(float64(test.Bursts) * frac)
+	opts := sim.DefaultOptions()
+	opts.Parallelism = 2
+	return Request{Workload: w, Train: train, Test: test, Grid: g, Options: opts}
+}
+
+func mustPrep(t *testing.T, req Request) *Prep {
+	t.Helper()
+	p, err := NewPrep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSharedMatchesIndependent is the engine's differential gate: every
+// grid cell of a shared-decode run must be byte-identical (through the
+// persisted result encoding) to an independent per-cell replay, at
+// parallelism 1 and 4, across geometry, profiling, layout, and
+// hierarchy axes.
+func TestSharedMatchesIndependent(t *testing.T) {
+	g := Grid{
+		Sizes:   []int64{4096, 8192},
+		Assocs:  []int{1, 2},
+		Chunks:  []int64{0, 512},
+		Layouts: []string{"natural", "ccdp", "random"},
+		L2:      []L2Point{{Size: 96 * 1024, Block: 32, Assoc: 3, TLB: 32}},
+	}
+	p := mustPrep(t, smallRequest(t, "compress", 0.05, g))
+	if n := len(p.Cells()); n != 2*2*2*3*2 {
+		t.Fatalf("expected 48 cells, got %d", n)
+	}
+
+	ind, err := p.RunIndependent(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		shared, err := p.RunShared(par)
+		if err != nil {
+			t.Fatalf("parallel %d: %v", par, err)
+		}
+		if err := DiffResults(shared, ind); err != nil {
+			t.Fatalf("parallel %d: %v", par, err)
+		}
+	}
+}
+
+// TestSharedMatchesEvalFromTrace holds the engine to the satellite's
+// letter: each single-level cell must byte-match a from-scratch
+// sim.EvalFromTrace over the raw trace bytes, and each hierarchy cell a
+// from-scratch sim.EvalHierarchyFrom, using the same prep products.
+func TestSharedMatchesEvalFromTrace(t *testing.T) {
+	g := Grid{
+		Sizes:   []int64{8192},
+		Layouts: []string{"natural", "ccdp"},
+		L2:      []L2Point{{Size: 96 * 1024, Block: 32, Assoc: 3, TLB: 32}},
+	}
+	p := mustPrep(t, smallRequest(t, "espresso", 0.05, g))
+	shared, err := p.RunShared(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range p.Cells() {
+		opts := p.cellOpts[i]
+		if cell.L2 == nil {
+			oracle, err := sim.EvalFromTrace(bytes.NewReader(p.testTrace), cell.Layout, p.prs[i], p.pms[i], p.heapPlace, opts)
+			if err != nil {
+				t.Fatalf("cell %d: %v", i, err)
+			}
+			got := sim.EncodeEvalResult(shared.Cells[i].Eval)
+			want := sim.EncodeEvalResult(oracle)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("cell %d (%s) diverged from EvalFromTrace:\n--- sweep ---\n%s--- oracle ---\n%s",
+					i, cell.Label(), got, want)
+			}
+			continue
+		}
+		src, err := sim.OpenReplay(bytes.NewReader(p.testTrace), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hcfg := hierarchy.Config{L1: cell.Cache, L2: *cell.L2, TLBEntries: cell.TLB}
+		oracle, err := sim.EvalHierarchyFrom(src, "", p.heapPlace, workload.Input{}, cell.Layout, p.prs[i], p.pms[i], hcfg, opts)
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		got := sim.EncodeHierarchyResult(shared.Cells[i].Hier)
+		want := sim.EncodeHierarchyResult(oracle)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("hierarchy cell %d (%s) diverged:\n--- sweep ---\n%s--- oracle ---\n%s",
+				i, cell.Label(), got, want)
+		}
+	}
+}
+
+// TestAttributionIsolation is the regression test for the shared-decode
+// attribution fix: switching attribution on for one cell must populate
+// that cell's attribution — identically to an attributed independent
+// replay — without perturbing any neighbor sharing the decode.
+func TestAttributionIsolation(t *testing.T) {
+	g := Grid{Sizes: []int64{4096, 8192}, Layouts: []string{"natural", "ccdp"}}
+	req := smallRequest(t, "compress", 0.05, g)
+
+	baseline := mustPrep(t, req)
+	plain, err := baseline.RunShared(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := mustPrep(t, req)
+	const attributed = 1
+	p.cells[attributed].Attribution = true
+	p.cellOpts[attributed] = p.cells[attributed].Options(req.Options)
+	mixed, err := p.RunShared(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range mixed.Cells {
+		if i == attributed {
+			if mixed.Cells[i].Eval.Attribution == nil {
+				t.Fatalf("cell %d: attribution requested but nil", i)
+			}
+			continue
+		}
+		if mixed.Cells[i].Eval.Attribution != nil {
+			t.Fatalf("cell %d: attribution leaked to a neighbor", i)
+		}
+		got := sim.EncodeEvalResult(mixed.Cells[i].Eval)
+		want := sim.EncodeEvalResult(plain.Cells[i].Eval)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cell %d perturbed by neighbor's attribution:\n--- with ---\n%s--- without ---\n%s", i, got, want)
+		}
+	}
+
+	// The attributed cell must equal an attributed oracle replay.
+	opts := p.cellOpts[attributed]
+	cell := p.cells[attributed]
+	oracle, err := sim.EvalFromTrace(bytes.NewReader(p.testTrace), cell.Layout, p.prs[attributed], p.pms[attributed], p.heapPlace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sim.EncodeEvalResult(mixed.Cells[attributed].Eval)
+	want := sim.EncodeEvalResult(oracle)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("attributed cell diverged from attributed oracle:\n--- sweep ---\n%s--- oracle ---\n%s", got, want)
+	}
+}
+
+// TestHierarchyAttributionConsistency covers the other half of the fix:
+// the hierarchy path honors Options.Attribution (on the L1) the same
+// way the single-level path does.
+func TestHierarchyAttributionConsistency(t *testing.T) {
+	g := Grid{Layouts: []string{"natural"}, L2: []L2Point{{Size: 96 * 1024, Block: 32, Assoc: 3, TLB: 32}}}
+	req := smallRequest(t, "espresso", 0.05, g)
+	p := mustPrep(t, req)
+	hierIdx := -1
+	for i, c := range p.cells {
+		if c.L2 != nil {
+			hierIdx = i
+		}
+	}
+	if hierIdx < 0 {
+		t.Fatal("no hierarchy cell in grid")
+	}
+	p.cells[hierIdx].Attribution = true
+	p.cellOpts[hierIdx] = p.cells[hierIdx].Options(req.Options)
+
+	shared, err := p.RunShared(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := shared.Cells[hierIdx].Hier
+	if hr.Attribution == nil {
+		t.Fatal("hierarchy cell: attribution requested but nil")
+	}
+	if len(hr.Attribution.Sets) != p.cells[hierIdx].Cache.Sets() {
+		t.Fatalf("attribution covers %d sets, L1 has %d",
+			len(hr.Attribution.Sets), p.cells[hierIdx].Cache.Sets())
+	}
+	// L1 stats of the hierarchy cell must match the single-level cell of
+	// the same geometry (attribution never feeds back).
+	for i, c := range p.cells {
+		if c.L2 == nil && c.Cache == p.cells[hierIdx].Cache && c.Layout == p.cells[hierIdx].Layout {
+			if shared.Cells[i].Eval.Stats.Misses != hr.Stats.L1.Misses {
+				t.Fatalf("L1 misses diverge: single-level %d, hierarchy %d",
+					shared.Cells[i].Eval.Stats.Misses, hr.Stats.L1.Misses)
+			}
+		}
+	}
+}
+
+// TestSweepMetricsAndRows sanity-checks the engine's observability
+// surface: cell/batch counters, decode-share bounds, and report rows.
+func TestSweepMetricsAndRows(t *testing.T) {
+	g := Grid{Sizes: []int64{4096, 8192, 16384}, Layouts: []string{"natural", "ccdp"}}
+	req := smallRequest(t, "compress", 0.05, g)
+	mc := metrics.New()
+	req.Options.Metrics = mc
+	p := mustPrep(t, req)
+	res, err := p.RunShared(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mc.Get(metrics.SweepCells); got != uint64(len(p.Cells())) {
+		t.Fatalf("SweepCells = %d, want %d", got, len(p.Cells()))
+	}
+	if res.Batches == 0 || mc.Get(metrics.SweepBatches) != res.Batches {
+		t.Fatalf("SweepBatches = %d, result says %d", mc.Get(metrics.SweepBatches), res.Batches)
+	}
+	if res.Events == 0 {
+		t.Fatal("no events counted")
+	}
+	if s := res.DecodeSharePct(); s < 0 || s > 100 {
+		t.Fatalf("decode share %.1f%% out of range", s)
+	}
+	if res.ConfigsPerSec() <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+
+	rows := res.Rows()
+	if len(rows) != len(p.Cells()) {
+		t.Fatalf("%d rows for %d cells", len(rows), len(p.Cells()))
+	}
+	pareto := 0
+	for _, r := range rows {
+		if r.Pareto {
+			pareto++
+		}
+		if r.Accesses == 0 {
+			t.Fatalf("row %+v has zero accesses", r)
+		}
+	}
+	if pareto == 0 {
+		t.Fatal("no Pareto-optimal rows marked")
+	}
+	// The smallest cache's best layout must be on the frontier (nothing
+	// can dominate the minimum-bytes point).
+	minBytes := rows[0].Bytes
+	for _, r := range rows {
+		if r.Bytes < minBytes {
+			minBytes = r.Bytes
+		}
+	}
+	found := false
+	for _, r := range rows {
+		if r.Bytes == minBytes && r.Pareto {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("minimum-capacity point missing from the frontier")
+	}
+}
+
+// TestTraceStoreBackedSweep runs the engine against an on-disk trace
+// store twice: the second prep must replay without recording anything.
+func TestTraceStoreBackedSweep(t *testing.T) {
+	g := Grid{Layouts: []string{"natural", "ccdp"}}
+	req := smallRequest(t, "compress", 0.05, g)
+	req.Trace = sim.TraceConfig{Dir: t.TempDir()}
+	mc := metrics.New()
+	req.Options.Metrics = mc
+
+	p := mustPrep(t, req)
+	first, err := p.RunShared(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req2 := req
+	req2.Trace.RequireRecorded = true // must hit the store, never record
+	p2 := mustPrep(t, req2)
+	second, err := p2.RunShared(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DiffResults(first, second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Grid
+		want string
+	}{
+		{"bad block", Grid{Blocks: []int64{33}}, "power of two"},
+		{"bad layout", Grid{Layouts: []string{"zigzag"}}, "unknown layout"},
+		{"l2 smaller than l1", Grid{Sizes: []int64{16384}, L2: []L2Point{{Size: 8192, Block: 32, Assoc: 1}}}, "smaller than L1"},
+		{"queue below chunk", Grid{Chunks: []int64{4096}, Queues: []int64{64}}, "profile"},
+	}
+	for _, tc := range cases {
+		if _, err := tc.g.Cells(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseAxes(t *testing.T) {
+	g, err := ParseAxes("4096,8192", "32", "1,2", "0,512", "", "natural,ccdp", "98304/32/3/32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*1*2*2*1*2*2 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	if _, err := ParseAxes("", "", "", "", "", "", "98304/32"); err == nil {
+		t.Fatal("malformed l2 point accepted")
+	}
+	if _, err := ParseAxes("banana", "", "", "", "", "", ""); err == nil {
+		t.Fatal("malformed size accepted")
+	}
+}
+
+func cacheCfg(size, block int64, assoc int) cache.Config {
+	return cache.Config{Size: size, BlockSize: block, Assoc: assoc}
+}
+
+func TestCellLabels(t *testing.T) {
+	l2 := L2Point{Size: 96 * 1024, Block: 32, Assoc: 3, TLB: 32}.Config()
+	c := Cell{Cache: cacheCfg(8192, 32, 1), L2: &l2, Chunk: 512, Queue: 16384, Layout: sim.LayoutCCDP}
+	if got, want := c.Label(), "8K/32/dm+L2:96K/32/3w c512 q16384 ccdp"; got != want {
+		t.Fatalf("label %q, want %q", got, want)
+	}
+	if c.Bytes() != 8192+96*1024 {
+		t.Fatalf("bytes %d", c.Bytes())
+	}
+}

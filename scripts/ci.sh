@@ -36,8 +36,8 @@ else
 fi
 
 if [ "${1:-}" != "fast" ]; then
-    echo "==> race (exec, profile, core, sim, store, trace, metrics, benchsuite, ledger)"
-    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/store/... ./internal/trace/... ./internal/metrics/... ./internal/benchsuite/... ./internal/ledger/...
+    echo "==> race (exec, profile, core, sim, sweep, store, trace, metrics, benchsuite, ledger)"
+    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/sweep/... ./internal/store/... ./internal/trace/... ./internal/metrics/... ./internal/benchsuite/... ./internal/ledger/...
 
     echo "==> fuzz smoke (persist, trace, store)"
     go test -fuzz=FuzzReadProfile -fuzztime=15s ./internal/persist
@@ -74,6 +74,18 @@ echo "==> replay determinism (shared store, two-pass)"
 # re-record fails via -require-store-hits.
 go run ./cmd/ccdpbench -trace-dir /tmp/ccdp-trace-store -replay-compare -q -out /tmp/bench_replay.json
 go run ./cmd/ccdpbench -trace-dir /tmp/ccdp-trace-store -replay-compare -require-store-hits -q -out /tmp/bench_replay2.json
+
+echo "==> sweep smoke (shared store, decode-once engine)"
+# A small grid over the store the determinism steps just warmed:
+# -require-store-hits proves the sweep shares trace keys with the suite,
+# and -sweep-compare (on by default) holds every cell byte-identical to
+# an independent per-cell replay. The ledger re-render proves the sweep
+# event alone reproduces the matrix offline.
+go run ./cmd/ccdpbench -sweep -sweep-workload compress \
+    -sweep-sizes 4096,8192 -sweep-assocs 1,2 -parallel 4 \
+    -trace-dir /tmp/ccdp-trace-store -require-store-hits \
+    -ledger /tmp/sweep-ledger.jsonl -out /tmp/bench_sweep.json
+go run ./cmd/tables -from-ledger /tmp/sweep-ledger.jsonl
 
 echo "==> multi-process store stress"
 # Four concurrent processes against one cold store: the claim protocol
