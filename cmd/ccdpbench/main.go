@@ -76,9 +76,12 @@ func run() int {
 		sweepAssocs  = flag.String("sweep-assocs", "", "comma-separated L1 associativities (default 1)")
 		sweepChunks  = flag.String("sweep-chunks", "", "comma-separated profiling chunk sizes (default: derived from cache size)")
 		sweepQueues  = flag.String("sweep-queues", "", "comma-separated recency-queue thresholds (default: derived from cache size)")
+		sweepCutoffs = flag.String("sweep-cutoffs", "", "comma-separated popularity cutoffs, fraction of references (default 0 = keep every node)")
 		sweepLayouts = flag.String("sweep-layouts", "", "comma-separated layout variants (default natural,ccdp)")
+		sweepHeaps   = flag.String("sweep-heaps", "", "comma-separated heap placement fits: first,temporal (default first)")
 		sweepL2      = flag.String("sweep-l2", "", "semicolon-separated L2 points as size/block/assoc/tlb (e.g. 98304/32/3/32); each multiplies the grid by an L1+L2 hierarchy variant")
 		sweepComp    = flag.Bool("sweep-compare", true, "also run every cell as an independent replay, verify byte-identical results, and record the speedup")
+		sweepMinSpd  = flag.Float64("sweep-min-speedup", 0, "with -sweep-compare, fail (exit 1) when the shared-vs-independent sweep speedup falls below this on a machine with >= 4 CPUs (0 = no gate; skipped with a notice on smaller machines)")
 	)
 	flag.Parse()
 
@@ -119,8 +122,9 @@ func run() int {
 		return runSweep(sweepFlags{
 			grid: *sweepGridF, workload: *sweepWkld,
 			sizes: *sweepSizes, blocks: *sweepBlocks, assocs: *sweepAssocs,
-			chunks: *sweepChunks, queues: *sweepQueues, layouts: *sweepLayouts,
-			l2: *sweepL2, compare: *sweepComp,
+			chunks: *sweepChunks, queues: *sweepQueues, cutoffs: *sweepCutoffs,
+			layouts: *sweepLayouts, heaps: *sweepHeaps,
+			l2: *sweepL2, compare: *sweepComp, minSpeedup: *sweepMinSpd,
 			scale: *scale, parallel: *parallel, trace: tc,
 			traceMaint: *traceMaint, requireHits: *requireHits,
 			sha: resolveSHA(*sha), out: *out, ledgerPath: *ledgerPath,
@@ -327,16 +331,19 @@ func run() int {
 
 // sweepFlags carries the parsed -sweep-* flag set into runSweep.
 type sweepFlags struct {
-	grid     string
-	workload string
-	sizes    string
-	blocks   string
-	assocs   string
-	chunks   string
-	queues   string
-	layouts  string
-	l2       string
-	compare  bool
+	grid       string
+	workload   string
+	sizes      string
+	blocks     string
+	assocs     string
+	chunks     string
+	queues     string
+	cutoffs    string
+	layouts    string
+	heaps      string
+	l2         string
+	compare    bool
+	minSpeedup float64
 
 	scale       float64
 	parallel    int
@@ -365,7 +372,7 @@ func runSweep(f sweepFlags) int {
 	if f.grid != "" {
 		grid, err = sweep.LoadGridFile(f.grid)
 	} else {
-		grid, err = sweep.ParseAxes(f.sizes, f.blocks, f.assocs, f.chunks, f.queues, f.layouts, f.l2)
+		grid, err = sweep.ParseAxes(f.sizes, f.blocks, f.assocs, f.chunks, f.queues, f.cutoffs, f.layouts, f.heaps, f.l2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccdpbench:", err)
@@ -415,6 +422,23 @@ func runSweep(f sweepFlags) int {
 		indRate = ind.ConfigsPerSec()
 		speedup = float64(ind.WallNanos) / float64(res.WallNanos)
 	}
+	gateExit := 0
+	if f.compare && f.minSpeedup > 0 {
+		switch {
+		case runtime.NumCPU() < 4:
+			fmt.Printf("sweep speedup gate skipped: %d CPUs < 4 (would require >= %.2fx)\n",
+				runtime.NumCPU(), f.minSpeedup)
+		case speedup < f.minSpeedup:
+			fmt.Fprintf(os.Stderr, "GATE FAIL: sweep speedup %.2fx below required %.2fx on %d CPUs\n",
+				speedup, f.minSpeedup, runtime.NumCPU())
+			gateExit = 1
+		default:
+			fmt.Printf("sweep speedup gate OK: %.2fx >= %.2fx\n", speedup, f.minSpeedup)
+		}
+	} else if f.minSpeedup > 0 {
+		fmt.Fprintln(os.Stderr, "ccdpbench: -sweep-min-speedup needs -sweep-compare")
+		return 2
+	}
 
 	rows := res.Rows()
 	title := fmt.Sprintf("%s/%s sweep (%d cells)", res.Workload, res.Input, len(rows))
@@ -427,8 +451,10 @@ func runSweep(f sweepFlags) int {
 	}
 
 	// One awk-friendly line, the sweep twin of "trace store:" below.
-	fmt.Printf("sweep: cells=%d configs_per_sec=%.1f decode_share_pct=%.1f independent_configs_per_sec=%.1f speedup=%.2f\n",
-		len(res.Cells), res.ConfigsPerSec(), res.DecodeSharePct(), indRate, speedup)
+	fmt.Printf("sweep: cells=%d groups=%d configs_per_sec=%.1f decode_share_pct=%.1f prep_share_pct=%.1f peak_prep_bytes=%d prep_total_bytes=%d profiles_broadcast=%d profiles_deduped=%d independent_configs_per_sec=%.1f speedup=%.2f\n",
+		len(res.Cells), res.Groups, res.ConfigsPerSec(), res.DecodeSharePct(),
+		res.PrepSharePct(), res.PeakPrepBytes, res.PrepBytesTotal,
+		res.ProfilesBroadcast, res.ProfilesDeduped, indRate, speedup)
 
 	storeExit := 0
 	if f.trace.Enabled() {
@@ -476,6 +502,13 @@ func runSweep(f sweepFlags) int {
 		SweepIndependentConfigsPerSec: indRate,
 		SweepSpeedup:                  speedup,
 		SweepDecodeSharePct:           res.DecodeSharePct(),
+		SweepPrepNanos:                res.PrepNanos,
+		SweepPrepSharePct:             res.PrepSharePct(),
+		SweepPeakPrepBytes:            res.PeakPrepBytes,
+		SweepPrepBytesTotal:           res.PrepBytesTotal,
+		SweepGroups:                   res.Groups,
+		SweepProfilesBroadcast:        res.ProfilesBroadcast,
+		SweepProfilesDeduped:          res.ProfilesDeduped,
 	}
 	outPath := f.out
 	if outPath == "" {
@@ -486,6 +519,9 @@ func runSweep(f sweepFlags) int {
 		return 2
 	}
 	fmt.Println("artifact written:", outPath)
+	if gateExit != 0 {
+		return gateExit
+	}
 	return storeExit
 }
 
@@ -500,11 +536,16 @@ func sweepEvent(res *sweep.Result, rows []report.SweepRow) ledger.Sweep {
 		WallNs: res.WallNanos, DecodeNs: res.DecodeNanos,
 		Batches: res.Batches, Events: res.Events,
 		ConfigsPerSec: res.ConfigsPerSec(), DecodeSharePct: res.DecodeSharePct(),
+		PrepNs: res.PrepNanos, PrepSharePct: res.PrepSharePct(),
+		PeakPrepBytes: res.PeakPrepBytes, PrepBytesTotal: res.PrepBytesTotal,
+		ProfilesBroadcast: res.ProfilesBroadcast, ProfilesDeduped: res.ProfilesDeduped,
+		Groups: res.Groups,
 	}
 	for _, r := range rows {
 		s.Cells = append(s.Cells, ledger.SweepCell{
 			Size: r.Size, Block: r.Block, Assoc: r.Assoc, L2: r.L2, TLB: r.TLB,
-			Chunk: r.Chunk, Queue: r.Queue, Layout: r.Layout, Bytes: r.Bytes,
+			Chunk: r.Chunk, Queue: r.Queue, Cutoff: r.Cutoff, Heap: r.Heap,
+			Layout: r.Layout, Bytes: r.Bytes,
 			Accesses: r.Accesses, Misses: r.Misses, MissRatePct: r.MissRatePct,
 			Pareto: r.Pareto,
 		})

@@ -175,7 +175,8 @@ func renderSweep(s *ledger.Sweep) string {
 	for i, c := range s.Cells {
 		rows[i] = report.SweepRow{
 			Size: c.Size, Block: c.Block, Assoc: c.Assoc, L2: c.L2, TLB: c.TLB,
-			Chunk: c.Chunk, Queue: c.Queue, Layout: c.Layout, Bytes: c.Bytes,
+			Chunk: c.Chunk, Queue: c.Queue, Cutoff: c.Cutoff, Heap: c.Heap,
+			Layout: c.Layout, Bytes: c.Bytes,
 			Accesses: c.Accesses, Misses: c.Misses, MissRatePct: c.MissRatePct,
 			Pareto: c.Pareto,
 		}
@@ -186,6 +187,11 @@ func renderSweep(s *ledger.Sweep) string {
 	b.WriteString(report.SweepMatrix(title, rows))
 	b.WriteString("\n")
 	b.WriteString(report.SweepPareto("pareto frontier (miss rate vs cache bytes)", rows))
+	if s.Groups > 0 || s.PrepNs > 0 {
+		fmt.Fprintf(&b, "prep: groups=%d prep_share_pct=%.1f peak_prep_bytes=%d prep_total_bytes=%d profiles_broadcast=%d profiles_deduped=%d\n",
+			s.Groups, s.PrepSharePct, s.PeakPrepBytes, s.PrepBytesTotal,
+			s.ProfilesBroadcast, s.ProfilesDeduped)
+	}
 	return b.String()
 }
 

@@ -97,6 +97,13 @@ type Timing struct {
 	SweepIndependentConfigsPerSec float64 `json:"sweepIndependentConfigsPerSec,omitempty"`
 	SweepSpeedup                  float64 `json:"sweepSpeedup,omitempty"`
 	SweepDecodeSharePct           float64 `json:"sweepDecodeSharePct,omitempty"`
+	SweepPrepNanos                int64   `json:"sweepPrepNanos,omitempty"`
+	SweepPrepSharePct             float64 `json:"sweepPrepSharePct,omitempty"`
+	SweepPeakPrepBytes            int64   `json:"sweepPeakPrepBytes,omitempty"`
+	SweepPrepBytesTotal           int64   `json:"sweepPrepBytesTotal,omitempty"`
+	SweepGroups                   int     `json:"sweepGroups,omitempty"`
+	SweepProfilesBroadcast        int     `json:"sweepProfilesBroadcast,omitempty"`
+	SweepProfilesDeduped          int     `json:"sweepProfilesDeduped,omitempty"`
 }
 
 // BuildArtifact assembles an artifact from a suite run.

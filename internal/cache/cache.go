@@ -212,7 +212,15 @@ func New(cfg Config, classify bool) (*Sim, error) {
 		s.dmDirty = make([]bool, cfg.Sets())
 		s.dmPrefetch = make([]bool, cfg.Sets())
 	} else {
+		// One backing array for every set's ways: each set slice starts at
+		// len 0 with cap Assoc (full-slice expression pins the cap), so
+		// touchBlock's cold-fill append never allocates and neighbouring
+		// sets stay cache-adjacent.
+		backing := make([]wayEntry, cfg.Sets()*cfg.Assoc)
 		s.sets = make([][]wayEntry, cfg.Sets())
+		for i := range s.sets {
+			s.sets[i] = backing[i*cfg.Assoc : i*cfg.Assoc : (i+1)*cfg.Assoc]
+		}
 	}
 	if classify {
 		s.seenBlocks = make(map[uint64]struct{})
@@ -318,6 +326,22 @@ func (s *Sim) access(addr addrspace.Addr, size int64, cat object.Category, obj o
 		}
 	}
 	return missed
+}
+
+// PresizeObjects grows the per-object counters to cover IDs [0, n) up
+// front, so the hot access path never reallocates them when the caller
+// already knows the object-table size. growObj stays as the fallback for
+// IDs allocated after the pre-size (e.g. heap objects born mid-replay).
+func (s *Sim) PresizeObjects(n int) {
+	if n <= len(s.objRefs) {
+		return
+	}
+	refs := make([]uint64, n)
+	copy(refs, s.objRefs)
+	s.objRefs = refs
+	misses := make([]uint64, n)
+	copy(misses, s.objMisses)
+	s.objMisses = misses
 }
 
 func (s *Sim) growObj(obj object.ID) {

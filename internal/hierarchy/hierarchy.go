@@ -127,6 +127,13 @@ func (s *Sim) SetAttribution(a *cache.Attribution) { s.l1.SetAttribution(a) }
 // Attribution returns the L1's attribution sink (nil when disabled).
 func (s *Sim) Attribution() *cache.Attribution { return s.l1.Attribution() }
 
+// PresizeObjects pre-sizes both levels' per-object counters (see
+// cache.Sim.PresizeObjects).
+func (s *Sim) PresizeObjects(n int) {
+	s.l1.PresizeObjects(n)
+	s.l2.PresizeObjects(n)
+}
+
 // Access simulates one read through every level and returns the number of
 // L1 block misses, matching cache.Sim's contract.
 func (s *Sim) Access(addr addrspace.Addr, size int64, cat object.Category, obj object.ID) int {

@@ -48,8 +48,10 @@ import (
 // SchemaVersion identifies the event schema. Bump it on any change to the
 // envelope or any payload type (the fingerprint test enforces this).
 // Version history: v1 = the original eight event kinds; v2 added the
-// "sweep" event (layout-sweep grid results).
-const SchemaVersion = 2
+// "sweep" event (layout-sweep grid results); v3 added sweep prep
+// accounting (prep time/bytes, broadcast profile counts, layout groups)
+// and the cutoff/heap cell axes.
+const SchemaVersion = 3
 
 // Event is the per-line envelope. Exactly one payload pointer is non-nil,
 // matching Kind.
@@ -173,6 +175,18 @@ type Sweep struct {
 	Events         uint64  `json:"events,omitempty"`
 	ConfigsPerSec  float64 `json:"configsPerSec"`
 	DecodeSharePct float64 `json:"decodeSharePct,omitempty"`
+
+	// Prep accounting (shared engine; independent runs fill PrepNs only):
+	// how long profile/placement construction took, how many profile
+	// passes the broadcast deduplicated, and the resident-bytes peak the
+	// streamed release discipline achieved versus materializing all prep.
+	PrepNs            int64   `json:"prepNs,omitempty"`
+	PrepSharePct      float64 `json:"prepSharePct,omitempty"`
+	PeakPrepBytes     int64   `json:"peakPrepBytes,omitempty"`
+	PrepBytesTotal    int64   `json:"prepBytesTotal,omitempty"`
+	ProfilesBroadcast int     `json:"profilesBroadcast,omitempty"`
+	ProfilesDeduped   int     `json:"profilesDeduped,omitempty"`
+	Groups            int     `json:"groups,omitempty"`
 }
 
 // SweepCell is one grid point's result within a Sweep event.
@@ -184,6 +198,8 @@ type SweepCell struct {
 	TLB         int     `json:"tlb,omitempty"`
 	Chunk       int64   `json:"chunk,omitempty"`
 	Queue       int64   `json:"queue,omitempty"`
+	Cutoff      float64 `json:"cutoff,omitempty"`
+	Heap        string  `json:"heap,omitempty"`
 	Layout      string  `json:"layout"`
 	Bytes       int64   `json:"bytes"`
 	Accesses    uint64  `json:"accesses"`

@@ -56,11 +56,15 @@ func scriptedLedger(w *Writer) {
 			{Size: 8192, Block: 32, Assoc: 1, Layout: "natural", Bytes: 8192,
 				Accesses: 1000, Misses: 100, MissRatePct: 10, Pareto: true},
 			{Size: 8192, Block: 32, Assoc: 1, L2: "96K/32/3w", TLB: 32,
-				Chunk: 512, Queue: 16384, Layout: "ccdp", Bytes: 8192 + 96*1024,
+				Chunk: 512, Queue: 16384, Cutoff: 0.001, Heap: "temporal",
+				Layout: "ccdp", Bytes: 8192 + 96*1024,
 				Accesses: 1000, Misses: 9, MissRatePct: 0.9, Pareto: true},
 		},
 		WallNs: int64(40 * time.Millisecond), DecodeNs: int64(10 * time.Millisecond),
 		Batches: 3, Events: 2000, ConfigsPerSec: 50, DecodeSharePct: 25,
+		PrepNs: int64(8 * time.Millisecond), PrepSharePct: 20,
+		PeakPrepBytes: 65536, PrepBytesTotal: 131072,
+		ProfilesBroadcast: 1, ProfilesDeduped: 1, Groups: 2,
 	})
 	mc := metrics.New()
 	mc.Add(metrics.TraceEvents, 1234)
@@ -71,7 +75,7 @@ func scriptedLedger(w *Writer) {
 }
 
 // TestGolden locks the exact serialized form of every event kind for
-// schema v2. A byte-level change here is a schema change: bump
+// schema v3. A byte-level change here is a schema change: bump
 // SchemaVersion, re-freeze the fingerprint, and regenerate with -update.
 func TestGolden(t *testing.T) {
 	var buf bytes.Buffer
@@ -81,7 +85,7 @@ func TestGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	golden := filepath.Join("testdata", "golden_v2.jsonl")
+	golden := filepath.Join("testdata", "golden_v3.jsonl")
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -100,18 +104,18 @@ func TestGolden(t *testing.T) {
 	}
 }
 
-// frozenFingerprint is the complete reachable schema of version 2,
+// frozenFingerprint is the complete reachable schema of version 3,
 // rendered by SchemaFingerprint. If TestSchemaFrozen fails here, a field
 // was added, removed, renamed, or retyped without bumping SchemaVersion:
 // bump it, regenerate the golden file, and re-freeze this constant (the
 // test failure message prints the new value).
-const frozenFingerprint = "v2 Event{v:int seq:uint64 event:string" +
+const frozenFingerprint = "v3 Event{v:int seq:uint64 event:string" +
 	" runStart:*RunStart{schemaVersion:int tool:string sha:string scale:float64 parallelism:int workloads:[]string cache:string}" +
 	" workloadStart:*WorkloadStart{workload:string inputs:[]string layouts:[]string}" +
 	" span:*Span{workload:string stage:string startNs:int64 wallNs:int64}" +
 	" placement:*Placement{workload:string globals:int segmentBytes:int64 heapPlans:int bins:int predictedConflict:uint64 merges:[]MergeDecision{a:int b:int weight:uint64 chosenLine:int members:int}}" +
 	" eval:*Eval{workload:string input:string layout:string accesses:uint64 misses:uint64 missRatePct:float64 byCategoryPct:[]CategoryRate{category:string missPct:float64} totalPages:int workingSetPages:float64}" +
-	" sweep:*Sweep{workload:string input:string engine:string cells:[]SweepCell{size:int64 block:int64 assoc:int l2:string tlb:int chunk:int64 queue:int64 layout:string bytes:int64 accesses:uint64 misses:uint64 missRatePct:float64 pareto:bool} wallNs:int64 decodeNs:int64 batches:uint64 events:uint64 configsPerSec:float64 decodeSharePct:float64}" +
+	" sweep:*Sweep{workload:string input:string engine:string cells:[]SweepCell{size:int64 block:int64 assoc:int l2:string tlb:int chunk:int64 queue:int64 cutoff:float64 heap:string layout:string bytes:int64 accesses:uint64 misses:uint64 missRatePct:float64 pareto:bool} wallNs:int64 decodeNs:int64 batches:uint64 events:uint64 configsPerSec:float64 decodeSharePct:float64 prepNs:int64 prepSharePct:float64 peakPrepBytes:int64 prepBytesTotal:int64 profilesBroadcast:int profilesDeduped:int groups:int}" +
 	" workloadEnd:*WorkloadEnd{workload:string reductions:[]Reduction{input:string reductionPct:float64}}" +
 	" metrics:*Snapshot{counters:[]CounterSnapshot{name:string value:uint64} named:[]CounterSnapshot stages:[]StageSnapshot{name:string count:uint64 totalNanos:uint64 avgNanos:uint64 maxNanos:uint64} histograms:[]HistSnapshot{name:string count:uint64 sum:uint64 mean:float64 p50:uint64 p90:uint64 p99:uint64}}" +
 	" runEnd:*RunEnd{workloads:int avgTrainReductionPct:float64 avgTestReductionPct:float64 wallNs:int64}}"
@@ -178,11 +182,12 @@ func TestReplayRoundTrip(t *testing.T) {
 // broken sequence, unknown kind.
 func TestReplayRejects(t *testing.T) {
 	cases := map[string]string{
-		"version":     `{"v":999,"seq":0,"event":"run_end","runEnd":{}}`,
-		"old version": `{"v":1,"seq":0,"event":"run_end","runEnd":{}}`,
-		"sequence":    `{"v":2,"seq":5,"event":"run_end","runEnd":{}}`,
-		"kind":        `{"v":2,"seq":0,"event":"nonsense"}`,
-		"json":        `{not json`,
+		"version":        `{"v":999,"seq":0,"event":"run_end","runEnd":{}}`,
+		"old version v1": `{"v":1,"seq":0,"event":"run_end","runEnd":{}}`,
+		"old version v2": `{"v":2,"seq":0,"event":"run_end","runEnd":{}}`,
+		"sequence":       `{"v":3,"seq":5,"event":"run_end","runEnd":{}}`,
+		"kind":           `{"v":3,"seq":0,"event":"nonsense"}`,
+		"json":           `{not json`,
 	}
 	for name, line := range cases {
 		if _, err := Replay(strings.NewReader(line + "\n")); err == nil {

@@ -73,28 +73,43 @@ const (
 	// broadcast to the per-cell evaluators.
 	SweepCells
 	SweepBatches
+	// SweepLayoutGroups counts the layout groups the shared engine's cells
+	// resolved into (each group resolves addresses once for its members).
+	SweepLayoutGroups
+	// SweepProfilesBroadcast counts distinct profile configs built by the
+	// decode-once multi-profile pass; SweepProfilesDeduped counts the
+	// profile passes dedup avoided.
+	SweepProfilesBroadcast
+	SweepProfilesDeduped
+	// SweepPeakPrepBytes records the peak resident prep estimate (profiles
+	// plus placements) under the streamed prep schedule.
+	SweepPeakPrepBytes
 
 	NumCounters int = iota
 )
 
 var counterNames = [NumCounters]string{
-	TraceEvents:       "trace.events",
-	TraceAllocs:       "trace.allocs",
-	QueueEvictions:    "profile.queue_evictions",
-	TRGEdges:          "trg.edges",
-	TRGWeight:         "trg.weight",
-	SimAccesses:       "sim.accesses",
-	SimMisses:         "sim.misses",
-	PlacementMerges:   "placement.merges",
-	StoreHits:         "store.hits",
-	StoreMisses:       "store.misses",
-	StoreClaimWaits:   "store.claim_waits",
-	StoreEvictions:    "store.evictions",
-	StorePacked:       "store.packed",
-	StoreBytesWritten: "store.bytes_written",
-	StoreBytesRead:    "store.bytes_read",
-	SweepCells:        "sweep.cells",
-	SweepBatches:      "sweep.batches",
+	TraceEvents:            "trace.events",
+	TraceAllocs:            "trace.allocs",
+	QueueEvictions:         "profile.queue_evictions",
+	TRGEdges:               "trg.edges",
+	TRGWeight:              "trg.weight",
+	SimAccesses:            "sim.accesses",
+	SimMisses:              "sim.misses",
+	PlacementMerges:        "placement.merges",
+	StoreHits:              "store.hits",
+	StoreMisses:            "store.misses",
+	StoreClaimWaits:        "store.claim_waits",
+	StoreEvictions:         "store.evictions",
+	StorePacked:            "store.packed",
+	StoreBytesWritten:      "store.bytes_written",
+	StoreBytesRead:         "store.bytes_read",
+	SweepCells:             "sweep.cells",
+	SweepBatches:           "sweep.batches",
+	SweepLayoutGroups:      "sweep.layout_groups",
+	SweepProfilesBroadcast: "sweep.profiles_broadcast",
+	SweepProfilesDeduped:   "sweep.profiles_deduped",
+	SweepPeakPrepBytes:     "sweep.peak_prep_bytes",
 }
 
 // String returns the counter's export name.

@@ -114,6 +114,16 @@ type MergeStep struct {
 	Members    int    // members of the merged compound afterwards
 }
 
+// SizeEstimate approximates the map's resident bytes for the sweep
+// engine's peak-prep accounting (map buckets approximated).
+func (m *Map) SizeEstimate() int64 {
+	const slotBytes, planBytes, prefBytes, mergeBytes = 32, 40, 16, 40
+	return int64(len(m.GlobalLayout))*slotBytes +
+		int64(len(m.HeapPlans))*planBytes +
+		int64(len(m.PreferredOffset))*prefBytes +
+		int64(len(m.MergeLog))*mergeBytes
+}
+
 // GlobalAddr returns the placed address of the global in slot i.
 func (m *Map) GlobalAddr(i int) addrspace.Addr {
 	return m.GlobalSegStart + addrspace.Addr(m.GlobalLayout[i].Offset)

@@ -130,6 +130,18 @@ type Profile struct {
 	TotalRefs uint64
 }
 
+// SizeEstimate approximates the profile's resident bytes — node arena,
+// edge table, ID bindings, and heap-name map — for the sweep engine's
+// peak-prep accounting. Overheads (string headers, map buckets) are
+// approximated; the estimate is deterministic for a given profile.
+func (p *Profile) SizeEstimate() int64 {
+	const nodeBytes, edgeBytes, heapEntryBytes = 112, 24, 32
+	n := int64(p.Graph.NumNodes())*nodeBytes + int64(p.Graph.NumEdges())*edgeBytes
+	n += int64(len(p.NodeOf)) * 4
+	n += int64(len(p.HeapNode)) * heapEntryBytes
+	return n
+}
+
 // Node returns the placement node for object id, or trg.NoNode.
 func (p *Profile) Node(id object.ID) trg.NodeID {
 	if int(id) >= len(p.NodeOf) {
@@ -166,7 +178,27 @@ func (b *binder) nodeFor(id object.ID) trg.NodeID {
 	if nd := b.nodeOf[id]; nd != trg.NoNode {
 		return nd
 	}
-	in := b.objs.Get(id)
+	return b.bind(id, b.objs.Get(id))
+}
+
+// nodeForInfo is nodeFor against a caller-supplied snapshot of the
+// object's table entry, for builders fed enriched records (HandleRecs)
+// instead of a live table: the decoder's table may have advanced past the
+// record being handled, so the record carries the fields binding reads.
+// Objects bind on their first appearance and every bound field is fixed
+// at table insertion, so the snapshot equals what nodeFor would read.
+func (b *binder) nodeForInfo(id object.ID, in *object.Info) trg.NodeID {
+	for int(id) >= len(b.nodeOf) {
+		b.nodeOf = append(b.nodeOf, trg.NoNode)
+	}
+	if nd := b.nodeOf[id]; nd != trg.NoNode {
+		return nd
+	}
+	return b.bind(id, in)
+}
+
+// bind creates the placement node for object id from its table entry.
+func (b *binder) bind(id object.ID, in *object.Info) trg.NodeID {
 	var nd trg.NodeID
 	if in.Category == object.Heap {
 		nd = b.heapNodeFor(in)
@@ -203,11 +235,19 @@ func (b *binder) heapNodeFor(in *object.Info) trg.NodeID {
 
 func (b *binder) noteAlloc(id object.ID) {
 	in := b.objs.Get(id)
-	nd := b.nodeFor(id)
+	b.noteAllocInfo(id, in, b.objs.LiveWithXOR(in.XORName) > 1)
+}
+
+// noteAllocInfo is noteAlloc with the table reads hoisted to the caller:
+// the snapshot Info plus the live-XOR-collision fact as observed when the
+// Alloc was delivered (HandleRecs callers capture it at decode time, which
+// is the same stream position noteAlloc reads it at).
+func (b *binder) noteAllocInfo(id object.ID, in *object.Info, nonUnique bool) {
+	nd := b.nodeForInfo(id, in)
 	n := b.graph.Node(nd)
 	n.AllocCount++
 	b.allocSeq++
-	if b.objs.LiveWithXOR(in.XORName) > 1 {
+	if nonUnique {
 		n.NonUniqueXOR = true
 	}
 }

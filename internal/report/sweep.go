@@ -18,6 +18,10 @@ type SweepRow struct {
 	TLB   int    // data-TLB entries (hierarchy cells only)
 	Chunk int64  // profiling chunk size (0 = default)
 	Queue int64  // recency-queue threshold (0 = default)
+	// Cutoff is the popularity cutoff (0 = default); Heap the default-
+	// heap-allocator variant ("" = first-fit).
+	Cutoff float64
+	Heap   string
 
 	Layout string
 
@@ -54,6 +58,12 @@ func (r SweepRow) ConfigLabel() string {
 	}
 	if r.Queue > 0 {
 		fmt.Fprintf(&b, " q%d", r.Queue)
+	}
+	if r.Cutoff > 0 {
+		fmt.Fprintf(&b, " p%g", r.Cutoff)
+	}
+	if r.Heap != "" && r.Heap != "first" {
+		b.WriteString(" " + r.Heap)
 	}
 	return b.String()
 }
@@ -168,25 +178,36 @@ var sweepAxes = []struct {
 	val func(SweepRow) string
 }{
 	{"size", func(r SweepRow) string {
-		return fmt.Sprintf("b%d a%d %s t%d c%d q%d %s", r.Block, r.Assoc, r.L2, r.TLB, r.Chunk, r.Queue, r.Layout)
+		return fmt.Sprintf("b%d a%d %s t%d c%d q%d p%g h%s %s", r.Block, r.Assoc, r.L2, r.TLB, r.Chunk, r.Queue, r.Cutoff, r.Heap, r.Layout)
 	}, func(r SweepRow) string { return fmt.Sprintf("%d", r.Size) }},
 	{"block", func(r SweepRow) string {
-		return fmt.Sprintf("s%d a%d %s t%d c%d q%d %s", r.Size, r.Assoc, r.L2, r.TLB, r.Chunk, r.Queue, r.Layout)
+		return fmt.Sprintf("s%d a%d %s t%d c%d q%d p%g h%s %s", r.Size, r.Assoc, r.L2, r.TLB, r.Chunk, r.Queue, r.Cutoff, r.Heap, r.Layout)
 	}, func(r SweepRow) string { return fmt.Sprintf("%d", r.Block) }},
 	{"assoc", func(r SweepRow) string {
-		return fmt.Sprintf("s%d b%d %s t%d c%d q%d %s", r.Size, r.Block, r.L2, r.TLB, r.Chunk, r.Queue, r.Layout)
+		return fmt.Sprintf("s%d b%d %s t%d c%d q%d p%g h%s %s", r.Size, r.Block, r.L2, r.TLB, r.Chunk, r.Queue, r.Cutoff, r.Heap, r.Layout)
 	}, func(r SweepRow) string { return fmt.Sprintf("%d", r.Assoc) }},
 	{"chunk", func(r SweepRow) string {
-		return fmt.Sprintf("s%d b%d a%d %s t%d q%d %s", r.Size, r.Block, r.Assoc, r.L2, r.TLB, r.Queue, r.Layout)
+		return fmt.Sprintf("s%d b%d a%d %s t%d q%d p%g h%s %s", r.Size, r.Block, r.Assoc, r.L2, r.TLB, r.Queue, r.Cutoff, r.Heap, r.Layout)
 	}, func(r SweepRow) string { return fmt.Sprintf("%d", r.Chunk) }},
 	{"queue", func(r SweepRow) string {
-		return fmt.Sprintf("s%d b%d a%d %s t%d c%d %s", r.Size, r.Block, r.Assoc, r.L2, r.TLB, r.Chunk, r.Layout)
+		return fmt.Sprintf("s%d b%d a%d %s t%d c%d p%g h%s %s", r.Size, r.Block, r.Assoc, r.L2, r.TLB, r.Chunk, r.Cutoff, r.Heap, r.Layout)
 	}, func(r SweepRow) string { return fmt.Sprintf("%d", r.Queue) }},
+	{"cutoff", func(r SweepRow) string {
+		return fmt.Sprintf("s%d b%d a%d %s t%d c%d q%d h%s %s", r.Size, r.Block, r.Assoc, r.L2, r.TLB, r.Chunk, r.Queue, r.Heap, r.Layout)
+	}, func(r SweepRow) string { return fmt.Sprintf("%g", r.Cutoff) }},
+	{"heap", func(r SweepRow) string {
+		return fmt.Sprintf("s%d b%d a%d %s t%d c%d q%d p%g %s", r.Size, r.Block, r.Assoc, r.L2, r.TLB, r.Chunk, r.Queue, r.Cutoff, r.Layout)
+	}, func(r SweepRow) string {
+		if r.Heap == "" {
+			return "first"
+		}
+		return r.Heap
+	}},
 	{"layout", func(r SweepRow) string {
-		return fmt.Sprintf("s%d b%d a%d %s t%d c%d q%d", r.Size, r.Block, r.Assoc, r.L2, r.TLB, r.Chunk, r.Queue)
+		return fmt.Sprintf("s%d b%d a%d %s t%d c%d q%d p%g h%s", r.Size, r.Block, r.Assoc, r.L2, r.TLB, r.Chunk, r.Queue, r.Cutoff, r.Heap)
 	}, func(r SweepRow) string { return r.Layout }},
 	{"l2", func(r SweepRow) string {
-		return fmt.Sprintf("s%d b%d a%d c%d q%d %s", r.Size, r.Block, r.Assoc, r.Chunk, r.Queue, r.Layout)
+		return fmt.Sprintf("s%d b%d a%d c%d q%d p%g h%s %s", r.Size, r.Block, r.Assoc, r.Chunk, r.Queue, r.Cutoff, r.Heap, r.Layout)
 	}, func(r SweepRow) string {
 		if r.L2 == "" {
 			return "none"

@@ -47,6 +47,7 @@ func EvalHierarchyFrom(src EventStream, wname string, heapPlace bool, in workloa
 	if opts.Attribution {
 		hs.SetAttribution(cache.NewAttribution(hcfg.L1, opts.AttributionPairs))
 	}
+	hs.PresizeObjects(table.Len())
 	sink := &resolver{objs: table, lay: lay, alloc: alloc, sim: hs}
 	if err := src.Drive(sink); err != nil {
 		return nil, err

@@ -40,6 +40,15 @@ type Options struct {
 	// RandomSeed seeds the random-layout control.
 	RandomSeed uint64
 
+	// HeapFit selects the default heap allocator variant for passes that
+	// do not use the CCDP custom allocator: "" or "first" is first-fit
+	// (the historical behaviour), "temporal" is temporal-fit (reuse the
+	// most recently touched fitting free chunk). It applies to natural
+	// layouts and to CCDP layouts evaluated without heap placement; the
+	// random layout keeps its seeded allocator and CCDP-with-heap-
+	// placement keeps the placement-map allocator.
+	HeapFit string
+
 	// Parallelism bounds how many independent pipeline units run
 	// concurrently: evaluation passes inside core.Run, whole workloads
 	// inside benchsuite, and the per-cache-set shard workers of the
@@ -275,6 +284,7 @@ func EvalFrom(src EventStream, wname string, heapPlace bool, in workload.Input, 
 	if opts.Attribution {
 		cs.SetAttribution(cache.NewAttribution(opts.Cache, opts.AttributionPairs))
 	}
+	cs.PresizeObjects(table.Len())
 	counter := trace.NewCounter(table)
 	sink := &resolver{objs: table, lay: lay, alloc: alloc, sim: cs, counter: counter}
 	if opts.TrackPages {
@@ -318,7 +328,11 @@ func EvalFrom(src EventStream, wname string, heapPlace bool, in workload.Input, 
 func BuildLayout(table *object.Table, kind LayoutKind, heapPlace bool, pr *ProfileResult, pm *placement.Map, opts Options) (*layout.Layout, heapsim.Allocator, error) {
 	switch kind {
 	case LayoutNatural:
-		return layout.Natural(table), heapsim.NewFirstFit(), nil
+		alloc, err := baseAllocator(opts.HeapFit)
+		if err != nil {
+			return nil, nil, err
+		}
+		return layout.Natural(table), alloc, nil
 	case LayoutRandom:
 		return layout.Random(table, opts.RandomSeed), heapsim.NewRandomFit(opts.RandomSeed + 1), nil
 	case LayoutCCDP:
@@ -332,9 +346,26 @@ func BuildLayout(table *object.Table, kind LayoutKind, heapPlace bool, pr *Profi
 		if heapPlace {
 			return lay, heapsim.NewCustom(pm), nil
 		}
-		return lay, heapsim.NewFirstFit(), nil
+		alloc, err := baseAllocator(opts.HeapFit)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lay, alloc, nil
 	default:
 		return nil, nil, fmt.Errorf("sim: unknown layout kind %q", kind)
+	}
+}
+
+// baseAllocator maps Options.HeapFit to the default (non-placed,
+// non-random) heap allocator variant.
+func baseAllocator(fit string) (heapsim.Allocator, error) {
+	switch fit {
+	case "", "first":
+		return heapsim.NewFirstFit(), nil
+	case "temporal":
+		return heapsim.NewTemporalFit(), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown heap fit %q (want first or temporal)", fit)
 	}
 }
 

@@ -12,9 +12,11 @@ import (
 	"repro/internal/exec"
 	"repro/internal/heapsim"
 	"repro/internal/hierarchy"
+	"repro/internal/layout"
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/placement"
+	"repro/internal/profile"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -50,17 +52,25 @@ type Request struct {
 	Trace sim.TraceConfig
 }
 
-// Prep is a sweep with its per-cell dependencies resolved: the expanded
-// cell list, the deduplicated profile passes, and the per-(profile,
-// geometry) placements. The same Prep feeds both execution paths, so a
-// differential run compares simulation engines, not preparation inputs.
+// Prep is a sweep with its grid expanded and its traces pinned. Profiles
+// and placements are *not* materialized here: the shared engine builds
+// them just-in-time inside RunShared (one broadcast profiling pass, then
+// per-profile placement batches released as their layouts are carved),
+// and the independent oracle materializes the full set inside its own
+// timed run via materialize(). The same Prep feeds both execution paths,
+// so a differential run compares simulation engines, not preparation
+// inputs.
 type Prep struct {
 	req       Request
 	heapPlace bool
 	cells     []Cell
 	cellOpts  []sim.Options
-	prs       []*sim.ProfileResult // per cell; nil unless the layout needs one
-	pms       []*placement.Map     // per cell; nil unless the layout needs one
+
+	// prs/pms are the materialized per-cell prep artifacts; nil until
+	// materialize() runs (the independent path and direct-eval tests).
+	materialized bool
+	prs          []*sim.ProfileResult // per cell; nil unless the layout needs one
+	pms          []*placement.Map     // per cell; nil unless the layout needs one
 
 	ts         *sim.TraceStore
 	trainTrace []byte // in-memory traces when the store is disabled
@@ -109,10 +119,33 @@ type Result struct {
 	Cells    []CellResult
 
 	WallNanos   int64
-	DecodeNanos int64 // shared path only: time inside the trace decoder
+	DecodeNanos int64 // shared path only: time inside the test-trace decoder
 	Batches     uint64
 	Events      uint64
 	Shared      bool // which engine produced this
+
+	// PrepNanos is the time spent preparing profiles, placements, and
+	// layouts — inside the run's wall clock on both engines (the shared
+	// engine streams prep just-in-time; the independent one materializes
+	// everything up front).
+	PrepNanos int64
+	// PeakPrepBytes is the peak resident prep estimate: the high-water
+	// mark of live profile+placement bytes under the streamed schedule.
+	PeakPrepBytes int64
+	// PrepBytesTotal is what materialize-everything would hold resident:
+	// the sum of every profile and placement estimate. PeakPrepBytes
+	// strictly below this is the streaming win.
+	PrepBytesTotal int64
+	// ProfilesBroadcast counts distinct profile configs built by the
+	// decode-once broadcast pass; ProfilesDeduped counts the profile
+	// passes dedup avoided (CCDP cells demanding a profile, minus
+	// distinct configs).
+	ProfilesBroadcast int
+	ProfilesDeduped   int
+	// Groups is the number of layout groups the cells resolved into:
+	// each group resolves every address once and fans it to its member
+	// simulators.
+	Groups int
 }
 
 // ConfigsPerSec is the sweep's throughput in grid cells per second.
@@ -124,14 +157,22 @@ func (r *Result) ConfigsPerSec() float64 {
 }
 
 // DecodeSharePct is the fraction of wall time the shared pass spent
-// decoding the trace (reader + emitter, measured as the gaps between
-// collector callbacks). The whole point of the engine: this cost is
-// paid once however many cells ride the broadcast.
+// decoding the test trace (reader + emitter, measured as the gaps
+// between collector callbacks). The whole point of the engine: this cost
+// is paid once however many cells ride the broadcast.
 func (r *Result) DecodeSharePct() float64 {
 	if r.WallNanos <= 0 {
 		return 0
 	}
 	return 100 * float64(r.DecodeNanos) / float64(r.WallNanos)
+}
+
+// PrepSharePct is the fraction of wall time spent in preparation.
+func (r *Result) PrepSharePct() float64 {
+	if r.WallNanos <= 0 {
+		return 0
+	}
+	return 100 * float64(r.PrepNanos) / float64(r.WallNanos)
 }
 
 // Rows converts the result for the report renderers.
@@ -145,6 +186,8 @@ func (r *Result) Rows() []report.SweepRow {
 			Assoc:       cr.Cell.Cache.Assoc,
 			Chunk:       cr.Cell.Chunk,
 			Queue:       cr.Cell.Queue,
+			Cutoff:      cr.Cell.Cutoff,
+			Heap:        cr.Cell.Heap,
 			Layout:      string(cr.Cell.Layout),
 			Bytes:       cr.Cell.Bytes(),
 			Accesses:    cr.Accesses(),
@@ -161,12 +204,10 @@ func (r *Result) Rows() []report.SweepRow {
 	return rows
 }
 
-// NewPrep expands the grid and runs every profiling and placement pass
-// the cells need, deduplicated: cells sharing an effective (chunk,
-// queue) share one profile of the train input, and CCDP cells sharing
-// (profile, L1 geometry) share one placement. Passes fan out across
-// req.Options.Parallelism workers; each pass runs with inner
-// parallelism 1 so preparation is reproducible at any worker count.
+// NewPrep expands the grid, derives per-cell options, and pins the trace
+// source (recording in-memory traces when the store is disabled). It is
+// deliberately cheap: profiling and placement happen inside the runs,
+// where their cost belongs to the engine being measured.
 func NewPrep(req Request) (*Prep, error) {
 	if req.Workload == nil {
 		return nil, fmt.Errorf("sweep: nil workload")
@@ -180,12 +221,8 @@ func NewPrep(req Request) (*Prep, error) {
 	}
 	p := &Prep{req: req, heapPlace: req.Workload.HeapPlacement(), cells: cells}
 
-	mc := req.Options.Metrics
-	span := mc.Start(metrics.StageSweepPrep)
-	defer span.Stop()
-
 	if req.Trace.Enabled() {
-		p.ts = sim.NewTraceStore(req.Trace, req.Workload, mc)
+		p.ts = sim.NewTraceStore(req.Trace, req.Workload, req.Options.Metrics)
 	} else {
 		recOpts := req.Options
 		recOpts.Metrics = nil
@@ -205,6 +242,26 @@ func NewPrep(req Request) (*Prep, error) {
 	for i, c := range cells {
 		p.cellOpts[i] = c.Options(req.Options)
 	}
+	return p, nil
+}
+
+// materialize runs every profiling and placement pass the cells need,
+// deduplicated, and pins them per cell — the pre-streaming prep the
+// independent oracle (and direct per-cell eval tests) consume. Cells
+// sharing an effective (chunk, queue, cutoff) share one profile of the
+// train input, and CCDP cells sharing (profile, L1 geometry) share one
+// placement. Passes fan out across req.Options.Parallelism workers; each
+// pass runs with inner parallelism 1 so preparation is reproducible at
+// any worker count.
+func (p *Prep) materialize() error {
+	if p.materialized {
+		return nil
+	}
+	req := p.req
+	cells := p.cells
+	mc := req.Options.Metrics
+	span := mc.Start(metrics.StageSweepPrep)
+	defer span.Stop()
 
 	// Deduplicate and run the profile passes (CCDP cells only).
 	var profKeys []string
@@ -235,7 +292,7 @@ func NewPrep(req Request) (*Prep, error) {
 	}
 	profResults, err := exec.Map(context.Background(), req.Options.Parallelism, mc, profTasks)
 	if err != nil {
-		return nil, fmt.Errorf("sweep: profiling: %w", err)
+		return fmt.Errorf("sweep: profiling: %w", err)
 	}
 	profiles := map[string]*sim.ProfileResult{}
 	for ti, k := range profKeys {
@@ -268,7 +325,7 @@ func NewPrep(req Request) (*Prep, error) {
 	}
 	placeResults, err := exec.Map(context.Background(), req.Options.Parallelism, mc, placeTasks)
 	if err != nil {
-		return nil, fmt.Errorf("sweep: placement: %w", err)
+		return fmt.Errorf("sweep: placement: %w", err)
 	}
 	placements := map[string]*placement.Map{}
 	for ti, k := range placeKeys {
@@ -284,7 +341,8 @@ func NewPrep(req Request) (*Prep, error) {
 		p.prs[i] = profiles[c.profileKey(req.Options)]
 		p.pms[i] = placements[c.placementKey(req.Options)]
 	}
-	return p, nil
+	p.materialized = true
+	return nil
 }
 
 // Cells returns the expanded grid.
@@ -302,9 +360,9 @@ func (p *Prep) open(in workload.Input, opts sim.Options) (sim.EventStream, error
 	return sim.OpenReplay(bytes.NewReader(buf), opts)
 }
 
-// rec is one decoder-enriched event: everything a per-cell evaluator
-// needs, resolved against the (mutating) object table at decode time so
-// the evaluators never touch shared mutable state. For Load/Store, cat
+// rec is one decoder-enriched event: everything a layout group needs,
+// resolved against the (mutating) object table at decode time so the
+// evaluators never touch shared mutable state. For Load/Store, cat
 // and size describe the access; for Alloc, size is the allocation
 // length and xor the object's XOR name; for Free, size is the freed
 // object's recorded size (what the resolver reads from the table).
@@ -393,66 +451,433 @@ func (c *collector) flush() {
 	c.cur = c.fl.Get()
 }
 
+// profBatch is the train-side broadcast unit: enriched profile records
+// plus the refcount the last builder uses to recycle it.
+type profBatch struct {
+	recs    []profile.Rec
+	pending atomic.Int32
+}
+
+// profCollector is the decoder side of the multi-profile pass: one replay
+// of the train trace is enriched with per-object Info snapshots (taken at
+// first appearance — every field binding reads is fixed at insertion) and
+// the live-XOR-collision fact noteAlloc would read, then broadcast to one
+// builder per deduplicated profile config.
+type profCollector struct {
+	objs    *object.Table
+	infos   []*object.Info
+	counter *trace.Counter
+	st      *exec.Stream[*profBatch]
+	fl      *exec.FreeList[*profBatch]
+	cur     *profBatch
+	workers int32
+	batches uint64
+}
+
+func (c *profCollector) HandleEvent(ev trace.Event) { c.add(ev) }
+
+func (c *profCollector) HandleBatch(evs []trace.Event) {
+	for i := range evs {
+		c.add(evs[i])
+	}
+}
+
+func (c *profCollector) add(ev trace.Event) {
+	c.counter.HandleEvent(ev)
+	for int(ev.Obj) >= len(c.infos) {
+		c.infos = append(c.infos, nil)
+	}
+	in := c.infos[ev.Obj]
+	if in == nil {
+		cp := *c.objs.Get(ev.Obj)
+		in = &cp
+		c.infos[ev.Obj] = in
+	}
+	r := profile.Rec{Kind: ev.Kind, Obj: ev.Obj, Off: ev.Off, Size: ev.Size, Info: in}
+	switch ev.Kind {
+	case trace.Alloc:
+		r.NonUnique = c.objs.LiveWithXOR(in.XORName) > 1
+	case trace.Free:
+		r.Size = in.Size
+	}
+	c.cur.recs = append(c.cur.recs, r)
+	if len(c.cur.recs) >= batchSize {
+		c.flush()
+	}
+}
+
+func (c *profCollector) flush() {
+	if len(c.cur.recs) == 0 {
+		return
+	}
+	c.cur.pending.Store(c.workers)
+	c.st.Send(c.cur)
+	c.batches++
+	c.cur = c.fl.Get()
+}
+
+// broadcastProfiles builds every demanded profile config in one decode of
+// the train trace: one profile.Sharded builder per key (each with its
+// replica-queue decomposition scaled to the worker budget) consumes the
+// broadcast record stream concurrently. Output is byte-identical to
+// independent ProfileFrom passes — bindings happen at first appearance
+// over snapshots of insertion-fixed fields, so each builder sees exactly
+// what a private replay would have shown it.
+func (p *Prep) broadcastProfiles(keys []string, optsFor map[string]sim.Options, parallel int) (map[string]*sim.ProfileResult, error) {
+	out := make(map[string]*sim.ProfileResult, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	src, err := p.open(p.req.Train, p.req.Options)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: profiling: %w", err)
+	}
+	defer src.Close()
+	table := src.Objects()
+	counter := trace.NewCounter(table)
+
+	inner := parallel / len(keys)
+	if inner < 1 {
+		inner = 1
+	}
+	builders := make([]*profile.Sharded, len(keys))
+	for i, k := range keys {
+		co := optsFor[k]
+		cfg := co.Profile
+		cfg.Metrics = p.req.Options.Metrics
+		if src.Replayed() && cfg.StreamDepth == 0 {
+			cfg.StreamDepth = sim.ReplayStreamDepth
+		}
+		b, err := profile.NewSharded(cfg, table, inner, co.Cache.Size)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: profile %s: %w", k, err)
+		}
+		builders[i] = b
+	}
+
+	fl := exec.NewFreeList(streamDepth+4, func() *profBatch {
+		return &profBatch{recs: make([]profile.Rec, 0, batchSize)}
+	})
+	st := exec.NewStream(len(keys), streamDepth, func(w int, b *profBatch) {
+		builders[w].HandleRecs(b.recs)
+		if b.pending.Add(-1) == 0 {
+			b.recs = b.recs[:0]
+			fl.Put(b)
+		}
+	})
+	col := &profCollector{
+		objs:    table,
+		counter: counter,
+		st:      st,
+		fl:      fl,
+		cur:     fl.Get(),
+		workers: int32(len(keys)),
+	}
+	driveErr := src.Drive(col)
+	col.flush()
+	st.Close()
+	for i, k := range keys {
+		// Finish even on error so the builders drain.
+		prof := builders[i].Finish()
+		if driveErr == nil {
+			out[k] = &sim.ProfileResult{Profile: prof, Counter: counter, Objects: table}
+		}
+	}
+	if driveErr != nil {
+		return nil, fmt.Errorf("sweep: profiling: %w", driveErr)
+	}
+	return out, nil
+}
+
 // accessor is the common face of cache.Sim and hierarchy.Sim.
 type accessor interface {
 	Access(addr addrspace.Addr, size int64, cat object.Category, obj object.ID) int
 	Write(addr addrspace.Addr, size int64, cat object.Category, obj object.ID) int
 }
 
-// cellEval is one grid cell's private simulation state. process
-// replicates sim's resolver event loop exactly — same clock discipline
-// (ticks on Load/Store only), same heap address table growth, same free
-// semantics — over enriched recs instead of raw events, which is what
-// makes the shared pass byte-identical to an independent replay.
-type cellEval struct {
-	sim        accessor
-	cs         *cache.Sim     // set for single-level cells
-	hs         *hierarchy.Sim // set for hierarchy cells
+// memberSim is one cell's private simulator inside a layout group.
+type memberSim struct {
+	cell int
+	sim  accessor
+	cs   *cache.Sim     // set for single-level cells
+	hs   *hierarchy.Sim // set for hierarchy cells
+	g    *layoutGroup
+}
+
+// layoutGroup owns one effective layout: the resolved address space
+// (static addresses, heap allocator, clock) shared by every member cell,
+// so a rec's address is computed once per group and fanned to the member
+// simulators. process replicates sim's resolver event loop exactly —
+// same clock discipline (ticks on Load/Store only), same heap address
+// table growth, same free semantics — which, together with the identity
+// of the grouping key (layout kind, placement, allocator variant, seed),
+// makes every member byte-identical to an independent replay.
+type layoutGroup struct {
 	alloc      heapsim.Allocator
 	staticAddr []addrspace.Addr
 	heapAddr   []addrspace.Addr
 	clock      uint64
+	members    []*memberSim
+
+	// prep wiring for CCDP groups; zero for natural/random groups.
+	profKey  string
+	placeKey string
+	opts     sim.Options
+	layout   sim.LayoutKind
 }
 
-func (e *cellEval) process(recs []rec) {
+func (g *layoutGroup) process(recs []rec) {
 	for i := range recs {
 		r := &recs[i]
 		switch r.kind {
 		case trace.Load, trace.Store:
-			e.clock++
+			g.clock++
 			var base addrspace.Addr
 			if r.cat == object.Heap {
-				base = e.heapAddr[r.obj]
+				base = g.heapAddr[r.obj]
 			} else {
-				base = e.staticAddr[r.obj]
+				base = g.staticAddr[r.obj]
 			}
 			addr := base + addrspace.Addr(r.off)
 			if r.kind == trace.Store {
-				e.sim.Write(addr, r.size, r.cat, r.obj)
+				for _, m := range g.members {
+					m.sim.Write(addr, r.size, r.cat, r.obj)
+				}
 			} else {
-				e.sim.Access(addr, r.size, r.cat, r.obj)
+				for _, m := range g.members {
+					m.sim.Access(addr, r.size, r.cat, r.obj)
+				}
 			}
 		case trace.Alloc:
-			addr := e.alloc.Alloc(r.size, r.xor, e.clock)
-			for int(r.obj) >= len(e.heapAddr) {
-				e.heapAddr = append(e.heapAddr, 0)
+			addr := g.alloc.Alloc(r.size, r.xor, g.clock)
+			for int(r.obj) >= len(g.heapAddr) {
+				g.heapAddr = append(g.heapAddr, 0)
 			}
-			e.heapAddr[r.obj] = addr
+			g.heapAddr[r.obj] = addr
 		case trace.Free:
-			e.alloc.Free(e.heapAddr[r.obj], r.size, e.clock)
+			g.alloc.Free(g.heapAddr[r.obj], r.size, g.clock)
 		}
 	}
 }
 
-// RunShared executes the sweep on the decode-once/eval-many engine: one
-// replay of the test trace feeds every cell. parallel bounds the worker
-// count (clamped to the cell count); each worker owns a contiguous
-// range of cells, so results are identical at any parallelism.
+// fillStatic resolves every static object's address once for the group.
+func (g *layoutGroup) fillStatic(table *object.Table, lay *layout.Layout) {
+	g.staticAddr = make([]addrspace.Addr, table.Len())
+	table.ForEach(func(in *object.Info) {
+		if in.Category != object.Heap {
+			g.staticAddr[in.ID] = lay.Addr(in)
+		}
+	})
+}
+
+// fitName normalizes the heap-fit axis value for group keying.
+func fitName(f string) string {
+	if f == "" {
+		return "first"
+	}
+	return f
+}
+
+// groupKey names a cell's effective layout: cells with equal keys resolve
+// every event to the same address through the same allocator state, and
+// therefore share one layoutGroup. Natural layouts differ only by
+// heap-fit variant; the random layout is one group (global seed, seeded
+// allocator); CCDP layouts split by placement (which embeds the profile
+// and L1 geometry) and allocator variant.
+func (p *Prep) groupKey(c Cell) string {
+	switch c.Layout {
+	case sim.LayoutNatural:
+		return "natural|" + fitName(c.Heap)
+	case sim.LayoutRandom:
+		return "random"
+	default:
+		if p.heapPlace {
+			return "ccdp|" + c.placementKey(p.req.Options) + "|custom"
+		}
+		return "ccdp|" + c.placementKey(p.req.Options) + "|" + fitName(c.Heap)
+	}
+}
+
+// prepStats is the streamed-prep accounting RunShared reports.
+type prepStats struct {
+	nanos     int64
+	cur       int64
+	peak      int64
+	total     int64
+	broadcast int
+	deduped   int
+}
+
+func (a *prepStats) grow(n int64) {
+	a.cur += n
+	a.total += n
+	if a.cur > a.peak {
+		a.peak = a.cur
+	}
+}
+
+func (a *prepStats) release(n int64) { a.cur -= n }
+
+// buildGroups resolves the cells into layout groups with member
+// simulators attached, then streams the CCDP prep: one broadcast
+// profiling pass builds every profile config concurrently, placements are
+// batched per profile, each profile is released as soon as its last
+// dependent group's layout is carved, and non-retained placements are
+// released behind their groups (CCDP-with-heap-placement groups keep the
+// placement map alive inside the custom allocator). Peak resident prep
+// bytes are the high-water mark of that schedule.
+func (p *Prep) buildGroups(table *object.Table, parallel int) ([]*layoutGroup, []*memberSim, *prepStats, error) {
+	mc := p.req.Options.Metrics
+	acct := &prepStats{}
+	prepStart := time.Now()
+	span := mc.Start(metrics.StageSweepPrep)
+	defer span.Stop()
+	defer func() { acct.nanos = time.Since(prepStart).Nanoseconds() }()
+
+	var groups []*layoutGroup
+	byKey := map[string]*layoutGroup{}
+	memberOf := make([]*memberSim, len(p.cells))
+	for i, cell := range p.cells {
+		opts := p.cellOpts[i]
+		key := p.groupKey(cell)
+		g := byKey[key]
+		if g == nil {
+			g = &layoutGroup{opts: opts, layout: cell.Layout}
+			if cell.Layout == sim.LayoutCCDP {
+				g.profKey = cell.profileKey(p.req.Options)
+				g.placeKey = cell.placementKey(p.req.Options)
+			} else {
+				lay, alloc, err := sim.BuildLayout(table, cell.Layout, p.heapPlace, nil, nil, opts)
+				if err != nil {
+					return nil, nil, nil, fmt.Errorf("sweep: cell %d (%s): %w", i, cell.Label(), err)
+				}
+				g.alloc = alloc
+				g.fillStatic(table, lay)
+			}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		m := &memberSim{cell: i, g: g}
+		if cell.L2 == nil {
+			cs, err := cache.New(opts.Cache, opts.Classify)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("sweep: cell %d (%s): %w", i, cell.Label(), err)
+			}
+			if opts.Attribution {
+				cs.SetAttribution(cache.NewAttribution(opts.Cache, opts.AttributionPairs))
+			}
+			cs.PresizeObjects(table.Len())
+			m.cs, m.sim = cs, cs
+		} else {
+			hcfg := hierarchy.Config{L1: cell.Cache, L2: *cell.L2, TLBEntries: cell.TLB}
+			hs, err := hierarchy.New(hcfg)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("sweep: cell %d (%s): %w", i, cell.Label(), err)
+			}
+			if opts.Attribution {
+				hs.SetAttribution(cache.NewAttribution(hcfg.L1, opts.AttributionPairs))
+			}
+			hs.PresizeObjects(table.Len())
+			m.hs, m.sim = hs, hs
+		}
+		g.members = append(g.members, m)
+		memberOf[i] = m
+	}
+
+	// Streamed CCDP prep: profiles first (one decode, all configs), then
+	// placements per profile in first-appearance order.
+	var profKeys []string
+	profGroups := map[string][]*layoutGroup{}
+	optsFor := map[string]sim.Options{}
+	demand := 0
+	for _, g := range groups {
+		if g.profKey == "" {
+			continue
+		}
+		demand += len(g.members)
+		if _, ok := profGroups[g.profKey]; !ok {
+			profKeys = append(profKeys, g.profKey)
+			optsFor[g.profKey] = g.opts
+		}
+		profGroups[g.profKey] = append(profGroups[g.profKey], g)
+	}
+	acct.broadcast = len(profKeys)
+	acct.deduped = demand - len(profKeys)
+
+	profiles, err := p.broadcastProfiles(profKeys, optsFor, parallel)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	profSize := map[string]int64{}
+	for k, pr := range profiles {
+		profSize[k] = pr.Profile.SizeEstimate()
+		acct.grow(profSize[k])
+	}
+
+	for _, pk := range profKeys {
+		gs := profGroups[pk]
+		pr := profiles[pk]
+
+		var placeKeys []string
+		placeGroups := map[string][]*layoutGroup{}
+		for _, g := range gs {
+			if _, ok := placeGroups[g.placeKey]; !ok {
+				placeKeys = append(placeKeys, g.placeKey)
+			}
+			placeGroups[g.placeKey] = append(placeGroups[g.placeKey], g)
+		}
+		placeTasks := make([]exec.Task[*placement.Map], len(placeKeys))
+		for ti, k := range placeKeys {
+			opts := placeGroups[k][0].opts
+			placeTasks[ti] = func(ctx context.Context, wmc *metrics.Collector) (*placement.Map, error) {
+				opts := opts
+				opts.Metrics = wmc
+				return sim.Place(p.req.Workload, pr, opts)
+			}
+		}
+		placeResults, err := exec.Map(context.Background(), parallel, mc, placeTasks)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("sweep: placement: %w", err)
+		}
+		for ti, k := range placeKeys {
+			pm := placeResults[ti]
+			sz := pm.SizeEstimate()
+			acct.grow(sz)
+			for _, g := range placeGroups[k] {
+				lay, alloc, err := sim.BuildLayout(table, sim.LayoutCCDP, p.heapPlace, pr, pm, g.opts)
+				if err != nil {
+					return nil, nil, nil, fmt.Errorf("sweep: layout %s: %w", k, err)
+				}
+				g.alloc = alloc
+				g.fillStatic(table, lay)
+			}
+			if !p.heapPlace {
+				// The groups hold resolved addresses and a default
+				// allocator; nothing references the placement map anymore.
+				acct.release(sz)
+			}
+		}
+		// Every dependent layout is carved: the profile retires.
+		acct.release(profSize[pk])
+	}
+	return groups, memberOf, acct, nil
+}
+
+// RunShared executes the sweep on the decode-once/eval-many engine: prep
+// streams just-in-time (profiles broadcast off one train decode,
+// placements batched per profile and released behind their layouts), then
+// one replay of the test trace feeds every layout group. parallel bounds
+// the worker count (clamped to the group count); each worker owns a
+// contiguous range of groups, so results are identical at any
+// parallelism.
 func (p *Prep) RunShared(parallel int) (*Result, error) {
 	mc := p.req.Options.Metrics
 	span := mc.Start(metrics.StageSweep)
 	defer span.Stop()
 	start := time.Now()
+	if parallel < 1 {
+		parallel = 1
+	}
 
 	src, err := p.open(p.req.Test, p.req.Options)
 	if err != nil {
@@ -461,67 +886,32 @@ func (p *Prep) RunShared(parallel int) (*Result, error) {
 	defer src.Close()
 	table := src.Objects()
 
-	// Build the per-cell evaluators against the pre-drive table: layouts
-	// and static addresses depend only on the static objects the trace
-	// header declares, exactly as sim.EvalFrom builds them before the
-	// first event.
-	evals := make([]*cellEval, len(p.cells))
-	for i, cell := range p.cells {
-		opts := p.cellOpts[i]
-		lay, alloc, err := sim.BuildLayout(table, cell.Layout, p.heapPlace, p.prs[i], p.pms[i], opts)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: cell %d (%s): %w", i, cell.Label(), err)
-		}
-		e := &cellEval{alloc: alloc, staticAddr: make([]addrspace.Addr, table.Len())}
-		table.ForEach(func(in *object.Info) {
-			if in.Category != object.Heap {
-				e.staticAddr[in.ID] = lay.Addr(in)
-			}
-		})
-		if cell.L2 == nil {
-			cs, err := cache.New(opts.Cache, opts.Classify)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: cell %d (%s): %w", i, cell.Label(), err)
-			}
-			if opts.Attribution {
-				cs.SetAttribution(cache.NewAttribution(opts.Cache, opts.AttributionPairs))
-			}
-			e.cs, e.sim = cs, cs
-		} else {
-			hcfg := hierarchy.Config{L1: cell.Cache, L2: *cell.L2, TLBEntries: cell.TLB}
-			hs, err := hierarchy.New(hcfg)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: cell %d (%s): %w", i, cell.Label(), err)
-			}
-			if opts.Attribution {
-				hs.SetAttribution(cache.NewAttribution(hcfg.L1, opts.AttributionPairs))
-			}
-			e.hs, e.sim = hs, hs
-		}
-		evals[i] = e
+	// Layouts and static addresses depend only on the static objects the
+	// trace header declares, exactly as sim.EvalFrom builds them before
+	// the first event.
+	groups, memberOf, acct, err := p.buildGroups(table, parallel)
+	if err != nil {
+		return nil, err
 	}
 
-	if parallel < 1 {
-		parallel = 1
-	}
 	workers := parallel
-	if workers > len(p.cells) {
-		workers = len(p.cells)
+	if workers > len(groups) {
+		workers = len(groups)
 	}
-	// Contiguous cell ranges per worker: worker w evaluates
+	// Contiguous group ranges per worker: worker w evaluates
 	// [w*per, min((w+1)*per, n)).
-	per := (len(p.cells) + workers - 1) / workers
+	per := (len(groups) + workers - 1) / workers
 
 	fl := exec.NewFreeList(streamDepth+4, func() *batch {
 		return &batch{recs: make([]rec, 0, batchSize)}
 	})
 	st := exec.NewStream(workers, streamDepth, func(w int, b *batch) {
 		lo, hi := w*per, (w+1)*per
-		if hi > len(evals) {
-			hi = len(evals)
+		if hi > len(groups) {
+			hi = len(groups)
 		}
 		for i := lo; i < hi; i++ {
-			evals[i].process(b.recs)
+			groups[i].process(b.recs)
 		}
 		if b.pending.Add(-1) == 0 {
 			b.recs = b.recs[:0]
@@ -547,51 +937,67 @@ func (p *Prep) RunShared(parallel int) (*Result, error) {
 	}
 
 	res := &Result{
-		Workload:    p.req.Workload.Name(),
-		Input:       p.req.Test.Label,
-		Cells:       make([]CellResult, len(p.cells)),
-		WallNanos:   time.Since(start).Nanoseconds(),
-		DecodeNanos: col.decodeNanos,
-		Batches:     col.batches,
-		Events:      col.events,
-		Shared:      true,
+		Workload:          p.req.Workload.Name(),
+		Input:             p.req.Test.Label,
+		Cells:             make([]CellResult, len(p.cells)),
+		WallNanos:         time.Since(start).Nanoseconds(),
+		DecodeNanos:       col.decodeNanos,
+		Batches:           col.batches,
+		Events:            col.events,
+		Shared:            true,
+		PrepNanos:         acct.nanos,
+		PeakPrepBytes:     acct.peak,
+		PrepBytesTotal:    acct.total,
+		ProfilesBroadcast: acct.broadcast,
+		ProfilesDeduped:   acct.deduped,
+		Groups:            len(groups),
 	}
 	for i, cell := range p.cells {
-		e := evals[i]
+		m := memberOf[i]
 		cr := CellResult{Cell: cell}
-		if e.cs != nil {
+		if m.cs != nil {
 			er := &sim.EvalResult{
 				Layout:  cell.Layout,
-				Stats:   e.cs.Stats(),
+				Stats:   m.cs.Stats(),
 				Counter: counter,
 				Objects: table,
 			}
-			er.ObjRefs, er.ObjMisses = e.cs.ObjectStats()
-			er.Attribution = e.cs.Attribution().Stats()
-			er.AllocStats = e.alloc.Stats()
+			er.ObjRefs, er.ObjMisses = m.cs.ObjectStats()
+			er.Attribution = m.cs.Attribution().Stats()
+			er.AllocStats = m.g.alloc.Stats()
 			cr.Eval = er
 		} else {
 			cr.Hier = &sim.HierarchyResult{
 				Layout:      cell.Layout,
-				Stats:       e.hs.Stats(),
-				Attribution: e.hs.Attribution().Stats(),
+				Stats:       m.hs.Stats(),
+				Attribution: m.hs.Attribution().Stats(),
 			}
 		}
 		res.Cells[i] = cr
 	}
 	mc.Add(metrics.SweepCells, uint64(len(p.cells)))
 	mc.Add(metrics.SweepBatches, col.batches)
+	mc.Add(metrics.SweepLayoutGroups, uint64(len(groups)))
+	mc.Add(metrics.SweepProfilesBroadcast, uint64(acct.broadcast))
+	mc.Add(metrics.SweepProfilesDeduped, uint64(acct.deduped))
+	mc.Add(metrics.SweepPeakPrepBytes, uint64(acct.peak))
 	return res, nil
 }
 
-// RunIndependent executes the same sweep the pre-engine way: every cell
-// replays and decodes the trace for itself (sim.EvalFrom /
-// sim.EvalHierarchyFrom over its own stream), fanned across parallel
-// workers. This is the baseline the shared engine's speedup is measured
-// against, and the oracle its results are diffed against.
+// RunIndependent executes the same sweep the pre-engine way: prep is
+// materialized in full (every profile and placement resident at once),
+// then every cell replays and decodes the trace for itself
+// (sim.EvalFrom / sim.EvalHierarchyFrom over its own stream), fanned
+// across parallel workers. This is the baseline the shared engine's
+// speedup is measured against — prep included on both sides — and the
+// oracle its results are diffed against.
 func (p *Prep) RunIndependent(parallel int) (*Result, error) {
 	mc := p.req.Options.Metrics
 	start := time.Now()
+	if err := p.materialize(); err != nil {
+		return nil, err
+	}
+	prepNanos := time.Since(start).Nanoseconds()
 	tasks := make([]exec.Task[CellResult], len(p.cells))
 	for i := range p.cells {
 		i := i
@@ -622,6 +1028,7 @@ func (p *Prep) RunIndependent(parallel int) (*Result, error) {
 		Input:     p.req.Test.Label,
 		Cells:     cells,
 		WallNanos: time.Since(start).Nanoseconds(),
+		PrepNanos: prepNanos,
 	}, nil
 }
 

@@ -48,6 +48,16 @@ type Grid struct {
 	Queues  []int64  `json:"queues,omitempty"`  // recency-queue thresholds; 0 = 2x cache size
 	Layouts []string `json:"layouts,omitempty"` // placement variants (default natural, ccdp)
 
+	// Cutoffs lists popularity cutoffs for the profile's popular-node
+	// selection; 0 = profile default (0.99). Each value is a distinct
+	// profiling pass: the cutoff is folded into the persisted profile.
+	Cutoffs []float64 `json:"cutoffs,omitempty"`
+	// Heaps lists default-heap-allocator variants ("first", "temporal";
+	// "" = first). The variant applies where the evaluation would use
+	// the default allocator — natural layouts and CCDP without heap
+	// placement; random and CCDP-with-heap-placement cells ignore it.
+	Heaps []string `json:"heaps,omitempty"`
+
 	// L2 lists hierarchy points: each adds one copy of the L1 grid with
 	// the given L2+TLB behind it. The L1-only cells are always present.
 	L2 []L2Point `json:"l2,omitempty"`
@@ -60,6 +70,8 @@ type Cell struct {
 	TLB    int           // data-TLB entries (hierarchy cells only)
 	Chunk  int64         // profiling chunk size (0 = profile default)
 	Queue  int64         // recency-queue threshold (0 = 2x cache size)
+	Cutoff float64       // popularity cutoff (0 = profile default)
+	Heap   string        // default-heap-allocator variant ("" = first-fit)
 	Layout sim.LayoutKind
 
 	// Attribution attaches the per-set/conflict-pair miss-attribution
@@ -88,16 +100,22 @@ func (c Cell) Options(base sim.Options) sim.Options {
 	if c.Queue > 0 {
 		pc.QueueThreshold = c.Queue
 	}
+	if c.Cutoff > 0 {
+		pc.PopularityCutoff = c.Cutoff
+	}
 	o.Profile = pc
 	o.Attribution = c.Attribution
+	o.HeapFit = c.Heap
 	return o
 }
 
 // profileKey identifies the profiling pass a cell needs: two cells with
-// equal effective (chunk, queue) share one profile.
+// equal effective (chunk, queue, cutoff) share one profile. The cutoff
+// joins the key because Graph.Finalize folds it into popularity flags and
+// the persisted profile bytes.
 func (c Cell) profileKey(base sim.Options) string {
 	pc := c.Options(base).Profile
-	return fmt.Sprintf("c%d/q%d", pc.ChunkSize, pc.QueueThreshold)
+	return fmt.Sprintf("c%d/q%d/p%g", pc.ChunkSize, pc.QueueThreshold, pc.PopularityCutoff)
 }
 
 // placementKey identifies the placement pass a cell needs: the profile
@@ -120,7 +138,13 @@ func (c Cell) Label() string {
 	if c.Queue > 0 {
 		fmt.Fprintf(&b, " q%d", c.Queue)
 	}
+	if c.Cutoff > 0 {
+		fmt.Fprintf(&b, " p%g", c.Cutoff)
+	}
 	b.WriteString(" " + string(c.Layout))
+	if c.Heap != "" && c.Heap != "first" {
+		b.WriteString(" " + c.Heap)
+	}
 	return b.String()
 }
 
@@ -153,6 +177,12 @@ func (g Grid) withDefaults() Grid {
 	if len(g.Layouts) == 0 {
 		g.Layouts = []string{string(sim.LayoutNatural), string(sim.LayoutCCDP)}
 	}
+	if len(g.Cutoffs) == 0 {
+		g.Cutoffs = []float64{0}
+	}
+	if len(g.Heaps) == 0 {
+		g.Heaps = []string{""}
+	}
 	return g
 }
 
@@ -174,19 +204,25 @@ func (g Grid) Cells() ([]Cell, error) {
 				for _, assoc := range g.Assocs {
 					for _, chunk := range g.Chunks {
 						for _, queue := range g.Queues {
-							for _, lk := range g.Layouts {
-								c := Cell{
-									Cache:  cache.Config{Size: size, BlockSize: block, Assoc: assoc},
-									Chunk:  chunk,
-									Queue:  queue,
-									Layout: sim.LayoutKind(lk),
+							for _, cutoff := range g.Cutoffs {
+								for _, lk := range g.Layouts {
+									for _, heap := range g.Heaps {
+										c := Cell{
+											Cache:  cache.Config{Size: size, BlockSize: block, Assoc: assoc},
+											Chunk:  chunk,
+											Queue:  queue,
+											Cutoff: cutoff,
+											Heap:   heap,
+											Layout: sim.LayoutKind(lk),
+										}
+										if l2 != nil {
+											cfg := l2.Config()
+											c.L2 = &cfg
+											c.TLB = l2.TLB
+										}
+										cells = append(cells, c)
+									}
 								}
-								if l2 != nil {
-									cfg := l2.Config()
-									c.L2 = &cfg
-									c.TLB = l2.TLB
-								}
-								cells = append(cells, c)
 							}
 						}
 					}
@@ -222,12 +258,20 @@ func validateCell(c Cell) error {
 	if c.TLB < 0 {
 		return fmt.Errorf("negative TLB entries")
 	}
+	switch c.Heap {
+	case "", "first", "temporal":
+	default:
+		return fmt.Errorf("unknown heap fit %q (want first or temporal)", c.Heap)
+	}
 	pc := profile.DefaultConfig(c.Cache.Size)
 	if c.Chunk > 0 {
 		pc.ChunkSize = c.Chunk
 	}
 	if c.Queue > 0 {
 		pc.QueueThreshold = c.Queue
+	}
+	if c.Cutoff > 0 {
+		pc.PopularityCutoff = c.Cutoff
 	}
 	if err := pc.Validate(); err != nil {
 		return err
@@ -236,10 +280,11 @@ func validateCell(c Cell) error {
 }
 
 // ParseAxes builds a grid from the comma-separated CLI flag values, e.g.
-// sizes "4096,8192,16384", layouts "natural,ccdp". The l2 flag lists
-// hierarchy points as size/block/assoc/tlb quadruples, e.g.
-// "98304/32/3/32;262144/64/4/64" (semicolon-separated).
-func ParseAxes(sizes, blocks, assocs, chunks, queues, layouts, l2 string) (Grid, error) {
+// sizes "4096,8192,16384", layouts "natural,ccdp", cutoffs "0.9,0.99",
+// heaps "first,temporal". The l2 flag lists hierarchy points as
+// size/block/assoc/tlb quadruples, e.g. "98304/32/3/32;262144/64/4/64"
+// (semicolon-separated).
+func ParseAxes(sizes, blocks, assocs, chunks, queues, cutoffs, layouts, heaps, l2 string) (Grid, error) {
 	var g Grid
 	var err error
 	if g.Sizes, err = parseInt64s(sizes); err != nil {
@@ -257,8 +302,14 @@ func ParseAxes(sizes, blocks, assocs, chunks, queues, layouts, l2 string) (Grid,
 	if g.Queues, err = parseInt64s(queues); err != nil {
 		return g, fmt.Errorf("sweep: queues: %w", err)
 	}
+	if g.Cutoffs, err = parseFloats(cutoffs); err != nil {
+		return g, fmt.Errorf("sweep: cutoffs: %w", err)
+	}
 	for _, f := range splitList(layouts, ",") {
 		g.Layouts = append(g.Layouts, f)
+	}
+	for _, f := range splitList(heaps, ",") {
+		g.Heaps = append(g.Heaps, f)
 	}
 	for _, spec := range splitList(l2, ";") {
 		parts := strings.Split(spec, "/")
@@ -324,6 +375,18 @@ func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, f := range splitList(s, ",") {
 		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range splitList(s, ",") {
+		v, err := strconv.ParseFloat(f, 64)
 		if err != nil {
 			return nil, fmt.Errorf("%q: %w", f, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/hierarchy"
 	"repro/internal/metrics"
+	"repro/internal/persist"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -45,14 +46,16 @@ func mustPrep(t *testing.T, req Request) *Prep {
 func TestSharedMatchesIndependent(t *testing.T) {
 	g := Grid{
 		Sizes:   []int64{4096, 8192},
-		Assocs:  []int{1, 2},
+		Assocs:  []int{1},
 		Chunks:  []int64{0, 512},
+		Cutoffs: []float64{0, 0.001},
 		Layouts: []string{"natural", "ccdp", "random"},
+		Heaps:   []string{"first", "temporal"},
 		L2:      []L2Point{{Size: 96 * 1024, Block: 32, Assoc: 3, TLB: 32}},
 	}
 	p := mustPrep(t, smallRequest(t, "compress", 0.05, g))
-	if n := len(p.Cells()); n != 2*2*2*3*2 {
-		t.Fatalf("expected 48 cells, got %d", n)
+	if n := len(p.Cells()); n != 2*1*2*2*3*2*2 {
+		t.Fatalf("expected 96 cells, got %d", n)
 	}
 
 	ind, err := p.RunIndependent(4)
@@ -81,6 +84,9 @@ func TestSharedMatchesEvalFromTrace(t *testing.T) {
 		L2:      []L2Point{{Size: 96 * 1024, Block: 32, Assoc: 3, TLB: 32}},
 	}
 	p := mustPrep(t, smallRequest(t, "espresso", 0.05, g))
+	if err := p.materialize(); err != nil {
+		t.Fatal(err)
+	}
 	shared, err := p.RunShared(4)
 	if err != nil {
 		t.Fatal(err)
@@ -115,6 +121,127 @@ func TestSharedMatchesEvalFromTrace(t *testing.T) {
 			t.Fatalf("hierarchy cell %d (%s) diverged:\n--- sweep ---\n%s--- oracle ---\n%s",
 				i, cell.Label(), got, want)
 		}
+	}
+}
+
+// TestBroadcastMatchesProfileFrom is the multi-profile differential
+// gate: the decode-once broadcast pass must produce, for every demanded
+// (chunk, queue) shape, a profile whose persisted bytes are identical to
+// a sequential ProfileFrom replay of the same train trace — at stream
+// parallelism 1 and 4.
+func TestBroadcastMatchesProfileFrom(t *testing.T) {
+	g := Grid{
+		Chunks:  []int64{128, 256, 512},
+		Queues:  []int64{8192},
+		Layouts: []string{"ccdp"},
+	}
+	req := smallRequest(t, "compress", 0.05, g)
+	p := mustPrep(t, req)
+
+	// Collect the demanded profile configs exactly as buildGroups does.
+	var keys []string
+	optsFor := map[string]sim.Options{}
+	for i, c := range p.cells {
+		k := c.profileKey(req.Options)
+		if _, ok := optsFor[k]; !ok {
+			keys = append(keys, k)
+			optsFor[k] = p.cellOpts[i]
+		}
+	}
+	if len(keys) != 3 {
+		t.Fatalf("expected 3 profile configs, got %d (%v)", len(keys), keys)
+	}
+
+	// Sequential oracle: one private ProfileFrom pass per config.
+	want := map[string][]byte{}
+	for _, k := range keys {
+		opts := optsFor[k]
+		opts.Parallelism = 1
+		src, err := p.open(req.Train, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := sim.ProfileFrom(src, opts)
+		if err != nil {
+			t.Fatalf("oracle %s: %v", k, err)
+		}
+		var buf bytes.Buffer
+		if err := persist.WriteProfile(&buf, pr.Profile); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = buf.Bytes()
+	}
+
+	for _, par := range []int{1, 4} {
+		got, err := p.broadcastProfiles(keys, optsFor, par)
+		if err != nil {
+			t.Fatalf("parallel %d: %v", par, err)
+		}
+		for _, k := range keys {
+			var buf bytes.Buffer
+			if err := persist.WriteProfile(&buf, got[k].Profile); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want[k]) {
+				t.Fatalf("parallel %d: profile %s diverged from sequential ProfileFrom (%d vs %d bytes)",
+					par, k, buf.Len(), len(want[k]))
+			}
+		}
+	}
+}
+
+// TestPrepStreamingAccounting pins the streamed-prep guarantees: with
+// several profile configs and layouts in play, the broadcast dedupes
+// repeated passes and the release discipline keeps the resident peak
+// strictly below materialize-everything.
+func TestPrepStreamingAccounting(t *testing.T) {
+	g := Grid{
+		Sizes:   []int64{4096, 8192},
+		Chunks:  []int64{128, 512},
+		Queues:  []int64{8192, 16384},
+		Layouts: []string{"natural", "ccdp"},
+		Heaps:   []string{"first", "temporal"},
+	}
+	req := smallRequest(t, "compress", 0.05, g)
+	mc := metrics.New()
+	req.Options.Metrics = mc
+	p := mustPrep(t, req)
+	res, err := p.RunShared(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProfilesBroadcast != 4 {
+		t.Fatalf("ProfilesBroadcast = %d, want 4 (2 chunks x 2 queues)", res.ProfilesBroadcast)
+	}
+	if res.ProfilesDeduped <= 0 {
+		t.Fatalf("ProfilesDeduped = %d, want > 0", res.ProfilesDeduped)
+	}
+	if res.Groups <= 0 || res.Groups >= len(res.Cells) {
+		t.Fatalf("Groups = %d, want in (0, %d): grouping must merge some cells", res.Groups, len(res.Cells))
+	}
+	if res.PeakPrepBytes <= 0 || res.PrepBytesTotal <= 0 {
+		t.Fatalf("prep bytes not accounted: peak=%d total=%d", res.PeakPrepBytes, res.PrepBytesTotal)
+	}
+	if res.PeakPrepBytes >= res.PrepBytesTotal {
+		t.Fatalf("peak prep bytes %d not below materialize-everything %d", res.PeakPrepBytes, res.PrepBytesTotal)
+	}
+	if res.PrepNanos <= 0 || res.PrepNanos > res.WallNanos {
+		t.Fatalf("PrepNanos = %d out of range (wall %d)", res.PrepNanos, res.WallNanos)
+	}
+	if s := res.PrepSharePct(); s <= 0 || s > 100 {
+		t.Fatalf("prep share %.1f%% out of range", s)
+	}
+	if got := mc.Get(metrics.SweepLayoutGroups); got != uint64(res.Groups) {
+		t.Fatalf("SweepLayoutGroups = %d, result says %d", got, res.Groups)
+	}
+	if got := mc.Get(metrics.SweepProfilesBroadcast); got != uint64(res.ProfilesBroadcast) {
+		t.Fatalf("SweepProfilesBroadcast = %d, result says %d", got, res.ProfilesBroadcast)
+	}
+	if got := mc.Get(metrics.SweepProfilesDeduped); got != uint64(res.ProfilesDeduped) {
+		t.Fatalf("SweepProfilesDeduped = %d, result says %d", got, res.ProfilesDeduped)
+	}
+	if got := mc.Get(metrics.SweepPeakPrepBytes); got != uint64(res.PeakPrepBytes) {
+		t.Fatalf("SweepPeakPrepBytes = %d, result says %d", got, res.PeakPrepBytes)
 	}
 }
 
@@ -159,6 +286,9 @@ func TestAttributionIsolation(t *testing.T) {
 	}
 
 	// The attributed cell must equal an attributed oracle replay.
+	if err := p.materialize(); err != nil {
+		t.Fatal(err)
+	}
 	opts := p.cellOpts[attributed]
 	cell := p.cells[attributed]
 	oracle, err := sim.EvalFromTrace(bytes.NewReader(p.testTrace), cell.Layout, p.prs[attributed], p.pms[attributed], p.heapPlace, opts)
@@ -324,7 +454,7 @@ func TestGridValidation(t *testing.T) {
 }
 
 func TestParseAxes(t *testing.T) {
-	g, err := ParseAxes("4096,8192", "32", "1,2", "0,512", "", "natural,ccdp", "98304/32/3/32")
+	g, err := ParseAxes("4096,8192", "32", "1,2", "0,512", "", "", "natural,ccdp", "", "98304/32/3/32")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,11 +465,28 @@ func TestParseAxes(t *testing.T) {
 	if len(cells) != 2*1*2*2*1*2*2 {
 		t.Fatalf("got %d cells", len(cells))
 	}
-	if _, err := ParseAxes("", "", "", "", "", "", "98304/32"); err == nil {
+	g, err = ParseAxes("8192", "", "", "", "", "0,0.001", "ccdp", "first,temporal", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells, err = g.Cells(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*2 {
+		t.Fatalf("cutoff x heap grid: got %d cells, want 4", len(cells))
+	}
+	if _, err := ParseAxes("", "", "", "", "", "", "", "", "98304/32"); err == nil {
 		t.Fatal("malformed l2 point accepted")
 	}
-	if _, err := ParseAxes("banana", "", "", "", "", "", ""); err == nil {
+	if _, err := ParseAxes("banana", "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("malformed size accepted")
+	}
+	if _, err := ParseAxes("", "", "", "", "", "banana", "", "", ""); err == nil {
+		t.Fatal("malformed cutoff accepted")
+	}
+	bad := Grid{Heaps: []string{"zigzag"}}
+	if _, err := bad.Cells(); err == nil {
+		t.Fatal("unknown heap fit accepted")
 	}
 }
 
@@ -355,5 +502,14 @@ func TestCellLabels(t *testing.T) {
 	}
 	if c.Bytes() != 8192+96*1024 {
 		t.Fatalf("bytes %d", c.Bytes())
+	}
+	c.Cutoff = 0.001
+	c.Heap = "temporal"
+	if got, want := c.Label(), "8K/32/dm+L2:96K/32/3w c512 q16384 p0.001 ccdp temporal"; got != want {
+		t.Fatalf("label %q, want %q", got, want)
+	}
+	c.Heap = "first" // the default fit stays out of the label
+	if got := c.Label(); strings.Contains(got, "first") {
+		t.Fatalf("label %q mentions the default heap fit", got)
 	}
 }

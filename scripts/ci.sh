@@ -79,10 +79,17 @@ echo "==> sweep smoke (shared store, decode-once engine)"
 # A small grid over the store the determinism steps just warmed:
 # -require-store-hits proves the sweep shares trace keys with the suite,
 # and -sweep-compare (on by default) holds every cell byte-identical to
-# an independent per-cell replay. The ledger re-render proves the sweep
+# an independent per-cell replay — across the chunk/queue, popularity-
+# cutoff, and heap-fit axes, so the multi-profile broadcast and layout
+# grouping are exercised end to end. -sweep-min-speedup holds the
+# grouped engine to beating the ungrouped per-cell baseline (skipped
+# with a notice under 4 CPUs). The ledger re-render proves the sweep
 # event alone reproduces the matrix offline.
 go run ./cmd/ccdpbench -sweep -sweep-workload compress \
     -sweep-sizes 4096,8192 -sweep-assocs 1,2 -parallel 4 \
+    -sweep-chunks 256,512 -sweep-queues 8192,16384 \
+    -sweep-cutoffs 0,0.001 -sweep-heaps first,temporal \
+    -sweep-min-speedup 1.1 \
     -trace-dir /tmp/ccdp-trace-store -require-store-hits \
     -ledger /tmp/sweep-ledger.jsonl -out /tmp/bench_sweep.json
 go run ./cmd/tables -from-ledger /tmp/sweep-ledger.jsonl
