@@ -97,13 +97,6 @@ func Run(e Experiment) (*Comparison, error) {
 	return core.RunExperiment(e)
 }
 
-// RunLayouts is the positional pre-Experiment form.
-//
-// Deprecated: build an Experiment and call Run instead.
-func RunLayouts(w workload.Workload, opts Options, layouts []LayoutKind, inputs []Input) (*Comparison, error) {
-	return Run(Experiment{Workload: w, Options: opts, Layouts: layouts, Inputs: inputs})
-}
-
 // Record runs w once on in and writes its full event stream — the
 // ATOM-style trace — to out. The trace replays through Replay, Run (via
 // Experiment.Trace), or the CLIs' -replay flags without re-running the

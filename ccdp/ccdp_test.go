@@ -46,7 +46,11 @@ func TestEndToEndRun(t *testing.T) {
 	tr, te := w.Train(), w.Test()
 	tr.Bursts /= 10
 	te.Bursts /= 10
-	cmp, err := ccdp.RunLayouts(w, ccdp.DefaultOptions(), nil, []ccdp.Input{tr, te})
+	cmp, err := ccdp.Run(ccdp.Experiment{
+		Workload: w,
+		Options:  ccdp.DefaultOptions(),
+		Inputs:   []ccdp.Input{tr, te},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

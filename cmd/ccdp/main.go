@@ -12,9 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
+	"repro/internal/cliconfig"
 	"repro/internal/core"
 	"repro/internal/ledger"
 	"repro/internal/object"
@@ -28,19 +28,17 @@ import (
 )
 
 func main() {
+	var cc cliconfig.Common
+	cc.RegisterParallel(flag.CommandLine)
+	cc.RegisterTrace(flag.CommandLine)
+	cc.RegisterLedger(flag.CommandLine)
 	name := flag.String("workload", "compress", "workload to optimise")
 	verbose := flag.Bool("v", false, "print profile/placement diagnostics")
 	withRandom := flag.Bool("random", false, "also evaluate the random-layout control")
 	scale := flag.Float64("scale", 1.0, "burst-count multiplier")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the profiling stage's TRG shard workers and the evaluation passes (1 = sequential, 0 = GOMAXPROCS; results are identical at any setting)")
 	loadProfile := flag.String("load-profile", "", "read the profile from this file instead of profiling")
 	loadPlacement := flag.String("load-placement", "", "read the placement map from this file instead of placing")
-	record := flag.String("record", "", "record each input's event stream to trace files in this directory (first contact records, later passes replay)")
-	replay := flag.String("replay", "", "drive every pass from previously recorded trace files in this directory (missing traces are an error)")
-	traceDir := flag.String("trace-dir", "", "shared content-addressed trace store directory: like -record, but safe to share across concurrent processes and CI runs, with maintenance")
-	traceMaxB := flag.Int64("trace-max-bytes", 0, "trace store size cap in bytes; least-recently-used entries are evicted beyond it (0 = uncapped)")
 	explainMisses := flag.Bool("explain-misses", false, "run the simulator in attribution mode and print per-set miss heatmaps and top conflict pairs for every evaluated pass")
-	ledgerPath := flag.String("ledger", "", "stream structured run events (spans, placement decisions, eval summaries) to this JSONL file")
 	flag.Parse()
 
 	w, err := workload.Get(*name)
@@ -49,10 +47,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts := sim.DefaultOptions()
-	opts.Parallelism = *parallel
-	if opts.Parallelism <= 0 {
-		opts.Parallelism = runtime.GOMAXPROCS(0)
-	}
+	opts.Parallelism = cc.EffectiveParallel()
 	opts.Attribution = *explainMisses
 	layouts := []sim.LayoutKind{sim.LayoutNatural, sim.LayoutCCDP}
 	if *withRandom {
@@ -66,30 +61,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccdp: -load-profile and -load-placement must be used together")
 		os.Exit(2)
 	}
-	modes := 0
-	for _, dir := range []string{*record, *replay, *traceDir} {
-		if dir != "" {
-			modes++
-		}
-	}
-	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "ccdp: -record, -replay, and -trace-dir are mutually exclusive")
+	tc, err := cc.TraceConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccdp:", err)
 		os.Exit(2)
-	}
-	tc := sim.TraceConfig{Dir: *record}
-	if *replay != "" {
-		tc = sim.TraceConfig{Dir: *replay, RequireRecorded: true}
-	}
-	if *traceDir != "" {
-		tc = sim.TraceConfig{Dir: *traceDir, MaxBytes: *traceMaxB}
 	}
 	if tc.Enabled() && *loadProfile != "" {
 		fmt.Fprintln(os.Stderr, "ccdp: -record/-replay/-trace-dir cannot combine with -load-profile")
 		os.Exit(2)
 	}
 	var lw *ledger.Writer
-	if *ledgerPath != "" {
-		lw, err = ledger.Create(*ledgerPath)
+	if cc.Ledger != "" {
+		lw, err = ledger.Create(cc.Ledger)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccdp:", err)
 			os.Exit(2)
@@ -115,7 +98,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *traceDir != "" {
+	if cc.TraceDir != "" {
 		// Store-managed mode gets the housekeeping pass: pack small
 		// shards, enforce -trace-max-bytes, sweep crash debris.
 		if err := sim.MaintainTraceDir(tc, nil); err != nil {
@@ -134,7 +117,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ccdp: ledger:", err)
 			os.Exit(2)
 		}
-		fmt.Fprintln(os.Stderr, "ledger written:", *ledgerPath)
+		fmt.Fprintln(os.Stderr, "ledger written:", cc.Ledger)
 	}
 
 	fmt.Printf("%s — %s\n\n", w.Name(), w.Description())

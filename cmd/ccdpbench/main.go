@@ -20,8 +20,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"os/exec"
 	"runtime"
@@ -31,9 +29,11 @@ import (
 
 	"repro/internal/benchsuite"
 	"repro/internal/cache"
+	"repro/internal/cliconfig"
 	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -44,6 +44,12 @@ func main() {
 }
 
 func run() int {
+	var cc cliconfig.Common
+	cc.RegisterParallel(flag.CommandLine)
+	cc.RegisterTrace(flag.CommandLine)
+	cc.RegisterLedger(flag.CommandLine)
+	cc.RegisterDebug(flag.CommandLine)
+	cc.RegisterQuiet(flag.CommandLine)
 	var (
 		scale        = flag.Float64("scale", benchsuite.DefaultScale, "trace scale (fraction of full burst counts)")
 		workloads    = flag.String("workloads", "", "comma-separated workload subset (default: all nine)")
@@ -53,20 +59,12 @@ func run() int {
 		headlineTol  = flag.Float64("tolerance", benchsuite.DefaultTolerances.Headline, "max allowed drop in avg test reduction, percentage points")
 		perWorkTol   = flag.Float64("workload-tolerance", benchsuite.DefaultTolerances.PerWorkload, "max allowed per-workload drop, percentage points")
 		sha          = flag.String("sha", "", "commit id stamped into the artifact (default: $GITHUB_SHA, then git HEAD, then \"dev\")")
-		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for the suite (1 = sequential, 0 = GOMAXPROCS)")
 		seqCompare   = flag.Bool("seq-compare", true, "when -parallel > 1, also time a sequential run, record the speedup, and verify the results are byte-identical")
 		minSpeedup   = flag.Float64("min-speedup", 0, "fail (exit 1) when the seq-compare speedup falls below this on a machine with >= 4 CPUs (0 = no gate; skipped with a notice on smaller machines)")
-		record       = flag.String("record", "", "drive the suite from trace files in this directory, recording each input's stream on first contact")
-		replay       = flag.String("replay", "", "drive the suite from previously recorded trace files in this directory (missing traces are an error)")
-		traceDir     = flag.String("trace-dir", "", "shared content-addressed trace store directory: like -record, but safe to share across concurrent processes and CI runs, with maintenance")
-		traceMaxB    = flag.Int64("trace-max-bytes", 0, "trace store size cap in bytes; least-recently-used entries are evicted beyond it (0 = uncapped)")
 		traceMaint   = flag.Bool("trace-maintain", true, "run trace store maintenance (bundle packing, size-cap eviction, crash-debris sweep) after the suite")
 		requireHits  = flag.Bool("require-store-hits", false, "fail (exit 1) when any trace had to be recorded this run, i.e. the store was not fully warm")
 		replayComp   = flag.Bool("replay-compare", false, "with -record/-replay/-trace-dir, also run the suite live and verify the results are byte-identical")
 		quiet        = flag.Bool("q", false, "suppress the per-workload table")
-		quietAll     = flag.Bool("quiet", false, "suppress the live progress line on stderr")
-		ledgerPath   = flag.String("ledger", "", "stream structured run events (spans, placement decisions, eval summaries) to this JSONL file")
-		debugAddr    = flag.String("debug-addr", "", "serve /debug/snapshot (live metrics + progress JSON) and /debug/pprof on this address while the suite runs")
 
 		sweepMode    = flag.Bool("sweep", false, "run a layout sweep (decode-once grid evaluation) instead of the benchmark suite")
 		sweepGridF   = flag.String("sweep-grid", "", "JSON grid file describing the sweep axes (overrides the -sweep-* axis flags)")
@@ -89,25 +87,11 @@ func run() int {
 	if *workloads != "" {
 		names = strings.Split(*workloads, ",")
 	}
-	if *parallel <= 0 {
-		*parallel = runtime.GOMAXPROCS(0)
-	}
-	modes := 0
-	for _, dir := range []string{*record, *replay, *traceDir} {
-		if dir != "" {
-			modes++
-		}
-	}
-	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "ccdpbench: -record, -replay, and -trace-dir are mutually exclusive")
+	parallel := cc.EffectiveParallel()
+	tc, err := cc.TraceConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpbench:", err)
 		return 2
-	}
-	tc := sim.TraceConfig{Dir: *record}
-	if *replay != "" {
-		tc = sim.TraceConfig{Dir: *replay, RequireRecorded: true}
-	}
-	if *traceDir != "" {
-		tc = sim.TraceConfig{Dir: *traceDir, MaxBytes: *traceMaxB}
 	}
 	if *replayComp && !tc.Enabled() {
 		fmt.Fprintln(os.Stderr, "ccdpbench: -replay-compare requires -record, -replay, or -trace-dir")
@@ -125,9 +109,9 @@ func run() int {
 			chunks: *sweepChunks, queues: *sweepQueues, cutoffs: *sweepCutoffs,
 			layouts: *sweepLayouts, heaps: *sweepHeaps,
 			l2: *sweepL2, compare: *sweepComp, minSpeedup: *sweepMinSpd,
-			scale: *scale, parallel: *parallel, trace: tc,
+			scale: *scale, parallel: parallel, trace: tc,
 			traceMaint: *traceMaint, requireHits: *requireHits,
-			sha: resolveSHA(*sha), out: *out, ledgerPath: *ledgerPath,
+			sha: resolveSHA(*sha), out: *out, ledgerPath: cc.Ledger,
 		})
 	}
 
@@ -139,9 +123,9 @@ func run() int {
 	prog := benchsuite.NewProgress(total)
 
 	var lw *ledger.Writer
-	if *ledgerPath != "" {
+	if cc.Ledger != "" {
 		var err error
-		lw, err = ledger.Create(*ledgerPath)
+		lw, err = ledger.Create(cc.Ledger)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccdpbench:", err)
 			return 2
@@ -149,27 +133,30 @@ func run() int {
 		defer lw.Close()
 		lw.RunStart(ledger.RunStart{
 			Tool: "ccdpbench", SHA: resolveSHA(*sha), Scale: *scale,
-			Parallelism: *parallel, Workloads: names,
+			Parallelism: parallel, Workloads: names,
 			Cache: cache.DefaultConfig.String(),
 		})
 	}
-	if *debugAddr != "" {
-		ln, err := net.Listen("tcp", *debugAddr)
+	if cc.DebugAddr != "" {
+		dbg, err := server.Listen(cc.DebugAddr, benchsuite.DebugHandler(mc, prog))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccdpbench:", err)
 			return 2
 		}
-		defer ln.Close()
-		// The server lives for the process; its exit error is the listener
-		// closing at shutdown.
-		go func() { _ = http.Serve(ln, benchsuite.DebugHandler(mc, prog)) }()
-		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/snapshot\n", ln.Addr())
+		// Drain in-flight snapshot/pprof requests before exiting instead
+		// of yanking the listener out from under them.
+		defer func() {
+			if err := dbg.Close(2 * time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "ccdpbench: debug endpoint close:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/snapshot\n", dbg.Addr())
 	}
-	stopProgress := startProgressLine(prog, *quietAll)
+	stopProgress := startProgressLine(prog, cc.Quiet)
 
 	start := time.Now()
 	cmps, effScale, err := benchsuite.Config{
-		Scale: *scale, Workloads: names, Metrics: mc, Parallelism: *parallel,
+		Scale: *scale, Workloads: names, Metrics: mc, Parallelism: parallel,
 		Trace: tc, Ledger: lw, Progress: prog,
 	}.Run()
 	stopProgress()
@@ -188,7 +175,7 @@ func run() int {
 	}
 	art := benchsuite.BuildArtifact(resolveSHA(*sha), effScale, cmps, mc.Snapshot())
 	art.Timing = &benchsuite.Timing{
-		Parallelism:  *parallel,
+		Parallelism:  parallel,
 		WallNanos:    wall.Nanoseconds(),
 		ProfileNanos: mc.StageTotal(metrics.StageProfile).Nanoseconds(),
 		ReplayNanos:  mc.StageTotal(metrics.StageReplay).Nanoseconds(),
@@ -205,13 +192,13 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "ccdpbench: ledger:", err)
 			return 2
 		}
-		fmt.Fprintln(os.Stderr, "ledger written:", *ledgerPath)
+		fmt.Fprintln(os.Stderr, "ledger written:", cc.Ledger)
 	}
 
 	if *replayComp {
 		liveMC := metrics.New()
 		liveStart := time.Now()
-		liveCmps, _, err := benchsuite.Config{Scale: *scale, Workloads: names, Metrics: liveMC, Parallelism: *parallel}.Run()
+		liveCmps, _, err := benchsuite.Config{Scale: *scale, Workloads: names, Metrics: liveMC, Parallelism: parallel}.Run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccdpbench: live comparison run:", err)
 			return 2
@@ -229,7 +216,7 @@ func run() int {
 			time.Duration(art.Timing.ReplayNanos).Round(time.Millisecond))
 	}
 
-	if *parallel > 1 && *seqCompare {
+	if parallel > 1 && *seqCompare {
 		seqMC := metrics.New()
 		seqStart := time.Now()
 		seqCmps, _, err := benchsuite.Config{Scale: *scale, Workloads: names, Metrics: seqMC, Parallelism: 1}.Run()
@@ -249,7 +236,7 @@ func run() int {
 			return 2
 		}
 		fmt.Printf("parallel %d: %v vs sequential %v (speedup %.2fx, results identical)\n",
-			*parallel, wall.Round(time.Millisecond), seqWall.Round(time.Millisecond), art.Timing.Speedup)
+			parallel, wall.Round(time.Millisecond), seqWall.Round(time.Millisecond), art.Timing.Speedup)
 		if *minSpeedup > 0 {
 			switch {
 			case runtime.NumCPU() < 4:

@@ -1,0 +1,170 @@
+// Command ccdpd is the placement service daemon: a long-running HTTP
+// server owning the workload pool, the shared content-addressed trace
+// store, and a bounded job worker pool, serving the versioned /v1 job
+// API (see internal/server). Typical use:
+//
+//	ccdpd -addr 127.0.0.1:8344 -trace-dir /tmp/ccdp-trace-store
+//	curl -s -X POST 127.0.0.1:8344/v1/jobs -d '{"kind":"eval","workload":"espresso"}'
+//	curl -s 127.0.0.1:8344/v1/jobs/job-0001
+//	curl -s 127.0.0.1:8344/v1/jobs/job-0001/result
+//
+// -selftest flips the binary into its load-harness mode: it boots the
+// server on a loopback port, drives it at a target QPS for a fixed
+// window, and reports throughput and p50/p95/p99 submit-to-result
+// latency, exiting 1 if any request failed or none completed.
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, running
+// jobs get -shutdown-timeout to finish, the remainder are cancelled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/benchsuite"
+	"repro/internal/cache"
+	"repro/internal/cliconfig"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var cc cliconfig.Common
+	cc.RegisterParallel(flag.CommandLine)
+	cc.RegisterTrace(flag.CommandLine)
+	cc.RegisterLedger(flag.CommandLine)
+	cc.RegisterQuiet(flag.CommandLine)
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8344", "address to serve the /v1 API on")
+		workers     = flag.Int("workers", 2, "concurrently running jobs (the job worker pool size)")
+		queue       = flag.Int("queue", 16, "queued-but-not-running job capacity; submissions beyond it get 503")
+		scale       = flag.Float64("scale", benchsuite.DefaultScale, "default trace scale for jobs that don't set one")
+		maxScale    = flag.Float64("max-scale", 1.0, "largest per-request scale accepted")
+		maxCells    = flag.Int("max-sweep-cells", 256, "largest expanded sweep grid accepted")
+		shutdownTO  = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests and running jobs at shutdown")
+		selftest    = flag.Bool("selftest", false, "boot the server, run the load harness against it, report QPS and latency percentiles, exit")
+		selftestQPS = flag.Float64("selftest-qps", 8, "load-harness submission rate")
+		selftestDur = flag.Duration("selftest-duration", 5*time.Second, "load-harness submission window")
+		selftestWkl = flag.String("selftest-workload", "espresso", "workload the load-harness jobs evaluate")
+		selftestScl = flag.Float64("selftest-scale", 0.02, "trace scale of the load-harness jobs (small: the probe measures the service, not the pipeline)")
+	)
+	flag.Parse()
+
+	tc, err := cc.TraceConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpd:", err)
+		return 2
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ccdpd: "+format+"\n", args...)
+	}
+	if cc.Quiet {
+		logf = nil
+	}
+
+	mc := metrics.New()
+	var lw *ledger.Writer
+	if cc.Ledger != "" {
+		if lw, err = ledger.Create(cc.Ledger); err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpd:", err)
+			return 2
+		}
+		defer lw.Close()
+		lw.RunStart(ledger.RunStart{
+			Tool: "ccdpd", Scale: *scale,
+			Parallelism: cc.EffectiveParallel(),
+			Cache:       cache.DefaultConfig.String(),
+		})
+	}
+
+	srv := server.New(server.Config{
+		Scale:         *scale,
+		MaxScale:      *maxScale,
+		Parallelism:   cc.EffectiveParallel(),
+		Workers:       *workers,
+		Queue:         *queue,
+		MaxSweepCells: *maxCells,
+		Trace:         tc,
+		Metrics:       mc,
+		Logf:          logf,
+	})
+
+	listenAddr := *addr
+	if *selftest {
+		// The harness talks over loopback; never fight for the real port.
+		listenAddr = "127.0.0.1:0"
+	}
+	g, err := server.Listen(listenAddr, srv.Handler())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpd:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "ccdpd: serving on http://%s (workers %d, queue %d, parallel %d)\n",
+		g.Addr(), *workers, *queue, cc.EffectiveParallel())
+
+	start := time.Now()
+	exit := 0
+	if *selftest {
+		exit = runSelftest(g.Addr(), *selftestWkl, *selftestScl, *selftestQPS, *selftestDur)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "ccdpd: %s: draining (timeout %s)\n", s, *shutdownTO)
+	}
+
+	// Shutdown order: stop accepting connections, then drain jobs.
+	if err := g.Close(*shutdownTO); err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpd: listener close:", err)
+		if exit == 0 {
+			exit = 2
+		}
+	}
+	srv.Close(*shutdownTO)
+	if lw != nil {
+		lw.Metrics(mc.Snapshot())
+		lw.RunEnd(ledger.RunEnd{WallNs: time.Since(start).Nanoseconds()})
+		if err := lw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpd: ledger:", err)
+			return 2
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ccdpd: stopped (%d requests, %d jobs done)\n",
+		mc.Get(metrics.ServerRequests), mc.Get(metrics.ServerJobsDone))
+	return exit
+}
+
+// runSelftest drives the load harness against the just-booted server and
+// prints the ssbench-style one-line report.
+func runSelftest(addr, workload string, scale, qps float64, dur time.Duration) int {
+	body := fmt.Sprintf(`{"kind":"eval","workload":%q,"scale":%g}`, workload, scale)
+	rep, err := server.RunLoad(context.Background(), server.LoadConfig{
+		BaseURL:  "http://" + addr,
+		Body:     []byte(body),
+		QPS:      qps,
+		Duration: dur,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpd: selftest:", err)
+		return 2
+	}
+	fmt.Println("selftest:", rep.String())
+	if rep.FirstByte != "" {
+		fmt.Fprintln(os.Stderr, "ccdpd: selftest first error:", rep.FirstByte)
+	}
+	if rep.Failed > 0 || rep.OK == 0 {
+		fmt.Fprintf(os.Stderr, "ccdpd: selftest FAILED (%d failed, %d ok)\n", rep.Failed, rep.OK)
+		return 1
+	}
+	return 0
+}

@@ -53,14 +53,15 @@ func RunWorkloads(names []string, opts sim.Options, layouts []sim.LayoutKind, sc
 // layout) units. Inner parallelism never changes results, so the donation
 // only moves wall clock.
 func RunExperiments(names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64, tc sim.TraceConfig) ([]*core.Comparison, error) {
-	return runExperiments(names, opts, layouts, scale, tc, nil, nil)
+	return runExperiments(context.Background(), names, opts, layouts, scale, tc, nil, nil)
 }
 
 // runExperiments is the full-featured suite runner: RunExperiments plus
 // the observability hooks Config.Run threads in. led (shared, concurrency
 // safe) receives every experiment's structured events; prog tracks live
-// progress through the core stage hook. Both may be nil.
-func runExperiments(names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64, tc sim.TraceConfig, led *ledger.Writer, prog *Progress) ([]*core.Comparison, error) {
+// progress through the core stage hook. Both may be nil. ctx cancels the
+// suite at experiment stage boundaries (core.Experiment.Context).
+func runExperiments(ctx context.Context, names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64, tc sim.TraceConfig, led *ledger.Writer, prog *Progress) ([]*core.Comparison, error) {
 	if scale <= 0 {
 		return nil, fmt.Errorf("benchsuite: scale %g <= 0", scale)
 	}
@@ -84,7 +85,7 @@ func runExperiments(names []string, opts sim.Options, layouts []sim.LayoutKind, 
 		cmp, err := core.RunExperiment(core.Experiment{
 			Workload: w, Options: runOpts, Layouts: layouts,
 			Inputs: ScaledInputs(w, scale), Trace: tc,
-			Ledger: led, OnStage: onStage,
+			Ledger: led, OnStage: onStage, Context: ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("benchsuite: %s: %w", w.Name(), err)
@@ -107,7 +108,7 @@ func runExperiments(names []string, opts sim.Options, layouts []sim.LayoutKind, 
 				return runOne(w, runOpts)
 			}
 		}
-		return exec.Map(context.Background(), opts.Parallelism, opts.Metrics, tasks)
+		return exec.Map(ctx, opts.Parallelism, opts.Metrics, tasks)
 	}
 	var cmps []*core.Comparison
 	for _, w := range ws {
@@ -162,6 +163,9 @@ type Config struct {
 	// in-flight workload's current stage — the source for cmd/ccdpbench's
 	// progress line and the -debug-addr snapshot endpoint.
 	Progress *Progress
+	// Context, when non-nil, cancels the suite at experiment stage
+	// boundaries (see core.Experiment.Context). Nil runs to completion.
+	Context context.Context
 }
 
 // Run executes the suite per cfg with the paper's default options and
@@ -174,6 +178,10 @@ func (cfg Config) Run() ([]*core.Comparison, float64, error) {
 	opts := sim.DefaultOptions()
 	opts.Metrics = cfg.Metrics
 	opts.Parallelism = cfg.Parallelism
-	cmps, err := runExperiments(cfg.Workloads, opts, nil, scale, cfg.Trace, cfg.Ledger, cfg.Progress)
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cmps, err := runExperiments(ctx, cfg.Workloads, opts, nil, scale, cfg.Trace, cfg.Ledger, cfg.Progress)
 	return cmps, scale, err
 }

@@ -1,0 +1,113 @@
+// Package cliconfig is the shared flag surface of the repository's
+// binaries. cmd/ccdp, cmd/ccdpbench, and cmd/ccdpd all take the same
+// flag clusters — the worker-pool size, the trace source (-record /
+// -replay / -trace-dir with its size cap), the run ledger, the debug
+// endpoint, and the quiet switch — and the semantics must not drift
+// between them: a -trace-dir that means "shared content-addressed store"
+// on one binary must mean exactly that on the others, or stored traces
+// stop being shareable. Each cluster registers through one function
+// here, and the derived configuration (sim.TraceConfig resolution,
+// effective parallelism) is computed in one place.
+package cliconfig
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+
+	"repro/internal/sim"
+)
+
+// Common holds the flag values shared across binaries. Zero value +
+// Register* calls + flag.Parse is the intended use; the accessor methods
+// then derive the validated configuration.
+type Common struct {
+	// Parallel is the worker-pool size (-parallel). <= 0 selects
+	// GOMAXPROCS via EffectiveParallel.
+	Parallel int
+
+	// Record, Replay, and TraceDir select the trace source (-record,
+	// -replay, -trace-dir); at most one may be set. TraceMaxBytes caps
+	// the shared store (-trace-max-bytes).
+	Record        string
+	Replay        string
+	TraceDir      string
+	TraceMaxBytes int64
+
+	// Ledger is the JSONL run-ledger path (-ledger).
+	Ledger string
+
+	// DebugAddr serves the debug endpoint (-debug-addr).
+	DebugAddr string
+
+	// Quiet suppresses progress output (-quiet).
+	Quiet bool
+}
+
+// RegisterParallel registers -parallel on fs.
+func (c *Common) RegisterParallel(fs *flag.FlagSet) {
+	fs.IntVar(&c.Parallel, "parallel", runtime.GOMAXPROCS(0),
+		"worker-pool size (1 = sequential, 0 = GOMAXPROCS; results are identical at any setting)")
+}
+
+// RegisterTrace registers the trace-source cluster on fs: -record,
+// -replay, -trace-dir, -trace-max-bytes.
+func (c *Common) RegisterTrace(fs *flag.FlagSet) {
+	fs.StringVar(&c.Record, "record", "",
+		"record each input's event stream to trace files in this directory (first contact records, later passes replay)")
+	fs.StringVar(&c.Replay, "replay", "",
+		"drive every pass from previously recorded trace files in this directory (missing traces are an error)")
+	fs.StringVar(&c.TraceDir, "trace-dir", "",
+		"shared content-addressed trace store directory: like -record, but safe to share across concurrent processes and CI runs, with maintenance")
+	fs.Int64Var(&c.TraceMaxBytes, "trace-max-bytes", 0,
+		"trace store size cap in bytes; least-recently-used entries are evicted beyond it (0 = uncapped)")
+}
+
+// RegisterLedger registers -ledger on fs.
+func (c *Common) RegisterLedger(fs *flag.FlagSet) {
+	fs.StringVar(&c.Ledger, "ledger", "",
+		"stream structured run events (spans, placement decisions, eval summaries) to this JSONL file")
+}
+
+// RegisterDebug registers -debug-addr on fs.
+func (c *Common) RegisterDebug(fs *flag.FlagSet) {
+	fs.StringVar(&c.DebugAddr, "debug-addr", "",
+		"serve /debug/snapshot (live metrics + progress JSON) and /debug/pprof on this address while the process runs")
+}
+
+// RegisterQuiet registers -quiet on fs.
+func (c *Common) RegisterQuiet(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Quiet, "quiet", false, "suppress the live progress line on stderr")
+}
+
+// EffectiveParallel resolves -parallel: values <= 0 select GOMAXPROCS.
+func (c *Common) EffectiveParallel() int {
+	if c.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Parallel
+}
+
+// TraceConfig resolves the trace-source cluster into a sim.TraceConfig,
+// enforcing that -record, -replay, and -trace-dir are mutually
+// exclusive. The zero config (trace-driven execution disabled) comes
+// back when none is set.
+func (c *Common) TraceConfig() (sim.TraceConfig, error) {
+	modes := 0
+	for _, dir := range []string{c.Record, c.Replay, c.TraceDir} {
+		if dir != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return sim.TraceConfig{}, fmt.Errorf("-record, -replay, and -trace-dir are mutually exclusive")
+	}
+	switch {
+	case c.Replay != "":
+		return sim.TraceConfig{Dir: c.Replay, RequireRecorded: true}, nil
+	case c.TraceDir != "":
+		return sim.TraceConfig{Dir: c.TraceDir, MaxBytes: c.TraceMaxBytes}, nil
+	default:
+		return sim.TraceConfig{Dir: c.Record}, nil
+	}
+}

@@ -1,0 +1,91 @@
+package cliconfig
+
+import (
+	"flag"
+	"runtime"
+	"testing"
+)
+
+func newSet(c *Common) *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.RegisterParallel(fs)
+	c.RegisterTrace(fs)
+	c.RegisterLedger(fs)
+	c.RegisterDebug(fs)
+	c.RegisterQuiet(fs)
+	return fs
+}
+
+func TestDefaults(t *testing.T) {
+	var c Common
+	fs := newSet(&c)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Parallel != runtime.GOMAXPROCS(0) {
+		t.Errorf("default -parallel %d, want GOMAXPROCS", c.Parallel)
+	}
+	tc, err := c.TraceConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Enabled() {
+		t.Errorf("trace config enabled with no trace flags: %+v", tc)
+	}
+}
+
+func TestTraceConfigModes(t *testing.T) {
+	cases := []struct {
+		args            []string
+		dir             string
+		requireRecorded bool
+		maxBytes        int64
+	}{
+		{[]string{"-record", "/tmp/r"}, "/tmp/r", false, 0},
+		{[]string{"-replay", "/tmp/p"}, "/tmp/p", true, 0},
+		{[]string{"-trace-dir", "/tmp/s", "-trace-max-bytes", "4096"}, "/tmp/s", false, 4096},
+	}
+	for _, tt := range cases {
+		var c Common
+		fs := newSet(&c)
+		if err := fs.Parse(tt.args); err != nil {
+			t.Fatal(err)
+		}
+		tc, err := c.TraceConfig()
+		if err != nil {
+			t.Fatalf("%v: %v", tt.args, err)
+		}
+		if tc.Dir != tt.dir || tc.RequireRecorded != tt.requireRecorded || tc.MaxBytes != tt.maxBytes {
+			t.Errorf("%v -> %+v, want dir=%q requireRecorded=%v maxBytes=%d",
+				tt.args, tc, tt.dir, tt.requireRecorded, tt.maxBytes)
+		}
+	}
+}
+
+func TestTraceConfigMutualExclusion(t *testing.T) {
+	for _, args := range [][]string{
+		{"-record", "/a", "-replay", "/b"},
+		{"-record", "/a", "-trace-dir", "/b"},
+		{"-replay", "/a", "-trace-dir", "/b"},
+	} {
+		var c Common
+		fs := newSet(&c)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.TraceConfig(); err == nil {
+			t.Errorf("%v accepted, want mutual-exclusion error", args)
+		}
+	}
+}
+
+func TestEffectiveParallel(t *testing.T) {
+	c := Common{Parallel: 3}
+	if got := c.EffectiveParallel(); got != 3 {
+		t.Errorf("EffectiveParallel() = %d, want 3", got)
+	}
+	c.Parallel = 0
+	if got := c.EffectiveParallel(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("EffectiveParallel() = %d, want GOMAXPROCS", got)
+	}
+}

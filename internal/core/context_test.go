@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// smallExperiment returns a fast experiment for cancellation tests.
+func smallExperiment(t *testing.T) Experiment {
+	t.Helper()
+	w, err := workload.Get("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, te := w.Train(), w.Test()
+	tr.Bursts /= 20
+	te.Bursts /= 20
+	return Experiment{
+		Workload: w,
+		Options:  sim.DefaultOptions(),
+		Inputs:   []workload.Input{tr, te},
+	}
+}
+
+func TestExperimentCancelledBeforeStart(t *testing.T) {
+	e := smallExperiment(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.Context = ctx
+	if _, err := RunExperiment(e); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExperimentCancelledMidRun(t *testing.T) {
+	e := smallExperiment(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	e.Context = ctx
+	// Cancel as soon as the pipeline reaches its first evaluation unit:
+	// profiling and placement complete, every eval unit reports the
+	// cancellation.
+	var fired atomic.Bool
+	e.OnStage = func(_ string, stage metrics.Stage) {
+		if stage == metrics.StageEval && fired.CompareAndSwap(false, true) {
+			cancel()
+		}
+	}
+	_, err := RunExperiment(e)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExperimentNilContextRuns(t *testing.T) {
+	e := smallExperiment(t)
+	cmp, err := RunExperiment(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Result("test", sim.LayoutCCDP) == nil {
+		t.Fatal("missing result with nil context")
+	}
+}

@@ -78,6 +78,15 @@ type Experiment struct {
 	// It may be called from worker goroutines; keep it cheap and
 	// thread-safe. Progress displays hang off this hook.
 	OnStage func(workload string, stage metrics.Stage)
+
+	// Context, when non-nil, cancels the experiment: RunExperiment
+	// checks it at every stage boundary (before profiling, placement,
+	// and each evaluation unit) and returns the context's error instead
+	// of starting the next stage. A stage already running completes —
+	// cancellation never yields a partial Comparison, only an error.
+	// The job manager in internal/server cancels queued and running
+	// jobs through this. Nil means run to completion.
+	Context context.Context
 }
 
 // Run profiles w on its train input, computes the placement, and evaluates
@@ -108,6 +117,10 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 	if w == nil {
 		return nil, fmt.Errorf("core: experiment has no workload")
 	}
+	ctx := e.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	span := opts.Metrics.Start(metrics.StagePipeline)
 	defer span.Stop()
 
@@ -129,6 +142,9 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 		Layouts:  layoutNames(layouts),
 	})
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %s cancelled before profiling: %w", w.Name(), err)
+	}
 	e.stage(w.Name(), metrics.StageProfile)
 	profStart := time.Now()
 	pr, err := profilePass(store, w, opts)
@@ -137,6 +153,9 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 	}
 	e.Ledger.Span(w.Name(), metrics.StageProfile.String(), profStart, time.Since(profStart))
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %s cancelled before placement: %w", w.Name(), err)
+	}
 	e.stage(w.Name(), metrics.StagePlace)
 	placeStart := time.Now()
 	pm, err := sim.Place(w, pr, opts)
@@ -186,6 +205,9 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 	// ledger records the same events either way (span interleaving and
 	// timing differ; results and summaries do not).
 	evalUnit := func(in workload.Input, kind sim.LayoutKind, passOpts sim.Options, hint uint64) (*sim.EvalResult, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %s cancelled before evaluating %s/%s: %w", w.Name(), in.Label, kind, err)
+		}
 		e.stage(w.Name(), metrics.StageEval)
 		start := time.Now()
 		res, err := evalPass(store, w, in, kind, pr, pm, passOpts, hint)
@@ -209,7 +231,7 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 			}
 		}
 		var err error
-		results, err = exec.Map(context.Background(), opts.Parallelism, opts.Metrics, tasks)
+		results, err = exec.Map(ctx, opts.Parallelism, opts.Metrics, tasks)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Pool is the engine's third scheduling shape: where Map drains a finite
+// task list and exits, a Pool is a *long-lived* bounded worker set fed by
+// a job queue — the execution substrate a serving process needs. Jobs
+// arrive one at a time from request handlers, wait in a bounded FIFO, and
+// run on whichever of the N workers frees up first.
+//
+// The queue bound is the backpressure mechanism: TrySubmit refuses
+// (returns false) when the queue is full instead of blocking the
+// submitter, so an HTTP handler can turn saturation into a 503 rather
+// than an unbounded goroutine pile-up.
+//
+// Metrics follow the Map discipline: each worker owns a private
+// collector (no hot-path contention) and the set is folded into the
+// caller's collector when Close drains the pool.
+type Pool struct {
+	jobs chan func(mc *metrics.Collector)
+	wg   sync.WaitGroup
+
+	mc   *metrics.Collector
+	cols []*metrics.Collector
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts workers goroutines behind a queue of the given depth
+// (both clamped to >= 1). mc, when non-nil, receives the merged
+// per-worker collectors after Close.
+func NewPool(workers, queue int, mc *metrics.Collector) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	p := &Pool{
+		jobs: make(chan func(mc *metrics.Collector), queue),
+		mc:   mc,
+		cols: make([]*metrics.Collector, workers),
+	}
+	for w := 0; w < workers; w++ {
+		var wmc *metrics.Collector
+		if mc != nil {
+			wmc = metrics.New()
+			p.cols[w] = wmc
+		}
+		p.wg.Add(1)
+		go func(wmc *metrics.Collector) {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job(wmc)
+			}
+		}(wmc)
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return len(p.cols) }
+
+// TrySubmit enqueues job unless the queue is full or the pool is closed,
+// reporting whether the job was accepted. An accepted job is guaranteed
+// to run (Close drains the queue before stopping the workers); the job's
+// collector argument is the worker-local one and may be nil.
+func (p *Pool) TrySubmit(job func(mc *metrics.Collector)) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops accepting jobs, waits for queued and running jobs to
+// finish, and folds the per-worker collectors into the pool's. It is
+// idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+	for _, c := range p.cols {
+		p.mc.Merge(c)
+	}
+}

@@ -85,6 +85,21 @@ const (
 	// plus placements) under the streamed prep schedule.
 	SweepPeakPrepBytes
 
+	// ServerRequests counts HTTP requests the placement service handled
+	// (every route, including health and debug probes).
+	ServerRequests
+	// ServerJobsSubmitted counts jobs accepted into the service's queue;
+	// ServerJobsRejected counts submissions refused by backpressure (the
+	// queue was full — the client saw 503).
+	ServerJobsSubmitted
+	ServerJobsRejected
+	// ServerJobsDone / ServerJobsFailed / ServerJobsCancelled count
+	// terminal job states: completed with a result, errored, or
+	// cancelled (by DELETE, client abort, or shutdown).
+	ServerJobsDone
+	ServerJobsFailed
+	ServerJobsCancelled
+
 	NumCounters int = iota
 )
 
@@ -110,6 +125,12 @@ var counterNames = [NumCounters]string{
 	SweepProfilesBroadcast: "sweep.profiles_broadcast",
 	SweepProfilesDeduped:   "sweep.profiles_deduped",
 	SweepPeakPrepBytes:     "sweep.peak_prep_bytes",
+	ServerRequests:         "server.requests",
+	ServerJobsSubmitted:    "server.jobs_submitted",
+	ServerJobsRejected:     "server.jobs_rejected",
+	ServerJobsDone:         "server.jobs_done",
+	ServerJobsFailed:       "server.jobs_failed",
+	ServerJobsCancelled:    "server.jobs_cancelled",
 }
 
 // String returns the counter's export name.
@@ -186,6 +207,12 @@ const (
 	// HistQueueOccupancy sketches the recency queue's byte occupancy,
 	// sampled once per delivered trace batch during TRG construction.
 	HistQueueOccupancy
+	// HistJobNanos sketches end-to-end job latency (submit to terminal
+	// state) in nanoseconds on the placement service.
+	HistJobNanos
+	// HistRequestNanos sketches per-HTTP-request handler latency in
+	// nanoseconds on the placement service.
+	HistRequestNanos
 
 	NumHists int = iota
 )
@@ -195,6 +222,8 @@ var histNames = [NumHists]string{
 	HistAccessSize:     "access_size_bytes",
 	HistMergeMembers:   "merge_members",
 	HistQueueOccupancy: "queue_occupancy_bytes",
+	HistJobNanos:       "server.job_ns",
+	HistRequestNanos:   "server.request_ns",
 }
 
 // String returns the histogram's export name.

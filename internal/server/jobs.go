@@ -1,0 +1,373 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/benchsuite"
+	"repro/internal/exec"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// ErrBusy is returned by Submit when the job queue is full — the HTTP
+// layer maps it to 503 so clients back off and retry.
+var ErrBusy = errors.New("server: job queue full")
+
+// ErrDraining is returned by Submit once shutdown has begun.
+var ErrDraining = errors.New("server: draining, not accepting jobs")
+
+// Job is one asynchronous placement-service computation. All mutable
+// fields are guarded by mu; done closes when the job reaches a terminal
+// state (what wait=true and the load harness block on).
+type Job struct {
+	ID  string
+	Req JobRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	prog   *benchsuite.Progress
+	ledger *lockedBuffer
+	lw     *ledger.Writer
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     JobState
+	errMsg    string
+	result    []byte
+	submitted time.Duration // offsets from the manager epoch
+	started   time.Duration
+	finished  time.Duration
+}
+
+// lockedBuffer is the in-memory sink for a job's private ledger: the
+// ledger writer appends from the worker goroutine while GET
+// /v1/jobs/{id}/ledger reads from request goroutines.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// Bytes returns a copy of everything written (and flushed) so far.
+func (b *lockedBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// Status renders the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.ID,
+		Kind:        j.Req.Kind,
+		Workload:    j.Req.Workload,
+		State:       j.state,
+		Error:       j.errMsg,
+		SubmittedNs: j.submitted.Nanoseconds(),
+		StartedNs:   j.started.Nanoseconds(),
+		DoneNs:      j.finished.Nanoseconds(),
+		LedgerURL:   "/v1/jobs/" + j.ID + "/ledger",
+	}
+	if j.state == StateRunning {
+		snap := j.prog.Snapshot()
+		st.Progress = &snap
+	}
+	if j.state == StateDone {
+		st.ResultURL = "/v1/jobs/" + j.ID + "/result"
+	}
+	return st
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the rendered result bytes, or an error naming the
+// non-done state.
+func (j *Job) Result() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, fmt.Errorf("job %s is %s, not done", j.ID, j.state)
+	}
+	return j.result, nil
+}
+
+// Done returns the channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Manager owns the server's asynchronous jobs: an exec.Pool of workers
+// executing them, the registry of every job submitted this process, and
+// the shutdown drain. Job IDs are sequential per process — they name a
+// row in this registry, nothing durable.
+type Manager struct {
+	srv   *Server
+	pool  *exec.Pool
+	mc    *metrics.Collector
+	epoch time.Time
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string
+	seq        int
+	running    int
+	maxRunning int // high-water mark, observed by the concurrency test
+	closed     bool
+}
+
+func newManager(srv *Server) *Manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		srv:        srv,
+		pool:       exec.NewPool(srv.cfg.Workers, srv.cfg.Queue, srv.mc),
+		mc:         srv.mc,
+		epoch:      time.Now(),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		jobs:       make(map[string]*Job),
+	}
+}
+
+// Submit validates nothing (the HTTP layer already did), registers the
+// job, and hands it to the pool. ErrBusy means the queue is full;
+// ErrDraining means shutdown has begun.
+func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.seq++
+	id := fmt.Sprintf("job-%04d", m.seq)
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		ID:        id,
+		Req:       req,
+		ctx:       ctx,
+		cancel:    cancel,
+		prog:      benchsuite.NewProgress(progressTotal(req)),
+		ledger:    &lockedBuffer{},
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Since(m.epoch),
+	}
+	j.lw = ledger.New(j.ledger)
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+
+	if !m.pool.TrySubmit(func(wmc *metrics.Collector) { m.run(j, wmc) }) {
+		// Unregister the refused job. The sequence number is not reused —
+		// a concurrent Submit may already hold the next one.
+		m.mu.Lock()
+		delete(m.jobs, id)
+		for i, oid := range m.order {
+			if oid == id {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		cancel()
+		m.mc.Add(metrics.ServerJobsRejected, 1)
+		return nil, ErrBusy
+	}
+	m.mc.Add(metrics.ServerJobsSubmitted, 1)
+	return j, nil
+}
+
+// progressTotal is the number of workload pipelines the job runs.
+func progressTotal(req JobRequest) int {
+	if req.Kind != KindSuite {
+		return 1
+	}
+	if len(req.Workloads) > 0 {
+		return len(req.Workloads)
+	}
+	return len(workload.Names())
+}
+
+// run executes one job on a pool worker.
+func (m *Manager) run(j *Job, wmc *metrics.Collector) {
+	// Cancelled while queued: Cancel already finalized the job.
+	if j.State().Terminal() {
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		m.finish(j, StateCancelled, nil, err)
+		return
+	}
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Since(m.epoch)
+	j.mu.Unlock()
+	m.mu.Lock()
+	m.running++
+	if m.running > m.maxRunning {
+		m.maxRunning = m.running
+	}
+	m.mu.Unlock()
+
+	start := time.Now()
+	result, err := m.srv.execute(j.ctx, j, wmc)
+	wmc.Observe(metrics.HistJobNanos, uint64(time.Since(start).Nanoseconds()))
+
+	m.mu.Lock()
+	m.running--
+	m.mu.Unlock()
+
+	switch {
+	case err == nil:
+		m.finish(j, StateDone, result, nil)
+	case errors.Is(err, context.Canceled):
+		m.finish(j, StateCancelled, nil, err)
+	default:
+		m.finish(j, StateFailed, nil, err)
+	}
+}
+
+// finish moves the job to a terminal state exactly once: it seals the
+// ledger, stamps the finish time, bumps the outcome counter, and closes
+// the done channel.
+func (m *Manager) finish(j *Job, state JobState, result []byte, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.result = result
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Since(m.epoch)
+	j.mu.Unlock()
+
+	_ = j.lw.Close()
+	j.cancel()
+	switch state {
+	case StateDone:
+		m.mc.Add(metrics.ServerJobsDone, 1)
+	case StateFailed:
+		m.mc.Add(metrics.ServerJobsFailed, 1)
+	case StateCancelled:
+		m.mc.Add(metrics.ServerJobsCancelled, 1)
+	}
+	close(j.done)
+}
+
+// Get looks a job up by ID.
+func (m *Manager) Get(id string) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// List returns every job in submission order.
+func (m *Manager) List() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, len(m.order))
+	for i, id := range m.order {
+		out[i] = m.jobs[id]
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job. A queued job finalizes
+// immediately; a running one stops at its next pipeline stage boundary.
+// It reports false when the job was already terminal.
+func (m *Manager) Cancel(j *Job) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	j.cancel()
+	if queued {
+		// The pool will eventually dequeue the job, see it terminal, and
+		// skip it; clients see the final state now.
+		m.finish(j, StateCancelled, nil, context.Canceled)
+	}
+	return true
+}
+
+// StateCounts tallies jobs by state, for /healthz.
+func (m *Manager) StateCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, j := range m.List() {
+		counts[string(j.State())]++
+	}
+	return counts
+}
+
+// MaxRunning returns the high-water mark of concurrently running jobs.
+func (m *Manager) MaxRunning() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxRunning
+}
+
+// Drain performs the graceful shutdown: stop accepting submissions, give
+// in-flight jobs until the deadline to finish, then cancel whatever
+// remains and wait for the workers to stop. It returns the number of
+// jobs that had to be cancelled.
+func (m *Manager) Drain(timeout time.Duration) int {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	expired := false
+	for _, j := range m.List() {
+		if expired {
+			break
+		}
+		select {
+		case <-j.Done():
+		case <-deadline.C:
+			expired = true
+		}
+	}
+
+	cancelled := 0
+	for _, j := range m.List() {
+		if !j.State().Terminal() {
+			j.cancel()
+			cancelled++
+		}
+	}
+	m.cancelBase()
+	// Close the pool: workers drain the queue (every queued job sees its
+	// cancelled context and finalizes) and exit after their current job.
+	m.pool.Close()
+	// Finalize anything the workers skipped as already-cancelled-queued.
+	for _, j := range m.List() {
+		if !j.State().Terminal() {
+			m.finish(j, StateCancelled, nil, context.Canceled)
+		}
+	}
+	return cancelled
+}

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadConfig parameterises one load-harness run against a live server.
+type LoadConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8344".
+	BaseURL string
+	// Body is the JSON job request every probe submits.
+	Body []byte
+	// QPS is the open-loop submission rate (0 selects 4).
+	QPS float64
+	// Duration bounds the submission window (0 selects 5s).
+	Duration time.Duration
+	// Concurrency caps in-flight probes; submissions past the cap are
+	// counted as dropped rather than queued, keeping the loop open
+	// (0 selects 2x the QPS, at least 8).
+	Concurrency int
+	// PollInterval is the status-poll cadence (0 selects 25ms).
+	PollInterval time.Duration
+}
+
+// LoadReport is the harness outcome: counts plus the latency
+// distribution of successful submit->result round trips.
+type LoadReport struct {
+	Requests  int           `json:"requests"`
+	OK        int           `json:"ok"`
+	Rejected  int           `json:"rejected"` // 503 backpressure
+	Failed    int           `json:"failed"`
+	Dropped   int           `json:"dropped"` // over the concurrency cap
+	Wall      time.Duration `json:"wallNs"`
+	QPS       float64       `json:"qps"`
+	P50       time.Duration `json:"p50Ns"`
+	P95       time.Duration `json:"p95Ns"`
+	P99       time.Duration `json:"p99Ns"`
+	MaxLat    time.Duration `json:"maxNs"`
+	FirstByte string        `json:"firstError,omitempty"`
+}
+
+// String renders the report in the one-line style the bench harness uses.
+func (r LoadReport) String() string {
+	return fmt.Sprintf(
+		"requests %d  ok %d  rejected %d  failed %d  dropped %d  wall %s  qps %.1f  p50 %s  p95 %s  p99 %s  max %s",
+		r.Requests, r.OK, r.Rejected, r.Failed, r.Dropped,
+		r.Wall.Round(time.Millisecond), r.QPS,
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.MaxLat.Round(time.Microsecond))
+}
+
+// RunLoad drives an open-loop load test: submit cfg.Body at cfg.QPS for
+// cfg.Duration, poll each accepted job to a terminal state, fetch its
+// result, and record the full submit->result latency. 503 rejections
+// (queue backpressure) are counted separately from failures — under
+// deliberate overload they are the server working as designed.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
+	if cfg.BaseURL == "" {
+		return LoadReport{}, fmt.Errorf("server: load test needs a base URL")
+	}
+	if cfg.QPS <= 0 {
+		cfg.QPS = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = int(2 * cfg.QPS)
+		if cfg.Concurrency < 8 {
+			cfg.Concurrency = 8
+		}
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 25 * time.Millisecond
+	}
+
+	var (
+		mu        sync.Mutex
+		report    LoadReport
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	client := &http.Client{}
+	sem := make(chan struct{}, cfg.Concurrency)
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(cfg.Duration)
+	start := time.Now()
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-stop:
+			break loop
+		case <-ticker.C:
+			mu.Lock()
+			report.Requests++
+			mu.Unlock()
+			select {
+			case sem <- struct{}{}:
+			default:
+				mu.Lock()
+				report.Dropped++
+				mu.Unlock()
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				lat, outcome, err := probe(ctx, client, cfg)
+				mu.Lock()
+				defer mu.Unlock()
+				switch outcome {
+				case probeOK:
+					report.OK++
+					latencies = append(latencies, lat)
+				case probeRejected:
+					report.Rejected++
+				default:
+					report.Failed++
+					if report.FirstByte == "" && err != nil {
+						report.FirstByte = err.Error()
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	report.Wall = time.Since(start)
+	if report.Wall > 0 {
+		report.QPS = float64(report.OK) / report.Wall.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	report.P50 = percentile(latencies, 50)
+	report.P95 = percentile(latencies, 95)
+	report.P99 = percentile(latencies, 99)
+	if n := len(latencies); n > 0 {
+		report.MaxLat = latencies[n-1]
+	}
+	return report, nil
+}
+
+type probeOutcome int
+
+const (
+	probeOK probeOutcome = iota
+	probeRejected
+	probeFailed
+)
+
+// probe runs one submit -> poll -> result round trip.
+func probe(ctx context.Context, client *http.Client, cfg LoadConfig) (time.Duration, probeOutcome, error) {
+	start := time.Now()
+	status, err := postJob(ctx, client, cfg)
+	if err != nil {
+		return 0, probeFailed, err
+	}
+	if status.rejected {
+		return 0, probeRejected, nil
+	}
+	for !status.state.Terminal() {
+		select {
+		case <-ctx.Done():
+			return 0, probeFailed, ctx.Err()
+		case <-time.After(cfg.PollInterval):
+		}
+		status.state, err = pollState(ctx, client, cfg.BaseURL, status.id)
+		if err != nil {
+			return 0, probeFailed, err
+		}
+	}
+	if status.state != StateDone {
+		return 0, probeFailed, fmt.Errorf("job %s finished %s", status.id, status.state)
+	}
+	if err := fetchResult(ctx, client, cfg.BaseURL, status.id); err != nil {
+		return 0, probeFailed, err
+	}
+	return time.Since(start), probeOK, nil
+}
+
+type submitStatus struct {
+	id       string
+	state    JobState
+	rejected bool
+}
+
+func postJob(ctx context.Context, client *http.Client, cfg LoadConfig) (submitStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		cfg.BaseURL+"/v1/jobs", bytes.NewReader(cfg.Body))
+	if err != nil {
+		return submitStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return submitStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return submitStatus{rejected: true}, nil
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return submitStatus{}, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var js JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		return submitStatus{}, fmt.Errorf("submit: decoding status: %w", err)
+	}
+	return submitStatus{id: js.ID, state: js.State}, nil
+}
+
+func pollState(ctx context.Context, client *http.Client, base, id string) (JobState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("poll %s: %s", id, resp.Status)
+	}
+	var js JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		return "", fmt.Errorf("poll %s: %w", id, err)
+	}
+	return js.State, nil
+}
+
+func fetchResult(ctx context.Context, client *http.Client, base, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("result %s: %s", id, resp.Status)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("result %s: empty body", id)
+	}
+	return nil
+}
+
+// percentile reads the p-th percentile from sorted latencies
+// (nearest-rank; zero when empty).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

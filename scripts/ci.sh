@@ -121,4 +121,44 @@ echo "recorded=$recorded across processes, distinct traces=$files"
 echo "==> multi-core speedup gate"
 go run ./cmd/ccdpbench -parallel 4 -min-speedup 1.5 -q -out /tmp/bench_speedup.json
 
+echo "==> placement service smoke (ccdpd)"
+# Boot the daemon against the warm shared store, drive one job through
+# submit -> status poll -> result over plain HTTP, then prove the service
+# is deterministic: a second identical submission (via the ?wait=true
+# fast path) must return byte-identical result bytes. Ends with a clean
+# SIGTERM drain; a non-zero daemon exit fails the step.
+go build -o /tmp/ccdpd-ci ./cmd/ccdpd
+/tmp/ccdpd-ci -addr 127.0.0.1:18344 -trace-dir /tmp/ccdp-trace-store -quiet &
+dpid=$!
+up=""
+for i in $(seq 1 50); do
+    if curl -sf http://127.0.0.1:18344/healthz | grep -q '"status": *"ok"'; then up=1; break; fi
+    sleep 0.2
+done
+[ -n "$up" ] || { echo "ccdpd never became healthy" >&2; exit 1; }
+curl -sf http://127.0.0.1:18344/v1/workloads | grep -q '"espresso"' || { echo "workload listing broken" >&2; exit 1; }
+jobreq='{"kind":"eval","workload":"espresso","scale":0.05}'
+id=$(curl -sf -d "$jobreq" http://127.0.0.1:18344/v1/jobs | grep -o '"id": *"[^"]*"' | cut -d'"' -f4)
+[ -n "$id" ] || { echo "submit returned no job id" >&2; exit 1; }
+state=""
+for i in $(seq 1 150); do
+    state=$(curl -sf "http://127.0.0.1:18344/v1/jobs/$id" | grep -o '"state": *"[^"]*"' | cut -d'"' -f4)
+    [ "$state" = "done" ] && break
+    case "$state" in failed|cancelled) echo "job $id ended $state" >&2; exit 1;; esac
+    sleep 0.2
+done
+[ "$state" = "done" ] || { echo "job $id stuck in '$state'" >&2; exit 1; }
+curl -sf "http://127.0.0.1:18344/v1/jobs/$id/result" > /tmp/ccdpd-a.json
+grep -q '"program": "espresso"' /tmp/ccdpd-a.json || { echo "result is not a report" >&2; exit 1; }
+id2=$(curl -sf -d "$jobreq" "http://127.0.0.1:18344/v1/jobs?wait=true" | grep -o '"id": *"[^"]*"' | cut -d'"' -f4)
+curl -sf "http://127.0.0.1:18344/v1/jobs/$id2/result" > /tmp/ccdpd-b.json
+cmp /tmp/ccdpd-a.json /tmp/ccdpd-b.json || { echo "service results are not deterministic" >&2; exit 1; }
+kill -TERM "$dpid"
+wait "$dpid" || { echo "ccdpd exited non-zero on SIGTERM" >&2; exit 1; }
+
+echo "==> ccdpd load harness"
+# The built-in open-loop load test: submits eval jobs at a fixed QPS
+# against an ephemeral instance and fails on any errored round trip.
+/tmp/ccdpd-ci -selftest -selftest-qps 6 -selftest-duration 3s -quiet -trace-dir /tmp/ccdp-trace-store
+
 echo "CI OK"
