@@ -51,6 +51,7 @@ func run() int {
 		scale       = flag.Float64("scale", benchsuite.DefaultScale, "default trace scale for jobs that don't set one")
 		maxScale    = flag.Float64("max-scale", 1.0, "largest per-request scale accepted")
 		maxCells    = flag.Int("max-sweep-cells", 256, "largest expanded sweep grid accepted")
+		retain      = flag.Int("retain", 256, "finished jobs kept queryable; beyond this the oldest are evicted and their IDs 404 (negative: keep all)")
 		shutdownTO  = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests and running jobs at shutdown")
 		selftest    = flag.Bool("selftest", false, "boot the server, run the load harness against it, report QPS and latency percentiles, exit")
 		selftestQPS = flag.Float64("selftest-qps", 8, "load-harness submission rate")
@@ -94,6 +95,7 @@ func run() int {
 		Workers:       *workers,
 		Queue:         *queue,
 		MaxSweepCells: *maxCells,
+		RetainJobs:    *retain,
 		Trace:         tc,
 		Metrics:       mc,
 		Logf:          logf,

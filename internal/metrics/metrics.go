@@ -99,6 +99,9 @@ const (
 	ServerJobsDone
 	ServerJobsFailed
 	ServerJobsCancelled
+	// ServerJobsEvicted counts terminal jobs dropped from the registry by
+	// the retention cap (their IDs 404 afterwards).
+	ServerJobsEvicted
 
 	NumCounters int = iota
 )
@@ -131,6 +134,7 @@ var counterNames = [NumCounters]string{
 	ServerJobsDone:         "server.jobs_done",
 	ServerJobsFailed:       "server.jobs_failed",
 	ServerJobsCancelled:    "server.jobs_cancelled",
+	ServerJobsEvicted:      "server.jobs_evicted",
 }
 
 // String returns the counter's export name.

@@ -53,14 +53,17 @@ type JobRequest struct {
 	// Scale multiplies input burst counts (0 = server default). The
 	// server rejects scales above its configured maximum.
 	Scale float64 `json:"scale,omitempty"`
-	// Layouts restricts the evaluated placements (nil = natural+ccdp).
+	// Layouts restricts the evaluated placements (nil = natural+ccdp;
+	// not accepted on suite jobs, which run the fixed harness pipeline).
 	Layouts []string `json:"layouts,omitempty"`
 	// Inputs restricts the evaluated datasets to "train"/"test" subsets
-	// (nil = both).
+	// (nil = both; not accepted on suite jobs).
 	Inputs []string `json:"inputs,omitempty"`
-	// Cache overrides the simulated cache geometry.
+	// Cache overrides the simulated cache geometry (not accepted on
+	// suite jobs).
 	Cache *CacheSpec `json:"cache,omitempty"`
-	// Profile overrides the profiling configuration.
+	// Profile overrides the profiling configuration (not accepted on
+	// suite jobs).
 	Profile *ProfileSpec `json:"profile,omitempty"`
 	// Grid is the sweep grid (sweep jobs only; nil = the default grid).
 	Grid *sweep.Grid `json:"grid,omitempty"`
@@ -192,6 +195,20 @@ func (s *Server) validate(req *JobRequest) error {
 	if req.Kind == KindSuite {
 		if req.Workload != "" {
 			return badRequest("suite jobs take workloads (plural), not workload")
+		}
+		// The suite runs the harness's fixed pipeline configuration;
+		// benchsuite.Config has no seams for these overrides, and
+		// accepting them while computing with defaults would misreport
+		// what was run.
+		switch {
+		case req.Cache != nil:
+			return badRequest("cache overrides are not supported on suite jobs")
+		case req.Profile != nil:
+			return badRequest("profile overrides are not supported on suite jobs")
+		case len(req.Layouts) > 0:
+			return badRequest("layouts are not supported on suite jobs")
+		case len(req.Inputs) > 0:
+			return badRequest("inputs are not supported on suite jobs")
 		}
 		for _, name := range req.Workloads {
 			if _, err := workload.Get(name); err != nil {

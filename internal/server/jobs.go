@@ -147,8 +147,8 @@ func newManager(srv *Server) *Manager {
 	}
 }
 
-// Submit validates nothing (the HTTP layer already did), registers the
-// job, and hands it to the pool. ErrBusy means the queue is full;
+// Submit validates nothing (the HTTP layer already did), hands the job
+// to the pool, and registers it. ErrBusy means the queue is full;
 // ErrDraining means shutdown has begun.
 func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	m.mu.Lock()
@@ -158,6 +158,8 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	}
 	m.seq++
 	id := fmt.Sprintf("job-%04d", m.seq)
+	m.mu.Unlock()
+
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
 		ID:        id,
@@ -171,26 +173,20 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		submitted: time.Since(m.epoch),
 	}
 	j.lw = ledger.New(j.ledger)
-	m.jobs[id] = j
-	m.order = append(m.order, id)
-	m.mu.Unlock()
-
+	// Register only after the pool accepts the job: a refused job is
+	// never visible, so nothing — Drain included — can end up waiting on
+	// a done channel that will never close. The sequence number is not
+	// reused on refusal: a concurrent Submit may already hold the next
+	// one.
 	if !m.pool.TrySubmit(func(wmc *metrics.Collector) { m.run(j, wmc) }) {
-		// Unregister the refused job. The sequence number is not reused —
-		// a concurrent Submit may already hold the next one.
-		m.mu.Lock()
-		delete(m.jobs, id)
-		for i, oid := range m.order {
-			if oid == id {
-				m.order = append(m.order[:i], m.order[i+1:]...)
-				break
-			}
-		}
-		m.mu.Unlock()
 		cancel()
 		m.mc.Add(metrics.ServerJobsRejected, 1)
 		return nil, ErrBusy
 	}
+	m.mu.Lock()
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.mu.Unlock()
 	m.mc.Add(metrics.ServerJobsSubmitted, 1)
 	return j, nil
 }
@@ -208,15 +204,22 @@ func progressTotal(req JobRequest) int {
 
 // run executes one job on a pool worker.
 func (m *Manager) run(j *Job, wmc *metrics.Collector) {
-	// Cancelled while queued: Cancel already finalized the job.
-	if j.State().Terminal() {
+	// The queued->running transition is atomic with the terminal check:
+	// Cancel may finalize a queued job at any instant, and a dequeue that
+	// checked and then transitioned in separate critical sections could
+	// overwrite the terminal state, run with a cancelled context, and
+	// finish (close done) a second time.
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while queued: Cancel already finalized the job.
+		j.mu.Unlock()
 		return
 	}
 	if err := j.ctx.Err(); err != nil {
+		j.mu.Unlock()
 		m.finish(j, StateCancelled, nil, err)
 		return
 	}
-	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Since(m.epoch)
 	j.mu.Unlock()
@@ -249,8 +252,17 @@ func (m *Manager) run(j *Job, wmc *metrics.Collector) {
 // ledger, stamps the finish time, bumps the outcome counter, and closes
 // the done channel.
 func (m *Manager) finish(j *Job, state JobState, result []byte, err error) {
+	m.finishFrom(j, "", state, result, err)
+}
+
+// finishFrom is finish gated on the job's current state: when from is
+// non-empty, the transition happens only if the job is still in that
+// state. Cancel uses it so finalizing a queued job cannot race a worker
+// that just won the queued->running transition — whichever side moves
+// the state first owns the terminal transition.
+func (m *Manager) finishFrom(j *Job, from, state JobState, result []byte, err error) {
 	j.mu.Lock()
-	if j.state.Terminal() {
+	if j.state.Terminal() || (from != "" && j.state != from) {
 		j.mu.Unlock()
 		return
 	}
@@ -273,6 +285,42 @@ func (m *Manager) finish(j *Job, state JobState, result []byte, err error) {
 		m.mc.Add(metrics.ServerJobsCancelled, 1)
 	}
 	close(j.done)
+	m.evict()
+}
+
+// evict trims the registry after a job finalizes: once more than
+// cfg.RetainJobs jobs are terminal, the oldest terminal ones are
+// dropped — with the result and ledger bytes they pin — so a
+// long-running daemon's memory and job listing stay bounded. Evicted
+// IDs 404 afterwards; queued and running jobs are never evicted.
+func (m *Manager) evict() {
+	retain := m.srv.cfg.RetainJobs
+	if retain < 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	terminal := 0
+	for _, id := range m.order {
+		if m.jobs[id].State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= retain {
+		return
+	}
+	evicted := terminal - retain
+	keep := make([]string, 0, len(m.order)-evicted)
+	for _, id := range m.order {
+		if terminal > retain && m.jobs[id].State().Terminal() {
+			delete(m.jobs, id)
+			terminal--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	m.order = keep
+	m.mc.Add(metrics.ServerJobsEvicted, uint64(evicted))
 }
 
 // Get looks a job up by ID.
@@ -302,14 +350,15 @@ func (m *Manager) Cancel(j *Job) bool {
 		j.mu.Unlock()
 		return false
 	}
-	queued := j.state == StateQueued
 	j.mu.Unlock()
 	j.cancel()
-	if queued {
-		// The pool will eventually dequeue the job, see it terminal, and
-		// skip it; clients see the final state now.
-		m.finish(j, StateCancelled, nil, context.Canceled)
-	}
+	// Finalize a still-queued job now so clients see the final state
+	// immediately (the pool will dequeue it, see it terminal, and skip
+	// it). The transition is gated on the state inside finishFrom: if a
+	// worker won the queued->running race in the meantime, it keeps
+	// ownership of the terminal transition and the cancelled context
+	// stops it at the next stage boundary instead.
+	m.finishFrom(j, StateQueued, StateCancelled, nil, context.Canceled)
 	return true
 }
 

@@ -239,9 +239,11 @@ type sweepResult struct {
 }
 
 func (s *Server) executeSweep(ctx context.Context, j *Job, w workload.Workload, opts sim.Options) ([]byte, error) {
-	// The sweep engine has no internal stage boundaries, so cancellation
-	// is checked before the (single) run only: a sweep that has started
-	// runs to completion.
+	// The job context rides into the engine: cancellation (DELETE,
+	// client abort, shutdown drain) is observed at the prep-stage
+	// boundaries and between broadcast batches of the replay, so a
+	// running sweep stops within one batch instead of finishing the
+	// whole grid.
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("server: %s cancelled before sweep: %w", w.Name(), err)
 	}
@@ -258,6 +260,7 @@ func (s *Server) executeSweep(ctx context.Context, j *Job, w workload.Workload, 
 		Grid:     grid,
 		Options:  opts,
 		Trace:    s.cfg.Trace,
+		Context:  ctx,
 	})
 	if err != nil {
 		return nil, err

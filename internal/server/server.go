@@ -50,6 +50,11 @@ type Config struct {
 	Queue   int
 	// MaxSweepCells caps a sweep request's expanded grid (0 selects 256).
 	MaxSweepCells int
+	// RetainJobs caps how many terminal jobs stay queryable: once more
+	// are terminal, the oldest are evicted with the result and ledger
+	// bytes they pin, and their IDs 404 (0 selects 256; negative retains
+	// everything — unbounded memory under steady traffic).
+	RetainJobs int
 	// Trace configures the shared trace store every job runs against.
 	Trace sim.TraceConfig
 	// Metrics receives server and pipeline instrumentation.
@@ -85,6 +90,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxSweepCells <= 0 {
 		cfg.MaxSweepCells = 256
+	}
+	if cfg.RetainJobs == 0 {
+		cfg.RetainJobs = 256
 	}
 	s := &Server{cfg: cfg, mc: cfg.Metrics}
 	s.mgr = newManager(s)

@@ -215,6 +215,12 @@ func TestBadRequests(t *testing.T) {
 		{`{"kind":"eval","workload":"espresso","cache":{"size":3000}}`, http.StatusBadRequest},
 		{`{"kind":"eval","workload":"espresso","grid":{}}`, http.StatusBadRequest},
 		{`{"kind":"suite","workload":"espresso"}`, http.StatusBadRequest},
+		// Suite jobs run the fixed harness pipeline: overrides that the
+		// suite cannot honor are rejected, not silently ignored.
+		{`{"kind":"suite","cache":{"size":8192}}`, http.StatusBadRequest},
+		{`{"kind":"suite","profile":{"chunk":512}}`, http.StatusBadRequest},
+		{`{"kind":"suite","layouts":["ccdp"]}`, http.StatusBadRequest},
+		{`{"kind":"suite","inputs":["test"]}`, http.StatusBadRequest},
 		{`{"kind":"sweep","workload":"espresso","grid":{"sizes":[1024,2048,4096,8192],"blocks":[16,32,64],"assocs":[1,2,4],"chunks":[64,128,256],"queues":[4096,8192],"layouts":["natural","ccdp","random"]}}`, http.StatusBadRequest},
 		{`{"kind":"eval","workload":"doom"}`, http.StatusNotFound},
 		{`{"kind":"suite","workloads":["doom"]}`, http.StatusNotFound},
@@ -337,6 +343,92 @@ func TestConcurrencyBoundedByPool(t *testing.T) {
 	}
 	if max := s.Jobs().MaxRunning(); max > 2 {
 		t.Fatalf("max concurrent jobs %d, want <= 2", max)
+	}
+	// Refused submissions are never registered: nothing (the shutdown
+	// drain included) can end up waiting on a job that will never run.
+	if got := len(s.Jobs().List()); got != len(accepted) {
+		t.Fatalf("registry holds %d jobs, want the %d accepted", got, len(accepted))
+	}
+}
+
+// TestRetention verifies terminal-job eviction: with RetainJobs=2, older
+// finished jobs fall out of the registry (404) while the newest stay
+// queryable, bounding a long-running daemon's memory.
+func TestRetention(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, RetainJobs: 2})
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/jobs?wait=true", `{"kind":"eval","workload":"espresso"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: %s: %s", i, resp.Status, body)
+		}
+		js := decodeStatus(t, body)
+		if js.State != StateDone {
+			t.Fatalf("job %d finished %s (%s)", i, js.State, js.Error)
+		}
+		ids = append(ids, js.ID)
+	}
+
+	resp, body := get(t, ts.URL+"/v1/jobs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %s", resp.Status)
+	}
+	var list JobList
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 2 {
+		t.Fatalf("list holds %d jobs, want the 2 retained", len(list.Jobs))
+	}
+	if list.Jobs[0].ID != ids[3] || list.Jobs[1].ID != ids[4] {
+		t.Fatalf("retained %s/%s, want the newest %s/%s",
+			list.Jobs[0].ID, list.Jobs[1].ID, ids[3], ids[4])
+	}
+	if resp, _ := get(t, ts.URL+"/v1/jobs/"+ids[0]); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job status -> %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/jobs/"+ids[4]+"/result"); resp.StatusCode != http.StatusOK {
+		t.Errorf("retained job result -> %d, want 200", resp.StatusCode)
+	}
+	if got := s.cfg.Metrics.Get(metrics.ServerJobsEvicted); got != 3 {
+		t.Errorf("evicted counter = %d, want 3", got)
+	}
+}
+
+// TestCancelSubmitRace hammers the queued->running handoff: submitting
+// and immediately cancelling must never resurrect a finalized job or
+// close its done channel twice (which would panic the daemon), whichever
+// side wins the dequeue race.
+func TestCancelSubmitRace(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2, Queue: 64, RetainJobs: -1})
+	mgr := s.Jobs()
+
+	const n = 40
+	var wg sync.WaitGroup
+	jobs := make([]*Job, 0, n)
+	for i := 0; i < n; i++ {
+		j, err := mgr.Submit(JobRequest{Kind: KindEval, Workload: "espresso", Scale: testScale})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+		wg.Add(1)
+		go func(j *Job) {
+			defer wg.Done()
+			mgr.Cancel(j)
+		}(j)
+	}
+	wg.Wait()
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		case <-time.After(60 * time.Second):
+			t.Fatalf("job %s never finalized (state %s)", j.ID, j.State())
+		}
+		if st := j.State(); st != StateCancelled && st != StateDone {
+			t.Errorf("job %s finalized as %s", j.ID, st)
+		}
 	}
 }
 

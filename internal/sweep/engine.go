@@ -50,6 +50,13 @@ type Request struct {
 	// shared store (recording on first contact unless RequireRecorded);
 	// a disabled one records both inputs into memory once.
 	Trace sim.TraceConfig
+
+	// Context, when non-nil, cancels a run in flight: the engines check
+	// it at prep-stage boundaries and between broadcast batches of the
+	// shared replay, so a cancelled sweep stops within one batch rather
+	// than running the full grid to completion (what lets ccdpd's
+	// shutdown drain and DELETE stay deadline-bounded for sweep jobs).
+	Context context.Context
 }
 
 // Prep is a sweep with its grid expanded and its traces pinned. Profiles
@@ -290,7 +297,7 @@ func (p *Prep) materialize() error {
 			return sim.ProfileFrom(src, opts)
 		}
 	}
-	profResults, err := exec.Map(context.Background(), req.Options.Parallelism, mc, profTasks)
+	profResults, err := exec.Map(p.ctx(), req.Options.Parallelism, mc, profTasks)
 	if err != nil {
 		return fmt.Errorf("sweep: profiling: %w", err)
 	}
@@ -323,7 +330,7 @@ func (p *Prep) materialize() error {
 			return sim.Place(req.Workload, pr, opts)
 		}
 	}
-	placeResults, err := exec.Map(context.Background(), req.Options.Parallelism, mc, placeTasks)
+	placeResults, err := exec.Map(p.ctx(), req.Options.Parallelism, mc, placeTasks)
 	if err != nil {
 		return fmt.Errorf("sweep: placement: %w", err)
 	}
@@ -347,6 +354,14 @@ func (p *Prep) materialize() error {
 
 // Cells returns the expanded grid.
 func (p *Prep) Cells() []Cell { return p.cells }
+
+// ctx returns the request's cancellation context (Background when unset).
+func (p *Prep) ctx() context.Context {
+	if p.req.Context != nil {
+		return p.req.Context
+	}
+	return context.Background()
+}
 
 // open returns a replay stream for the input's trace.
 func (p *Prep) open(in workload.Input, opts sim.Options) (sim.EventStream, error) {
@@ -393,6 +408,13 @@ type collector struct {
 	fl      *exec.FreeList[*batch]
 	cur     *batch
 	workers int32
+	ctx     context.Context
+
+	// aborted flips when ctx is cancelled mid-replay: enrichment and
+	// broadcasting stop so the rest of the decode drains as a no-op
+	// (Drive has no abort seam), and RunShared returns the context error
+	// instead of a result.
+	aborted bool
 
 	batches     uint64
 	events      uint64
@@ -421,6 +443,9 @@ func (c *collector) HandleBatch(evs []trace.Event) {
 }
 
 func (c *collector) add(ev trace.Event) {
+	if c.aborted {
+		return
+	}
 	c.counter.HandleEvent(ev)
 	c.events++
 	r := rec{kind: ev.Kind, obj: ev.Obj, off: ev.Off}
@@ -442,7 +467,12 @@ func (c *collector) add(ev trace.Event) {
 }
 
 func (c *collector) flush() {
-	if len(c.cur.recs) == 0 {
+	if c.aborted || len(c.cur.recs) == 0 {
+		return
+	}
+	if c.ctx.Err() != nil {
+		c.aborted = true
+		c.cur.recs = c.cur.recs[:0]
 		return
 	}
 	c.cur.pending.Store(c.workers)
@@ -815,6 +845,9 @@ func (p *Prep) buildGroups(table *object.Table, parallel int) ([]*layoutGroup, [
 	}
 
 	for _, pk := range profKeys {
+		if err := p.ctx().Err(); err != nil {
+			return nil, nil, nil, fmt.Errorf("sweep: prep cancelled: %w", err)
+		}
 		gs := profGroups[pk]
 		pr := profiles[pk]
 
@@ -835,7 +868,7 @@ func (p *Prep) buildGroups(table *object.Table, parallel int) ([]*layoutGroup, [
 				return sim.Place(p.req.Workload, pr, opts)
 			}
 		}
-		placeResults, err := exec.Map(context.Background(), parallel, mc, placeTasks)
+		placeResults, err := exec.Map(p.ctx(), parallel, mc, placeTasks)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("sweep: placement: %w", err)
 		}
@@ -877,6 +910,10 @@ func (p *Prep) RunShared(parallel int) (*Result, error) {
 	start := time.Now()
 	if parallel < 1 {
 		parallel = 1
+	}
+	ctx := p.ctx()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: cancelled: %w", err)
 	}
 
 	src, err := p.open(p.req.Test, p.req.Options)
@@ -927,6 +964,7 @@ func (p *Prep) RunShared(parallel int) (*Result, error) {
 		fl:       fl,
 		cur:      fl.Get(),
 		workers:  int32(workers),
+		ctx:      ctx,
 		lastExit: time.Now(),
 	}
 	driveErr := src.Drive(col)
@@ -934,6 +972,9 @@ func (p *Prep) RunShared(parallel int) (*Result, error) {
 	st.Close()
 	if driveErr != nil {
 		return nil, driveErr
+	}
+	if col.aborted {
+		return nil, fmt.Errorf("sweep: %s replay cancelled: %w", p.req.Test.Label, ctx.Err())
 	}
 
 	res := &Result{
@@ -1019,7 +1060,7 @@ func (p *Prep) RunIndependent(parallel int) (*Result, error) {
 			return cr, err
 		}
 	}
-	cells, err := exec.Map(context.Background(), parallel, mc, tasks)
+	cells, err := exec.Map(p.ctx(), parallel, mc, tasks)
 	if err != nil {
 		return nil, err
 	}

@@ -2,14 +2,21 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
+	"repro/internal/exec"
 	"repro/internal/hierarchy"
 	"repro/internal/metrics"
+	"repro/internal/object"
 	"repro/internal/persist"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -511,5 +518,69 @@ func TestCellLabels(t *testing.T) {
 	c.Heap = "first" // the default fit stays out of the label
 	if got := c.Label(); strings.Contains(got, "first") {
 		t.Fatalf("label %q mentions the default heap fit", got)
+	}
+}
+
+// TestRunSharedCancelled verifies the request context gates the shared
+// engine: a cancelled context fails the run before any simulation work,
+// with the cancellation visible through errors.Is (what ccdpd's job
+// manager classifies cancelled jobs by).
+func TestRunSharedCancelled(t *testing.T) {
+	g := Grid{Sizes: []int64{4096, 8192}, Layouts: []string{"natural", "ccdp"}}
+	req := smallRequest(t, "espresso", 0.05, g)
+	ctx, cancel := context.WithCancel(context.Background())
+	req.Context = ctx
+	p := mustPrep(t, req)
+
+	cancel()
+	if _, err := p.RunShared(2); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunShared with cancelled context: err = %v, want context.Canceled", err)
+	}
+	if _, err := p.RunIndependent(2); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunIndependent with cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCollectorAbortsMidReplay drives the shared-replay collector
+// directly: once its context is cancelled, already-buffered and
+// subsequent events must be dropped instead of broadcast (Drive has no
+// abort seam, so this is how a running sweep stops within one batch).
+func TestCollectorAbortsMidReplay(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	table := object.NewTable(4096)
+	fl := exec.NewFreeList(2, func() *batch { return &batch{recs: make([]rec, 0, batchSize)} })
+	var delivered atomic.Int32
+	st := exec.NewStream(1, 1, func(w int, b *batch) {
+		delivered.Add(1)
+		if b.pending.Add(-1) == 0 {
+			b.recs = b.recs[:0]
+			fl.Put(b)
+		}
+	})
+	col := &collector{
+		objs:     table,
+		counter:  trace.NewCounter(table),
+		st:       st,
+		fl:       fl,
+		cur:      fl.Get(),
+		workers:  1,
+		ctx:      ctx,
+		lastExit: time.Now(),
+	}
+	ev := trace.Event{Kind: trace.Load, Obj: 0, Size: 4}
+	for i := 0; i < batchSize; i++ {
+		col.HandleEvent(ev) // exactly one full batch: broadcast
+	}
+	cancel()
+	for i := 0; i < 2*batchSize; i++ {
+		col.HandleEvent(ev) // post-cancel events: dropped
+	}
+	col.flush()
+	st.Close()
+	if !col.aborted {
+		t.Fatal("collector did not abort after cancellation")
+	}
+	if got := delivered.Load(); got != 1 {
+		t.Fatalf("delivered %d batches, want only the pre-cancel one", got)
 	}
 }

@@ -36,8 +36,8 @@ else
 fi
 
 if [ "${1:-}" != "fast" ]; then
-    echo "==> race (exec, profile, core, sim, sweep, store, trace, metrics, benchsuite, ledger)"
-    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/sweep/... ./internal/store/... ./internal/trace/... ./internal/metrics/... ./internal/benchsuite/... ./internal/ledger/...
+    echo "==> race (exec, profile, core, sim, sweep, store, trace, metrics, benchsuite, ledger, server)"
+    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/sweep/... ./internal/store/... ./internal/trace/... ./internal/metrics/... ./internal/benchsuite/... ./internal/ledger/... ./internal/server/...
 
     echo "==> fuzz smoke (persist, trace, store)"
     go test -fuzz=FuzzReadProfile -fuzztime=15s ./internal/persist
