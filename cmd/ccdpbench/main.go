@@ -112,6 +112,7 @@ func run() int {
 			scale: *scale, parallel: parallel, trace: tc,
 			traceMaint: *traceMaint, requireHits: *requireHits,
 			sha: resolveSHA(*sha), out: *out, ledgerPath: cc.Ledger,
+			quiet: cc.Quiet,
 		})
 	}
 
@@ -340,6 +341,7 @@ type sweepFlags struct {
 	sha         string
 	out         string
 	ledgerPath  string
+	quiet       bool
 }
 
 // runSweep is the -sweep mode: expand the grid, prepare profiles and
@@ -371,10 +373,13 @@ func runSweep(f sweepFlags) int {
 	opts.Parallelism = f.parallel
 	opts.Metrics = mc
 
+	onProg, stopProg := startSweepProgressLine(f.quiet)
+	defer stopProg()
 	inputs := benchsuite.ScaledInputs(w, f.scale)
 	prep, err := sweep.NewPrep(sweep.Request{
 		Workload: w, Train: inputs[0], Test: inputs[1],
 		Grid: grid, Options: opts, Trace: f.trace,
+		OnProgress: onProg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccdpbench: sweep prep:", err)
@@ -409,6 +414,7 @@ func runSweep(f sweepFlags) int {
 		indRate = ind.ConfigsPerSec()
 		speedup = float64(ind.WallNanos) / float64(res.WallNanos)
 	}
+	stopProg()
 	gateExit := 0
 	if f.compare && f.minSpeedup > 0 {
 		switch {
@@ -438,8 +444,9 @@ func runSweep(f sweepFlags) int {
 	}
 
 	// One awk-friendly line, the sweep twin of "trace store:" below.
-	fmt.Printf("sweep: cells=%d groups=%d configs_per_sec=%.1f decode_share_pct=%.1f prep_share_pct=%.1f peak_prep_bytes=%d prep_total_bytes=%d profiles_broadcast=%d profiles_deduped=%d independent_configs_per_sec=%.1f speedup=%.2f\n",
-		len(res.Cells), res.Groups, res.ConfigsPerSec(), res.DecodeSharePct(),
+	fmt.Printf("sweep: cells=%d groups=%d events=%d batches=%d configs_per_sec=%.1f decode_share_pct=%.1f prep_share_pct=%.1f peak_prep_bytes=%d prep_total_bytes=%d profiles_broadcast=%d profiles_deduped=%d independent_configs_per_sec=%.1f speedup=%.2f\n",
+		len(res.Cells), res.Groups, res.Events, res.Batches,
+		res.ConfigsPerSec(), res.DecodeSharePct(),
 		res.PrepSharePct(), res.PeakPrepBytes, res.PrepBytesTotal,
 		res.ProfilesBroadcast, res.ProfilesDeduped, indRate, speedup)
 
@@ -572,6 +579,67 @@ func startProgressLine(prog *benchsuite.Progress, quiet bool) func() {
 	}()
 	var once sync.Once
 	return func() {
+		once.Do(func() {
+			close(done)
+			<-cleared
+		})
+	}
+}
+
+// startSweepProgressLine is startProgressLine's -sweep twin: it returns
+// the sweep.Request.OnProgress hook (which just records the latest
+// snapshot) and a stop function, with a ticker rendering the snapshot —
+// phase, groups carved, cells collected, events decoded — to stderr.
+// Sampling on a ticker rather than printing per callback keeps the hook
+// cheap enough to sit on the engine's batch boundaries. With quiet set
+// the hook is nil and the engine skips progress tracking entirely.
+func startSweepProgressLine(quiet bool) (func(sweep.Progress), func()) {
+	if quiet {
+		return nil, func() {}
+	}
+	var (
+		mu  sync.Mutex
+		cur sweep.Progress
+	)
+	onProg := func(p sweep.Progress) {
+		mu.Lock()
+		cur = p
+		mu.Unlock()
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	cleared := make(chan struct{})
+	go func() {
+		defer close(cleared)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		var width int
+		for {
+			select {
+			case <-done:
+				if width > 0 {
+					fmt.Fprintf(os.Stderr, "\r%*s\r", width, "")
+				}
+				return
+			case <-tick.C:
+				mu.Lock()
+				p := cur
+				mu.Unlock()
+				line := fmt.Sprintf("sweep [%s] groups %d/%d  cells %d/%d  events %d  %s",
+					p.Phase, p.GroupsDone, p.Groups, p.CellsDone, p.CellsTotal,
+					p.Events, time.Since(start).Round(time.Second))
+				if p.Phase == "" {
+					line = fmt.Sprintf("sweep starting  %s", time.Since(start).Round(time.Second))
+				}
+				if len(line) > width {
+					width = len(line)
+				}
+				fmt.Fprintf(os.Stderr, "\r%-*s", width, line)
+			}
+		}
+	}()
+	var once sync.Once
+	return onProg, func() {
 		once.Do(func() {
 			close(done)
 			<-cleared

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -159,6 +160,14 @@ func renderLedger(path string) error {
 		fmt.Println()
 		fmt.Print(renderSweep(&run.Sweeps[i]))
 	}
+	if tbl := stageTable("stage latency (span events)", spanAggs(run.Spans)); tbl != "" {
+		fmt.Println()
+		fmt.Print(tbl)
+	}
+	for i := range run.Traces {
+		fmt.Println()
+		fmt.Print(renderTrace(&run.Traces[i]))
+	}
 	if re := run.End; re != nil {
 		fmt.Printf("recorded averages: train %.2f%%, test %.2f%%, wall %v\n",
 			re.AvgTrainReductionPct, re.AvgTestReductionPct,
@@ -193,6 +202,95 @@ func renderSweep(s *ledger.Sweep) string {
 			s.ProfilesBroadcast, s.ProfilesDeduped)
 	}
 	return b.String()
+}
+
+// stageAgg is one stage's latency census across a ledger's spans.
+type stageAgg struct {
+	stage string
+	count int
+	total time.Duration
+	max   time.Duration
+}
+
+// spanAggs groups per-stage span events (ccdpbench ledgers) by stage.
+func spanAggs(spans []ledger.Span) []stageAgg {
+	byStage := make(map[string]*stageAgg)
+	for _, s := range spans {
+		addSpan(byStage, s.Stage, time.Duration(s.WallNs))
+	}
+	return sortedAggs(byStage)
+}
+
+// renderTrace renders one job's sealed span tree (ccdpd ledgers) as the
+// same per-stage latency table, headed by the job's identity.
+func renderTrace(tr *ledger.Trace) string {
+	byStage := make(map[string]*stageAgg)
+	for _, s := range tr.Spans {
+		addSpan(byStage, s.Stage, time.Duration(s.EndNs-s.StartNs))
+	}
+	title := "trace"
+	if tr.Job != "" {
+		title = fmt.Sprintf("trace: %s %s -> %s", tr.Kind, tr.Job, tr.State)
+	}
+	return stageTable(title, sortedAggs(byStage))
+}
+
+func addSpan(byStage map[string]*stageAgg, stage string, d time.Duration) {
+	a := byStage[stage]
+	if a == nil {
+		a = &stageAgg{stage: stage}
+		byStage[stage] = a
+	}
+	a.count++
+	a.total += d
+	if d > a.max {
+		a.max = d
+	}
+}
+
+// sortedAggs orders the census by total time descending (ties by name),
+// putting the stages that dominate the run's wall clock first.
+func sortedAggs(byStage map[string]*stageAgg) []stageAgg {
+	aggs := make([]stageAgg, 0, len(byStage))
+	for _, a := range byStage {
+		aggs = append(aggs, *a)
+	}
+	sort.Slice(aggs, func(i, j int) bool {
+		if aggs[i].total != aggs[j].total {
+			return aggs[i].total > aggs[j].total
+		}
+		return aggs[i].stage < aggs[j].stage
+	})
+	return aggs
+}
+
+// stageTable renders a per-stage latency census.
+func stageTable(title string, aggs []stageAgg) string {
+	if len(aggs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-10s %6s %12s %12s %12s\n", "stage", "spans", "total", "avg", "max")
+	for _, a := range aggs {
+		avg := a.total / time.Duration(a.count)
+		fmt.Fprintf(&b, "%-10s %6d %12s %12s %12s\n", a.stage, a.count,
+			round(a.total), round(avg), round(a.max))
+	}
+	return b.String()
+}
+
+// round trims latencies to a readable precision without collapsing
+// microsecond-scale stages to zero.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(time.Microsecond)
+	}
 }
 
 // runVictim prints the hardware-vs-software comparison: a small victim

@@ -53,15 +53,18 @@ func RunWorkloads(names []string, opts sim.Options, layouts []sim.LayoutKind, sc
 // layout) units. Inner parallelism never changes results, so the donation
 // only moves wall clock.
 func RunExperiments(names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64, tc sim.TraceConfig) ([]*core.Comparison, error) {
-	return runExperiments(context.Background(), names, opts, layouts, scale, tc, nil, nil)
+	return runExperiments(context.Background(), names, opts, layouts, scale, tc, nil, nil, nil, nil)
 }
 
 // runExperiments is the full-featured suite runner: RunExperiments plus
 // the observability hooks Config.Run threads in. led (shared, concurrency
 // safe) receives every experiment's structured events; prog tracks live
-// progress through the core stage hook. Both may be nil. ctx cancels the
+// progress through the core stage hook; extraStage observes stage starts
+// alongside prog and onSpan each completed stage (see
+// core.Experiment.OnStage/OnSpan; both must be safe for concurrent
+// calls, since workloads fan out). All may be nil. ctx cancels the
 // suite at experiment stage boundaries (core.Experiment.Context).
-func runExperiments(ctx context.Context, names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64, tc sim.TraceConfig, led *ledger.Writer, prog *Progress) ([]*core.Comparison, error) {
+func runExperiments(ctx context.Context, names []string, opts sim.Options, layouts []sim.LayoutKind, scale float64, tc sim.TraceConfig, led *ledger.Writer, prog *Progress, extraStage func(string, metrics.Stage), onSpan core.SpanFunc) ([]*core.Comparison, error) {
 	if scale <= 0 {
 		return nil, fmt.Errorf("benchsuite: scale %g <= 0", scale)
 	}
@@ -77,15 +80,22 @@ func runExperiments(ctx context.Context, names []string, opts sim.Options, layou
 			ws = append(ws, w)
 		}
 	}
-	var onStage func(workload string, stage metrics.Stage)
+	onStage := extraStage
 	if prog != nil {
-		onStage = prog.Observe
+		if extraStage != nil {
+			onStage = func(workload string, stage metrics.Stage) {
+				prog.Observe(workload, stage)
+				extraStage(workload, stage)
+			}
+		} else {
+			onStage = prog.Observe
+		}
 	}
 	runOne := func(w workload.Workload, runOpts sim.Options) (*core.Comparison, error) {
 		cmp, err := core.RunExperiment(core.Experiment{
 			Workload: w, Options: runOpts, Layouts: layouts,
 			Inputs: ScaledInputs(w, scale), Trace: tc,
-			Ledger: led, OnStage: onStage, Context: ctx,
+			Ledger: led, OnStage: onStage, OnSpan: onSpan, Context: ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("benchsuite: %s: %w", w.Name(), err)
@@ -163,6 +173,13 @@ type Config struct {
 	// in-flight workload's current stage — the source for cmd/ccdpbench's
 	// progress line and the -debug-addr snapshot endpoint.
 	Progress *Progress
+	// OnStage, when non-nil, observes each pipeline stage starting,
+	// alongside (not instead of) the Progress tracker. OnSpan, when
+	// non-nil, observes each completed stage (see
+	// core.Experiment.OnStage/OnSpan). Both fire from worker goroutines
+	// when Parallelism > 1, so they must be thread-safe.
+	OnStage func(workload string, stage metrics.Stage)
+	OnSpan  core.SpanFunc
 	// Context, when non-nil, cancels the suite at experiment stage
 	// boundaries (see core.Experiment.Context). Nil runs to completion.
 	Context context.Context
@@ -182,6 +199,6 @@ func (cfg Config) Run() ([]*core.Comparison, float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cmps, err := runExperiments(ctx, cfg.Workloads, opts, nil, scale, cfg.Trace, cfg.Ledger, cfg.Progress)
+	cmps, err := runExperiments(ctx, cfg.Workloads, opts, nil, scale, cfg.Trace, cfg.Ledger, cfg.Progress, cfg.OnStage, cfg.OnSpan)
 	return cmps, scale, err
 }

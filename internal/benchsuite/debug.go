@@ -12,6 +12,8 @@ import (
 // behind -debug-addr while the suite runs:
 //
 //	/debug/snapshot  — JSON: suite progress + current metrics snapshot
+//	                   + Go runtime stats (goroutines, heap, GC pauses)
+//	/metrics         — the same collector in Prometheus text exposition
 //	/debug/pprof/*   — the standard net/http/pprof profiling handlers
 //
 // The handlers are mounted on a private mux (not http.DefaultServeMux),
@@ -24,6 +26,7 @@ func DebugHandler(mc *metrics.Collector, p *Progress) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", metrics.PromHandler(mc))
 	mux.HandleFunc("/debug/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -33,6 +36,7 @@ func DebugHandler(mc *metrics.Collector, p *Progress) http.Handler {
 		_ = enc.Encode(debugSnapshot{
 			Progress: p.Snapshot(),
 			Metrics:  mc.Snapshot(),
+			Runtime:  metrics.ReadRuntime(),
 		})
 	})
 	return mux
@@ -40,6 +44,7 @@ func DebugHandler(mc *metrics.Collector, p *Progress) http.Handler {
 
 // debugSnapshot is the /debug/snapshot response body.
 type debugSnapshot struct {
-	Progress ProgressSnapshot `json:"progress"`
-	Metrics  metrics.Snapshot `json:"metrics"`
+	Progress ProgressSnapshot        `json:"progress"`
+	Metrics  metrics.Snapshot        `json:"metrics"`
+	Runtime  metrics.RuntimeSnapshot `json:"runtime"`
 }

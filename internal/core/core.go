@@ -78,6 +78,14 @@ type Experiment struct {
 	// It may be called from worker goroutines; keep it cheap and
 	// thread-safe. Progress displays hang off this hook.
 	OnStage func(workload string, stage metrics.Stage)
+	// OnSpan, when non-nil, observes each completed pipeline stage —
+	// fired exactly where the ledger's span events are emitted (profile,
+	// place, then one per evaluation unit), with the same start/wall
+	// interval. label is "" for profile/place and "input/layout" for
+	// eval units. Like OnStage it may fire from worker goroutines, and
+	// like the ledger it is observation-only: results are byte-identical
+	// with or without it. The service's span recorder hangs off this.
+	OnSpan SpanFunc
 
 	// Context, when non-nil, cancels the experiment: RunExperiment
 	// checks it at every stage boundary (before profiling, placement,
@@ -88,6 +96,11 @@ type Experiment struct {
 	// jobs through this. Nil means run to completion.
 	Context context.Context
 }
+
+// SpanFunc is the signature of the Experiment.OnSpan hook: one completed
+// pipeline stage with its workload, stage kind, unit label (empty outside
+// evaluation), and measured interval.
+type SpanFunc func(workload string, stage metrics.Stage, label string, start time.Time, wall time.Duration)
 
 // Run profiles w on its train input, computes the placement, and evaluates
 // each requested layout on each requested input. Passing no layouts
@@ -152,6 +165,7 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 		return nil, fmt.Errorf("core: profiling %s: %w", w.Name(), err)
 	}
 	e.Ledger.Span(w.Name(), metrics.StageProfile.String(), profStart, time.Since(profStart))
+	e.span(w.Name(), metrics.StageProfile, "", profStart)
 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: %s cancelled before placement: %w", w.Name(), err)
@@ -163,6 +177,7 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 		return nil, fmt.Errorf("core: placing %s: %w", w.Name(), err)
 	}
 	e.Ledger.Span(w.Name(), metrics.StagePlace.String(), placeStart, time.Since(placeStart))
+	e.span(w.Name(), metrics.StagePlace, "", placeStart)
 	e.Ledger.Placement(ledgerPlacement(w.Name(), pm))
 
 	c := &Comparison{
@@ -215,6 +230,7 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 			return nil, fmt.Errorf("core: evaluating %s/%s/%s: %w", w.Name(), in.Label, kind, err)
 		}
 		e.Ledger.Span(w.Name(), metrics.StageEval.String(), start, time.Since(start))
+		e.span(w.Name(), metrics.StageEval, in.Label+"/"+string(kind), start)
 		e.Ledger.Eval(ledgerEval(res))
 		return res, nil
 	}
@@ -271,6 +287,13 @@ func RunExperiment(e Experiment) (*Comparison, error) {
 func (e *Experiment) stage(workload string, s metrics.Stage) {
 	if e.OnStage != nil {
 		e.OnStage(workload, s)
+	}
+}
+
+// span fires the experiment's OnSpan hook, if any.
+func (e *Experiment) span(workload string, s metrics.Stage, label string, start time.Time) {
+	if e.OnSpan != nil {
+		e.OnSpan(workload, s, label, start, time.Since(start))
 	}
 }
 

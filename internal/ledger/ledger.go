@@ -11,15 +11,16 @@
 // fields — "v" (schema version), "seq" (0-based line number), "event"
 // (the event kind) — plus exactly one kind-specific payload field:
 //
-//	{"v":2,"seq":0,"event":"run_start","runStart":{...}}
-//	{"v":2,"seq":1,"event":"workload_start","workloadStart":{...}}
-//	{"v":2,"seq":2,"event":"span","span":{...}}
-//	{"v":2,"seq":3,"event":"placement","placement":{...}}
-//	{"v":2,"seq":4,"event":"eval","eval":{...}}
-//	{"v":2,"seq":5,"event":"sweep","sweep":{...}}
-//	{"v":2,"seq":6,"event":"workload_end","workloadEnd":{...}}
-//	{"v":2,"seq":7,"event":"metrics","metrics":{...}}
-//	{"v":2,"seq":8,"event":"run_end","runEnd":{...}}
+//	{"v":4,"seq":0,"event":"run_start","runStart":{...}}
+//	{"v":4,"seq":1,"event":"workload_start","workloadStart":{...}}
+//	{"v":4,"seq":2,"event":"span","span":{...}}
+//	{"v":4,"seq":3,"event":"placement","placement":{...}}
+//	{"v":4,"seq":4,"event":"eval","eval":{...}}
+//	{"v":4,"seq":5,"event":"sweep","sweep":{...}}
+//	{"v":4,"seq":6,"event":"workload_end","workloadEnd":{...}}
+//	{"v":4,"seq":7,"event":"trace","trace":{...}}
+//	{"v":4,"seq":8,"event":"metrics","metrics":{...}}
+//	{"v":4,"seq":9,"event":"run_end","runEnd":{...}}
 //
 // Span times are nanoseconds relative to the writer's epoch (the run
 // start), so two ledgers of the same seeded run differ only in timing
@@ -50,8 +51,10 @@ import (
 // Version history: v1 = the original eight event kinds; v2 added the
 // "sweep" event (layout-sweep grid results); v3 added sweep prep
 // accounting (prep time/bytes, broadcast profile counts, layout groups)
-// and the cutoff/heap cell axes.
-const SchemaVersion = 3
+// and the cutoff/heap cell axes; v4 added the "trace" event (a job's
+// telemetry span tree with counter deltas) and cumulative buckets on
+// metrics histogram snapshots.
+const SchemaVersion = 4
 
 // Event is the per-line envelope. Exactly one payload pointer is non-nil,
 // matching Kind.
@@ -67,6 +70,7 @@ type Event struct {
 	Eval          *Eval             `json:"eval,omitempty"`
 	Sweep         *Sweep            `json:"sweep,omitempty"`
 	WorkloadEnd   *WorkloadEnd      `json:"workloadEnd,omitempty"`
+	Trace         *Trace            `json:"trace,omitempty"`
 	Metrics       *metrics.Snapshot `json:"metrics,omitempty"`
 	RunEnd        *RunEnd           `json:"runEnd,omitempty"`
 }
@@ -80,6 +84,7 @@ const (
 	KindEval          = "eval"
 	KindSweep         = "sweep"
 	KindWorkloadEnd   = "workload_end"
+	KindTrace         = "trace"
 	KindMetrics       = "metrics"
 	KindRunEnd        = "run_end"
 )
@@ -219,6 +224,40 @@ type WorkloadEnd struct {
 type Reduction struct {
 	Input        string  `json:"input"`
 	ReductionPct float64 `json:"reductionPct"`
+}
+
+// Trace is a job's completed telemetry span tree (schema v4): the
+// service-side per-job view — stage intervals with cell/workload labels
+// and counter deltas — sealed into the job's ledger when it reaches a
+// terminal state, so offline ledgers give the same per-stage latency
+// view as the live /v1/jobs/{id}/trace endpoint.
+type Trace struct {
+	// Job is the service job ID; Kind its request kind ("eval",
+	// "sweep", ...); State the terminal state the job reached.
+	Job   string      `json:"job,omitempty"`
+	Kind  string      `json:"kind,omitempty"`
+	State string      `json:"state,omitempty"`
+	Spans []TraceSpan `json:"spans"`
+}
+
+// TraceSpan is one node of a Trace: IDs are creation-ordered from 1
+// (the root), Parent names the containing span, and times are
+// nanosecond offsets from the same epoch as the ledger's span events.
+type TraceSpan struct {
+	ID       int            `json:"id"`
+	Parent   int            `json:"parent,omitempty"`
+	Workload string         `json:"workload,omitempty"`
+	Stage    string         `json:"stage"`
+	Label    string         `json:"label,omitempty"`
+	StartNs  int64          `json:"startNs"`
+	EndNs    int64          `json:"endNs"`
+	Counters []CounterDelta `json:"counters,omitempty"`
+}
+
+// CounterDelta is one metrics counter's increment attributed to a span.
+type CounterDelta struct {
+	Name  string `json:"name"`
+	Delta uint64 `json:"delta"`
 }
 
 // RunEnd closes a ledger with the headline aggregates.
@@ -370,6 +409,11 @@ func (l *Writer) Sweep(s Sweep) {
 // WorkloadEnd emits a workload_end event.
 func (l *Writer) WorkloadEnd(we WorkloadEnd) {
 	l.emit(KindWorkloadEnd, func(ev *Event) { ev.WorkloadEnd = &we })
+}
+
+// Trace emits a job's sealed telemetry span tree.
+func (l *Writer) Trace(t Trace) {
+	l.emit(KindTrace, func(ev *Event) { ev.Trace = &t })
 }
 
 // Metrics emits a metrics snapshot event.

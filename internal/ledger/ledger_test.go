@@ -66,16 +66,31 @@ func scriptedLedger(w *Writer) {
 		PeakPrepBytes: 65536, PrepBytesTotal: 131072,
 		ProfilesBroadcast: 1, ProfilesDeduped: 1, Groups: 2,
 	})
+	w.Trace(Trace{
+		Job: "job-0001", Kind: "eval", State: "done",
+		Spans: []TraceSpan{
+			{ID: 1, Stage: "job", StartNs: 0, EndNs: int64(240 * time.Millisecond)},
+			{ID: 2, Parent: 1, Workload: "alpha", Stage: "workload",
+				StartNs: int64(time.Millisecond), EndNs: int64(120 * time.Millisecond)},
+			{ID: 3, Parent: 2, Workload: "alpha", Stage: "profile",
+				StartNs: int64(time.Millisecond), EndNs: int64(21 * time.Millisecond),
+				Counters: []CounterDelta{{Name: "trace.events", Delta: 1234}}},
+			{ID: 4, Parent: 2, Workload: "alpha", Stage: "eval", Label: "train/ccdp",
+				StartNs: int64(30 * time.Millisecond), EndNs: int64(38 * time.Millisecond),
+				Counters: []CounterDelta{{Name: "sim.accesses", Delta: 1000}}},
+		},
+	})
 	mc := metrics.New()
 	mc.Add(metrics.TraceEvents, 1234)
 	mc.AddNamed("sim.misses.ccdp", 99)
+	mc.Observe(metrics.HistAllocSize, 48) // exercises the v4 cumulative buckets
 	w.Metrics(mc.Snapshot())
 	w.RunEnd(RunEnd{Workloads: 2, AvgTrainReductionPct: 10,
 		AvgTestReductionPct: 20, WallNs: int64(250 * time.Millisecond)})
 }
 
 // TestGolden locks the exact serialized form of every event kind for
-// schema v3. A byte-level change here is a schema change: bump
+// schema v4. A byte-level change here is a schema change: bump
 // SchemaVersion, re-freeze the fingerprint, and regenerate with -update.
 func TestGolden(t *testing.T) {
 	var buf bytes.Buffer
@@ -85,7 +100,7 @@ func TestGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	golden := filepath.Join("testdata", "golden_v3.jsonl")
+	golden := filepath.Join("testdata", "golden_v4.jsonl")
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -104,12 +119,12 @@ func TestGolden(t *testing.T) {
 	}
 }
 
-// frozenFingerprint is the complete reachable schema of version 3,
+// frozenFingerprint is the complete reachable schema of version 4,
 // rendered by SchemaFingerprint. If TestSchemaFrozen fails here, a field
 // was added, removed, renamed, or retyped without bumping SchemaVersion:
 // bump it, regenerate the golden file, and re-freeze this constant (the
 // test failure message prints the new value).
-const frozenFingerprint = "v3 Event{v:int seq:uint64 event:string" +
+const frozenFingerprint = "v4 Event{v:int seq:uint64 event:string" +
 	" runStart:*RunStart{schemaVersion:int tool:string sha:string scale:float64 parallelism:int workloads:[]string cache:string}" +
 	" workloadStart:*WorkloadStart{workload:string inputs:[]string layouts:[]string}" +
 	" span:*Span{workload:string stage:string startNs:int64 wallNs:int64}" +
@@ -117,7 +132,8 @@ const frozenFingerprint = "v3 Event{v:int seq:uint64 event:string" +
 	" eval:*Eval{workload:string input:string layout:string accesses:uint64 misses:uint64 missRatePct:float64 byCategoryPct:[]CategoryRate{category:string missPct:float64} totalPages:int workingSetPages:float64}" +
 	" sweep:*Sweep{workload:string input:string engine:string cells:[]SweepCell{size:int64 block:int64 assoc:int l2:string tlb:int chunk:int64 queue:int64 cutoff:float64 heap:string layout:string bytes:int64 accesses:uint64 misses:uint64 missRatePct:float64 pareto:bool} wallNs:int64 decodeNs:int64 batches:uint64 events:uint64 configsPerSec:float64 decodeSharePct:float64 prepNs:int64 prepSharePct:float64 peakPrepBytes:int64 prepBytesTotal:int64 profilesBroadcast:int profilesDeduped:int groups:int}" +
 	" workloadEnd:*WorkloadEnd{workload:string reductions:[]Reduction{input:string reductionPct:float64}}" +
-	" metrics:*Snapshot{counters:[]CounterSnapshot{name:string value:uint64} named:[]CounterSnapshot stages:[]StageSnapshot{name:string count:uint64 totalNanos:uint64 avgNanos:uint64 maxNanos:uint64} histograms:[]HistSnapshot{name:string count:uint64 sum:uint64 mean:float64 p50:uint64 p90:uint64 p99:uint64}}" +
+	" trace:*Trace{job:string kind:string state:string spans:[]TraceSpan{id:int parent:int workload:string stage:string label:string startNs:int64 endNs:int64 counters:[]CounterDelta{name:string delta:uint64}}}" +
+	" metrics:*Snapshot{counters:[]CounterSnapshot{name:string value:uint64} named:[]CounterSnapshot stages:[]StageSnapshot{name:string count:uint64 totalNanos:uint64 avgNanos:uint64 maxNanos:uint64} histograms:[]HistSnapshot{name:string count:uint64 sum:uint64 mean:float64 p50:uint64 p90:uint64 p99:uint64 buckets:[]HistBucket{le:uint64 count:uint64}}}" +
 	" runEnd:*RunEnd{workloads:int avgTrainReductionPct:float64 avgTestReductionPct:float64 wallNs:int64}}"
 
 // TestSchemaFrozen is the tripwire the issue asks for: extending any
@@ -157,6 +173,12 @@ func TestReplayRoundTrip(t *testing.T) {
 		t.Fatalf("event counts: evals=%d spans=%d placements=%d metrics=%d",
 			len(run.Evals), len(run.Spans), len(run.Placement), len(run.Metrics))
 	}
+	if len(run.Traces) != 1 || run.Traces[0].Job != "job-0001" || len(run.Traces[0].Spans) != 4 {
+		t.Fatalf("trace not reconstructed: %+v", run.Traces)
+	}
+	if c := run.Traces[0].Spans[2].Counters; len(c) != 1 || c[0].Delta != 1234 {
+		t.Fatalf("trace span counters = %+v", c)
+	}
 	// The scripted rates encode exactly 10% train / 20% test reductions.
 	for _, name := range []string{"alpha", "beta"} {
 		if got := run.Reduction(name, "train"); got < 9.99 || got > 10.01 {
@@ -185,8 +207,9 @@ func TestReplayRejects(t *testing.T) {
 		"version":        `{"v":999,"seq":0,"event":"run_end","runEnd":{}}`,
 		"old version v1": `{"v":1,"seq":0,"event":"run_end","runEnd":{}}`,
 		"old version v2": `{"v":2,"seq":0,"event":"run_end","runEnd":{}}`,
-		"sequence":       `{"v":3,"seq":5,"event":"run_end","runEnd":{}}`,
-		"kind":           `{"v":3,"seq":0,"event":"nonsense"}`,
+		"old version v3": `{"v":3,"seq":0,"event":"run_end","runEnd":{}}`,
+		"sequence":       `{"v":4,"seq":5,"event":"run_end","runEnd":{}}`,
+		"kind":           `{"v":4,"seq":0,"event":"nonsense"}`,
 		"json":           `{not json`,
 	}
 	for name, line := range cases {
@@ -206,6 +229,7 @@ func TestNilWriter(t *testing.T) {
 	w.Eval(Eval{})
 	w.Sweep(Sweep{})
 	w.WorkloadEnd(WorkloadEnd{})
+	w.Trace(Trace{})
 	w.Metrics(metrics.Snapshot{})
 	w.RunEnd(RunEnd{})
 	if err := w.Close(); err != nil {

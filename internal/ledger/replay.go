@@ -23,6 +23,7 @@ type Run struct {
 	Evals     []Eval
 	Sweeps    []Sweep
 	Ends      []WorkloadEnd
+	Traces    []Trace
 	Metrics   []metrics.Snapshot
 	End       *RunEnd
 
@@ -80,6 +81,10 @@ func Replay(r io.Reader) (*Run, error) {
 		case KindWorkloadEnd:
 			if ev.WorkloadEnd != nil {
 				run.Ends = append(run.Ends, *ev.WorkloadEnd)
+			}
+		case KindTrace:
+			if ev.Trace != nil {
+				run.Traces = append(run.Traces, *ev.Trace)
 			}
 		case KindMetrics:
 			if ev.Metrics != nil {

@@ -286,6 +286,26 @@ func (h *histogram) quantile(q float64) uint64 {
 	return 1<<63 - 1
 }
 
+// cumulative exports the sketch as a cumulative distribution, cut off
+// after the last non-empty bucket (the +Inf bucket is implied by Count).
+func (h *histogram) cumulative() []HistBucket {
+	var out []HistBucket
+	var run uint64
+	for i := 0; i < numBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		run += n
+		le := ^uint64(0) // the bits.Len64==64 bucket tops out at MaxUint64
+		if i < 64 {
+			le = uint64(1)<<uint(i) - 1
+		}
+		out = append(out, HistBucket{Le: le, Count: run})
+	}
+	return out
+}
+
 // Collector gathers all pipeline metrics. The zero value is ready to use;
 // a nil *Collector is the disabled collector and every method no-ops.
 type Collector struct {
@@ -473,16 +493,26 @@ type StageSnapshot struct {
 	MaxNanos   uint64 `json:"maxNanos"`
 }
 
+// HistBucket is one cumulative bucket of an exported histogram: Count
+// observations were <= Le. Le bounds are the power-of-two bucket tops
+// (2^i - 1), exactly what the Prometheus exposition needs.
+type HistBucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
 // HistSnapshot is the exported view of one histogram sketch. Quantiles are
-// power-of-two upper bounds.
+// power-of-two upper bounds; Buckets is the cumulative distribution up to
+// the last non-empty bucket.
 type HistSnapshot struct {
-	Name  string  `json:"name"`
-	Count uint64  `json:"count"`
-	Sum   uint64  `json:"sum"`
-	Mean  float64 `json:"mean"`
-	P50   uint64  `json:"p50"`
-	P90   uint64  `json:"p90"`
-	P99   uint64  `json:"p99"`
+	Name    string       `json:"name"`
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Mean    float64      `json:"mean"`
+	P50     uint64       `json:"p50"`
+	P90     uint64       `json:"p90"`
+	P99     uint64       `json:"p99"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
 // Snapshot is a point-in-time export of every non-empty metric, shaped for
@@ -566,13 +596,14 @@ func (c *Collector) Snapshot() Snapshot {
 		}
 		sum := h.sum.Load()
 		s.Hists = append(s.Hists, HistSnapshot{
-			Name:  Hist(i).String(),
-			Count: n,
-			Sum:   sum,
-			Mean:  float64(sum) / float64(n),
-			P50:   h.quantile(0.50),
-			P90:   h.quantile(0.90),
-			P99:   h.quantile(0.99),
+			Name:    Hist(i).String(),
+			Count:   n,
+			Sum:     sum,
+			Mean:    float64(sum) / float64(n),
+			P50:     h.quantile(0.50),
+			P90:     h.quantile(0.90),
+			P99:     h.quantile(0.99),
+			Buckets: h.cumulative(),
 		})
 	}
 	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })

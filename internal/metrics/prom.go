@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4) with no external dependencies. The name mapping is
+// stable — dashboards key on it:
+//
+//	counters            ccdp_<name>_total            (dots -> underscores)
+//	named counters      ccdp_named_total{name="..."}
+//	stages              ccdp_stage_runs_total{stage="..."}
+//	                    ccdp_stage_nanos_total{stage="..."}
+//	                    ccdp_stage_max_nanos{stage="..."}
+//	log2 histograms     ccdp_<name>_bucket{le="2^i-1"} ... +Inf, _sum, _count
+//	runtime gauges      ccdp_go_goroutines, ccdp_go_heap_inuse_bytes,
+//	                    ccdp_go_gc_pause_total_ns, ccdp_go_gc_runs_total
+//
+// The exposition is derived from the same Snapshot the JSON endpoints
+// serve, so the two views can never disagree.
+
+// promName sanitizes a dotted metric name into a legal Prometheus
+// metric-name fragment.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format.
+func WriteProm(w io.Writer, s Snapshot) error {
+	for _, c := range s.Counters {
+		name := "ccdp_" + promName(c.Name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	if len(s.Named) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE ccdp_named_total counter\n"); err != nil {
+			return err
+		}
+		for _, c := range s.Named {
+			if _, err := fmt.Fprintf(w, "ccdp_named_total{name=%q} %d\n", promEscape(c.Name), c.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Stages) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE ccdp_stage_runs_total counter\n# TYPE ccdp_stage_nanos_total counter\n# TYPE ccdp_stage_max_nanos gauge\n"); err != nil {
+			return err
+		}
+		for _, st := range s.Stages {
+			if _, err := fmt.Fprintf(w, "ccdp_stage_runs_total{stage=%q} %d\nccdp_stage_nanos_total{stage=%q} %d\nccdp_stage_max_nanos{stage=%q} %d\n",
+				promEscape(st.Name), st.Count, promEscape(st.Name), st.TotalNanos, promEscape(st.Name), st.MaxNanos); err != nil {
+				return err
+			}
+		}
+	}
+	for _, h := range s.Hists {
+		name := "ccdp_" + promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, h.Count, name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RuntimeSnapshot is the Go runtime health view the daemon-facing debug
+// endpoints add next to the (deterministic) pipeline snapshot: a
+// leaking or GC-thrashing process is visible even when its pipeline
+// counters look healthy. It never feeds the run ledger — these numbers
+// are nondeterministic by nature.
+type RuntimeSnapshot struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapInuseBytes uint64 `json:"heapInuseBytes"`
+	HeapSysBytes   uint64 `json:"heapSysBytes"`
+	GCRuns         uint32 `json:"gcRuns"`
+	GCPauseTotalNs uint64 `json:"gcPauseTotalNs"`
+	LastGCPauseNs  uint64 `json:"lastGcPauseNs"`
+}
+
+// ReadRuntime samples the Go runtime.
+func ReadRuntime() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs := RuntimeSnapshot{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapInuseBytes: ms.HeapInuse,
+		HeapSysBytes:   ms.HeapSys,
+		GCRuns:         ms.NumGC,
+		GCPauseTotalNs: ms.PauseTotalNs,
+	}
+	if ms.NumGC > 0 {
+		rs.LastGCPauseNs = ms.PauseNs[(ms.NumGC+255)%256]
+	}
+	return rs
+}
+
+// writePromRuntime appends the runtime gauges to an exposition.
+func writePromRuntime(w io.Writer, rs RuntimeSnapshot) error {
+	_, err := fmt.Fprintf(w,
+		"# TYPE ccdp_go_goroutines gauge\nccdp_go_goroutines %d\n"+
+			"# TYPE ccdp_go_heap_inuse_bytes gauge\nccdp_go_heap_inuse_bytes %d\n"+
+			"# TYPE ccdp_go_gc_pause_total_ns counter\nccdp_go_gc_pause_total_ns %d\n"+
+			"# TYPE ccdp_go_gc_runs_total counter\nccdp_go_gc_runs_total %d\n",
+		rs.Goroutines, rs.HeapInuseBytes, rs.GCPauseTotalNs, rs.GCRuns)
+	return err
+}
+
+// PromHandler serves mc (plus live runtime gauges) as a Prometheus
+// /metrics endpoint — the one implementation behind both ccdpd's
+// /metrics route and ccdpbench's -debug-addr listener.
+func PromHandler(mc *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, mc.Snapshot())
+		_ = writePromRuntime(w, ReadRuntime())
+	})
+}
+
+// LintProm is a minimal exposition-format checker used by tests and the
+// CI smoke: every non-comment, non-blank line must be
+// `name{labels} value` with a legal metric name and a numeric value,
+// and every # line must be a well-formed HELP/TYPE comment. It returns
+// the number of samples checked.
+func LintProm(data string) (int, error) {
+	samples := 0
+	for ln, line := range strings.Split(data, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+				return samples, fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+			}
+			continue
+		}
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			j := strings.LastIndexByte(rest, '}')
+			if j < i {
+				return samples, fmt.Errorf("line %d: unbalanced braces in %q", ln+1, line)
+			}
+			rest = rest[:i] + rest[j+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return samples, fmt.Errorf("line %d: want `name value`, got %q", ln+1, line)
+		}
+		if promName(fields[0]) != fields[0] {
+			return samples, fmt.Errorf("line %d: illegal metric name %q", ln+1, fields[0])
+		}
+		if _, err := parseFloatish(fields[1]); err != nil {
+			return samples, fmt.Errorf("line %d: bad sample value %q", ln+1, fields[1])
+		}
+		samples++
+	}
+	return samples, nil
+}
+
+func parseFloatish(s string) (float64, error) {
+	var f float64
+	_, err := fmt.Sscanf(s, "%g", &f)
+	return f, err
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func promSample(t *testing.T, exposition, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") {
+			return line
+		}
+	}
+	t.Fatalf("exposition missing %s:\n%s", name, exposition)
+	return ""
+}
+
+func TestWriteProm(t *testing.T) {
+	mc := New()
+	mc.Add(TraceEvents, 42)
+	mc.Add(ServerRequests, 7)
+	mc.AddNamed("sim.misses.ccdp", 99)
+	sp := mc.Start(StageProfile)
+	sp.Stop()
+	mc.Observe(HistAllocSize, 100) // bits.Len64(100)=7 -> le 127
+	mc.Observe(HistAllocSize, 3)   // len 2 -> le 3
+
+	var b strings.Builder
+	if err := WriteProm(&b, mc.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if got := promSample(t, out, "ccdp_trace_events_total"); got != "ccdp_trace_events_total 42" {
+		t.Errorf("counter line %q", got)
+	}
+	if got := promSample(t, out, "ccdp_server_requests_total"); got != "ccdp_server_requests_total 7" {
+		t.Errorf("counter line %q", got)
+	}
+	if got := promSample(t, out, "ccdp_named_total"); got != `ccdp_named_total{name="sim.misses.ccdp"} 99` {
+		t.Errorf("named line %q", got)
+	}
+	if got := promSample(t, out, "ccdp_stage_runs_total"); got != `ccdp_stage_runs_total{stage="profile"} 1` {
+		t.Errorf("stage line %q", got)
+	}
+	for _, want := range []string{
+		`ccdp_alloc_size_bytes_bucket{le="3"} 1`,
+		`ccdp_alloc_size_bytes_bucket{le="127"} 2`,
+		`ccdp_alloc_size_bytes_bucket{le="+Inf"} 2`,
+		`ccdp_alloc_size_bytes_sum 103`,
+		`ccdp_alloc_size_bytes_count 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	n, err := LintProm(out)
+	if err != nil {
+		t.Fatalf("exposition fails its own lint: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("lint checked no samples")
+	}
+}
+
+func TestHistSnapshotBucketsCumulative(t *testing.T) {
+	mc := New()
+	for _, v := range []uint64{0, 1, 1, 5, 5000} {
+		mc.Observe(HistAccessSize, v)
+	}
+	h, ok := mc.Snapshot().Hist("access_size_bytes")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if h.Count != 5 {
+		t.Fatalf("count %d", h.Count)
+	}
+	var prev uint64
+	for _, b := range h.Buckets {
+		if b.Count < prev {
+			t.Fatalf("buckets not cumulative: %+v", h.Buckets)
+		}
+		prev = b.Count
+	}
+	if last := h.Buckets[len(h.Buckets)-1]; last.Count != h.Count {
+		t.Fatalf("last bucket %+v does not reach count %d", last, h.Count)
+	}
+	// v=0 has bits.Len64 0 -> bucket le 0; v=1 -> le 1; v=5 -> le 7.
+	if h.Buckets[0].Le != 0 || h.Buckets[0].Count != 1 {
+		t.Fatalf("zero bucket %+v", h.Buckets[0])
+	}
+}
+
+func TestPromHandlerServesRuntime(t *testing.T) {
+	mc := New()
+	mc.Add(ServerRequests, 1)
+	rec := httptest.NewRecorder()
+	PromHandler(mc).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{"ccdp_server_requests_total 1", "ccdp_go_goroutines ", "ccdp_go_heap_inuse_bytes "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if _, err := LintProm(body); err != nil {
+		t.Errorf("/metrics body fails lint: %v", err)
+	}
+}
+
+func TestLintPromRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"not a metric line at all here",
+		"ccdp_x{unbalanced 1",
+		"1leading_digit 2",
+		"ccdp_x notanumber",
+		"# TYPE",
+	} {
+		if _, err := LintProm(bad); err == nil {
+			t.Errorf("lint accepted %q", bad)
+		}
+	}
+}
+
+func TestReadRuntime(t *testing.T) {
+	rs := ReadRuntime()
+	if rs.Goroutines <= 0 || rs.HeapInuseBytes == 0 {
+		t.Fatalf("implausible runtime snapshot %+v", rs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -122,10 +123,36 @@ type JobStatus struct {
 	// Progress reports the pipeline stages in flight, fed by the
 	// core.Experiment stage hook through a benchsuite.Progress tracker.
 	Progress *benchsuite.ProgressSnapshot `json:"progress,omitempty"`
+	// Sweep reports a sweep job's latest per-cell progress (cells done /
+	// total, layout groups carved, decode position). Nil until the sweep
+	// reports; retained after completion.
+	Sweep *telemetry.SweepProgress `json:"sweep,omitempty"`
 	// ResultURL is set once the job is done.
 	ResultURL string `json:"resultUrl,omitempty"`
 	// LedgerURL serves the job's structured run ledger (JSONL).
 	LedgerURL string `json:"ledgerUrl,omitempty"`
+	// TraceURL serves the job's span tree (JSON); EventsURL its live
+	// event stream (SSE, or long-poll JSON with ?poll=1).
+	TraceURL  string `json:"traceUrl,omitempty"`
+	EventsURL string `json:"eventsUrl,omitempty"`
+}
+
+// JobTrace is the GET /v1/jobs/{id}/trace response: the job's span tree
+// as recorded so far (complete and closed once the job is terminal).
+type JobTrace struct {
+	ID    string           `json:"id"`
+	Kind  JobKind          `json:"kind"`
+	State JobState         `json:"state"`
+	Spans []telemetry.Span `json:"spans"`
+}
+
+// EventPage is the GET /v1/jobs/{id}/events?poll=1 long-poll response:
+// the events after the requested cursor, how many were dropped before
+// the cursor caught up, and whether the stream has more to offer.
+type EventPage struct {
+	Events  []telemetry.Event `json:"events"`
+	Skipped uint64            `json:"skipped,omitempty"`
+	Open    bool              `json:"open"`
 }
 
 // JobList is the GET /v1/jobs response, jobs in submission order.

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// pollWindow bounds how long a ?poll=1 long-poll request blocks waiting
+// for the next event before replying with an empty (but still open) page.
+const pollWindow = 25 * time.Second
+
+// handleTrace serves the job's span tree: every completed pipeline stage
+// with its interval and counter deltas. Mid-run the tree is partial
+// (container spans still open, EndNs 0); once the job is terminal it is
+// complete and frozen — the same tree the job ledger's trace event holds.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, JobTrace{
+		ID:    j.ID,
+		Kind:  j.Req.Kind,
+		State: j.State(),
+		Spans: j.rec.Snapshot(),
+	})
+}
+
+// handleEvents serves the job's live event stream. The default encoding
+// is Server-Sent Events: one frame per event, the hub's dense event ID
+// as the SSE id, the event kind as the SSE event name, and the JSON
+// event as data. A client that reconnects with Last-Event-ID (or
+// ?after=N) resumes from its cursor; a cursor that fell off the
+// retained window gets a synthesized "dropped" frame counting what it
+// missed. The stream ends (EOF) after the terminal "done" event.
+//
+// ?poll=1 selects the long-poll fallback for clients without SSE: one
+// JSON EventPage with everything after the cursor, blocking up to
+// pollWindow when the stream is open but idle.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	after, err := eventCursor(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if r.URL.Query().Get("poll") == "1" {
+		s.servePoll(w, r, j, after)
+		return
+	}
+	s.serveSSE(w, r, j, after)
+}
+
+// eventCursor reads the resume cursor: the standard Last-Event-ID header
+// (what EventSource sends on reconnect) or the ?after= query parameter.
+func eventCursor(r *http.Request) (uint64, error) {
+	v := r.Header.Get("Last-Event-ID")
+	if q := r.URL.Query().Get("after"); q != "" {
+		v = q
+	}
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad event cursor %q", v)
+	}
+	return n, nil
+}
+
+func (s *Server) servePoll(w http.ResponseWriter, r *http.Request, j *Job, after uint64) {
+	ctx, cancel := context.WithTimeout(r.Context(), pollWindow)
+	defer cancel()
+	evs, skipped, open, err := j.hub.Next(ctx, after, true)
+	if err != nil && r.Context().Err() != nil {
+		return // client went away; nobody is reading the reply
+	}
+	// A poll-window timeout is a normal empty page: the stream is still
+	// open, the client comes back with the same cursor.
+	writeJSON(w, http.StatusOK, EventPage{Events: evs, Skipped: skipped, Open: open})
+}
+
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, j *Job, after uint64) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	for {
+		evs, skipped, open, err := j.hub.Next(r.Context(), after, true)
+		if err != nil {
+			return // client disconnected
+		}
+		if skipped > 0 {
+			// The cursor fell off the retained window: the job kept
+			// publishing while this consumer stalled, and the overwritten
+			// events are gone. Flag it rather than silently resuming.
+			writeSSE(w, telemetry.Event{Kind: telemetry.EventDropped, Skipped: skipped})
+		}
+		for _, ev := range evs {
+			writeSSE(w, ev)
+			after = ev.ID
+		}
+		fl.Flush()
+		if !open {
+			return
+		}
+	}
+}
+
+// writeSSE renders one event as an SSE frame. Events never contain
+// newlines (they are compact JSON), so one data: line suffices.
+func writeSSE(w http.ResponseWriter, ev telemetry.Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	if ev.ID != 0 {
+		fmt.Fprintf(w, "id: %d\n", ev.ID)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+}

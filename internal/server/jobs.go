@@ -12,6 +12,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/ledger"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -35,6 +36,13 @@ type Job struct {
 	ledger *lockedBuffer
 	lw     *ledger.Writer
 	done   chan struct{}
+
+	// hub is the job's live event stream (SSE subscribers read it); rec
+	// is the span recorder feeding it. Both live from submission, so
+	// queued-phase transitions stream too; rec closes hub at the
+	// terminal transition.
+	hub *telemetry.Hub
+	rec *telemetry.Recorder
 
 	mu        sync.Mutex
 	state     JobState
@@ -81,14 +89,24 @@ func (j *Job) Status() JobStatus {
 		DoneNs:      j.finished.Nanoseconds(),
 		LedgerURL:   "/v1/jobs/" + j.ID + "/ledger",
 	}
+	st.TraceURL = "/v1/jobs/" + j.ID + "/trace"
+	st.EventsURL = "/v1/jobs/" + j.ID + "/events"
 	if j.state == StateRunning {
 		snap := j.prog.Snapshot()
 		st.Progress = &snap
 	}
+	st.Sweep = j.rec.LatestSweep()
 	if j.state == StateDone {
 		st.ResultURL = "/v1/jobs/" + j.ID + "/result"
 	}
 	return st
+}
+
+// observeStage is the job's core.Experiment.OnStage hook: it feeds both
+// the progress tracker (job status) and the span recorder (live stream).
+func (j *Job) observeStage(workload string, stage metrics.Stage) {
+	j.prog.Observe(workload, stage)
+	j.rec.StageBegin(workload, stage)
 }
 
 // State returns the job's current lifecycle state.
@@ -173,6 +191,12 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		submitted: time.Since(m.epoch),
 	}
 	j.lw = ledger.New(j.ledger)
+	// The recorder shares the job ledger's epoch, so trace span offsets
+	// line up with the ledger's own span events. The per-job collector
+	// attaches in run() — SetWatch — once the pool hands one over.
+	j.hub = telemetry.NewHub(0)
+	j.rec = telemetry.NewRecorder(j.lw.Epoch(), nil, j.hub)
+	j.rec.State(string(StateQueued))
 	// Register only after the pool accepts the job: a refused job is
 	// never visible, so nothing — Drain included — can end up waiting on
 	// a done channel that will never close. The sequence number is not
@@ -223,6 +247,8 @@ func (m *Manager) run(j *Job, wmc *metrics.Collector) {
 	j.state = StateRunning
 	j.started = time.Since(m.epoch)
 	j.mu.Unlock()
+	j.rec.SetWatch(wmc)
+	j.rec.State(string(StateRunning))
 	m.mu.Lock()
 	m.running++
 	if m.running > m.maxRunning {
@@ -274,6 +300,16 @@ func (m *Manager) finishFrom(j *Job, from, state JobState, result []byte, err er
 	j.finished = time.Since(m.epoch)
 	j.mu.Unlock()
 
+	// Seal the telemetry before the ledger: Finish closes open spans and
+	// ends every subscriber's stream (the terminal "done" event), and the
+	// completed span tree lands in the job ledger as its trace event —
+	// inside the sealed stream, so replaying the ledger recovers it.
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+	}
+	j.rec.Finish(string(state), errMsg)
+	j.lw.Trace(jobTrace(j, state))
 	_ = j.lw.Close()
 	j.cancel()
 	switch state {
@@ -286,6 +322,34 @@ func (m *Manager) finishFrom(j *Job, from, state JobState, result []byte, err er
 	}
 	close(j.done)
 	m.evict()
+}
+
+// jobTrace converts the job's recorded span tree into the ledger's
+// trace event (ledger schema v4).
+func jobTrace(j *Job, state JobState) ledger.Trace {
+	spans := j.rec.Snapshot()
+	t := ledger.Trace{
+		Job:   j.ID,
+		Kind:  string(j.Req.Kind),
+		State: string(state),
+		Spans: make([]ledger.TraceSpan, len(spans)),
+	}
+	for i, sp := range spans {
+		ts := ledger.TraceSpan{
+			ID:       sp.ID,
+			Parent:   sp.Parent,
+			Workload: sp.Workload,
+			Stage:    sp.Stage,
+			Label:    sp.Label,
+			StartNs:  sp.StartNs,
+			EndNs:    sp.EndNs,
+		}
+		for _, cd := range sp.Counters {
+			ts.Counters = append(ts.Counters, ledger.CounterDelta{Name: cd.Name, Delta: cd.Delta})
+		}
+		t.Spans[i] = ts
+	}
+	return t
 }
 
 // evict trims the registry after a job finalizes: once more than

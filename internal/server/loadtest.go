@@ -31,7 +31,9 @@ type LoadConfig struct {
 }
 
 // LoadReport is the harness outcome: counts plus the latency
-// distribution of successful submit->result round trips.
+// distribution of successful submit->result round trips, broken down —
+// from the server's own job timestamps — into time queued behind the
+// worker pool and time actually computing.
 type LoadReport struct {
 	Requests  int           `json:"requests"`
 	OK        int           `json:"ok"`
@@ -45,16 +47,27 @@ type LoadReport struct {
 	P99       time.Duration `json:"p99Ns"`
 	MaxLat    time.Duration `json:"maxNs"`
 	FirstByte string        `json:"firstError,omitempty"`
+	// QueueP50/P95 distribute each OK job's queue wait (StartedNs -
+	// SubmittedNs on the server's clock); RunP50/P95 its execution time
+	// (DoneNs - StartedNs). Queue time growing while run time holds
+	// steady is the signature of worker-pool saturation, as opposed to
+	// the jobs themselves slowing down.
+	QueueP50 time.Duration `json:"queueP50Ns"`
+	QueueP95 time.Duration `json:"queueP95Ns"`
+	RunP50   time.Duration `json:"runP50Ns"`
+	RunP95   time.Duration `json:"runP95Ns"`
 }
 
 // String renders the report in the one-line style the bench harness uses.
 func (r LoadReport) String() string {
 	return fmt.Sprintf(
-		"requests %d  ok %d  rejected %d  failed %d  dropped %d  wall %s  qps %.1f  p50 %s  p95 %s  p99 %s  max %s",
+		"requests %d  ok %d  rejected %d  failed %d  dropped %d  wall %s  qps %.1f  p50 %s  p95 %s  p99 %s  max %s  queue p50 %s p95 %s  run p50 %s p95 %s",
 		r.Requests, r.OK, r.Rejected, r.Failed, r.Dropped,
 		r.Wall.Round(time.Millisecond), r.QPS,
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
-		r.P99.Round(time.Microsecond), r.MaxLat.Round(time.Microsecond))
+		r.P99.Round(time.Microsecond), r.MaxLat.Round(time.Microsecond),
+		r.QueueP50.Round(time.Microsecond), r.QueueP95.Round(time.Microsecond),
+		r.RunP50.Round(time.Microsecond), r.RunP95.Round(time.Microsecond))
 }
 
 // RunLoad drives an open-loop load test: submit cfg.Body at cfg.QPS for
@@ -86,6 +99,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		mu        sync.Mutex
 		report    LoadReport
 		latencies []time.Duration
+		queues    []time.Duration
+		runs      []time.Duration
 		wg        sync.WaitGroup
 	)
 	client := &http.Client{}
@@ -119,13 +134,15 @@ loop:
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				lat, outcome, err := probe(ctx, client, cfg)
+				lat, breakdown, outcome, err := probe(ctx, client, cfg)
 				mu.Lock()
 				defer mu.Unlock()
 				switch outcome {
 				case probeOK:
 					report.OK++
 					latencies = append(latencies, lat)
+					queues = append(queues, breakdown.queue)
+					runs = append(runs, breakdown.run)
 				case probeRejected:
 					report.Rejected++
 				default:
@@ -149,6 +166,12 @@ loop:
 	if n := len(latencies); n > 0 {
 		report.MaxLat = latencies[n-1]
 	}
+	sort.Slice(queues, func(i, j int) bool { return queues[i] < queues[j] })
+	sort.Slice(runs, func(i, j int) bool { return runs[i] < runs[j] })
+	report.QueueP50 = percentile(queues, 50)
+	report.QueueP95 = percentile(queues, 95)
+	report.RunP50 = percentile(runs, 50)
+	report.RunP95 = percentile(runs, 95)
 	return report, nil
 }
 
@@ -160,34 +183,48 @@ const (
 	probeFailed
 )
 
+// probeBreakdown splits a completed probe's latency using the job's own
+// server-side timestamps: queue is submit -> worker pickup, run is
+// pickup -> terminal.
+type probeBreakdown struct {
+	queue time.Duration
+	run   time.Duration
+}
+
 // probe runs one submit -> poll -> result round trip.
-func probe(ctx context.Context, client *http.Client, cfg LoadConfig) (time.Duration, probeOutcome, error) {
+func probe(ctx context.Context, client *http.Client, cfg LoadConfig) (time.Duration, probeBreakdown, probeOutcome, error) {
 	start := time.Now()
 	status, err := postJob(ctx, client, cfg)
 	if err != nil {
-		return 0, probeFailed, err
+		return 0, probeBreakdown{}, probeFailed, err
 	}
 	if status.rejected {
-		return 0, probeRejected, nil
+		return 0, probeBreakdown{}, probeRejected, nil
 	}
-	for !status.state.Terminal() {
+	var final JobStatus
+	final.State = status.state
+	for !final.State.Terminal() {
 		select {
 		case <-ctx.Done():
-			return 0, probeFailed, ctx.Err()
+			return 0, probeBreakdown{}, probeFailed, ctx.Err()
 		case <-time.After(cfg.PollInterval):
 		}
-		status.state, err = pollState(ctx, client, cfg.BaseURL, status.id)
+		final, err = pollStatus(ctx, client, cfg.BaseURL, status.id)
 		if err != nil {
-			return 0, probeFailed, err
+			return 0, probeBreakdown{}, probeFailed, err
 		}
 	}
-	if status.state != StateDone {
-		return 0, probeFailed, fmt.Errorf("job %s finished %s", status.id, status.state)
+	if final.State != StateDone {
+		return 0, probeBreakdown{}, probeFailed, fmt.Errorf("job %s finished %s", status.id, final.State)
 	}
 	if err := fetchResult(ctx, client, cfg.BaseURL, status.id); err != nil {
-		return 0, probeFailed, err
+		return 0, probeBreakdown{}, probeFailed, err
 	}
-	return time.Since(start), probeOK, nil
+	bd := probeBreakdown{
+		queue: time.Duration(final.StartedNs - final.SubmittedNs),
+		run:   time.Duration(final.DoneNs - final.StartedNs),
+	}
+	return time.Since(start), bd, probeOK, nil
 }
 
 type submitStatus struct {
@@ -223,24 +260,24 @@ func postJob(ctx context.Context, client *http.Client, cfg LoadConfig) (submitSt
 	return submitStatus{id: js.ID, state: js.State}, nil
 }
 
-func pollState(ctx context.Context, client *http.Client, base, id string) (JobState, error) {
+func pollStatus(ctx context.Context, client *http.Client, base, id string) (JobStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
 	if err != nil {
-		return "", err
+		return JobStatus{}, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return "", err
+		return JobStatus{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("poll %s: %s", id, resp.Status)
+		return JobStatus{}, fmt.Errorf("poll %s: %s", id, resp.Status)
 	}
 	var js JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
-		return "", fmt.Errorf("poll %s: %w", id, err)
+		return JobStatus{}, fmt.Errorf("poll %s: %w", id, err)
 	}
-	return js.State, nil
+	return js, nil
 }
 
 func fetchResult(ctx context.Context, client *http.Client, base, id string) error {

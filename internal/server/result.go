@@ -14,6 +14,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/trg"
 	"repro/internal/workload"
 )
@@ -44,7 +45,8 @@ func (s *Server) execute(ctx context.Context, j *Job, wmc *metrics.Collector) ([
 		Inputs:   selectInputs(w, req.Scale, req.Inputs),
 		Trace:    s.cfg.Trace,
 		Ledger:   j.lw,
-		OnStage:  j.prog.Observe,
+		OnStage:  j.observeStage,
+		OnSpan:   j.rec.SpanDone,
 		Context:  ctx,
 	})
 	if err != nil {
@@ -247,7 +249,7 @@ func (s *Server) executeSweep(ctx context.Context, j *Job, w workload.Workload, 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("server: %s cancelled before sweep: %w", w.Name(), err)
 	}
-	j.prog.Observe(w.Name(), metrics.StageSweep)
+	j.observeStage(w.Name(), metrics.StageSweep)
 	var grid sweep.Grid
 	if j.Req.Grid != nil {
 		grid = *j.Req.Grid
@@ -261,6 +263,19 @@ func (s *Server) executeSweep(ctx context.Context, j *Job, w workload.Workload, 
 		Options:  opts,
 		Trace:    s.cfg.Trace,
 		Context:  ctx,
+		// The engine serializes its progress emissions, so the recorder
+		// publishes monotonically increasing cell counts to the stream.
+		OnProgress: func(p sweep.Progress) {
+			j.rec.Sweep(telemetry.SweepProgress{
+				Phase:      p.Phase,
+				GroupsDone: p.GroupsDone,
+				Groups:     p.Groups,
+				CellsDone:  p.CellsDone,
+				CellsTotal: p.CellsTotal,
+				Batches:    p.Batches,
+				Events:     p.Events,
+			})
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -289,6 +304,8 @@ func (s *Server) executeSuite(ctx context.Context, j *Job, wmc *metrics.Collecto
 		Trace:       s.cfg.Trace,
 		Ledger:      j.lw,
 		Progress:    j.prog,
+		OnStage:     j.rec.StageBegin,
+		OnSpan:      j.rec.SpanDone,
 		Context:     ctx,
 	}.Run()
 	if err != nil {

@@ -7,12 +7,15 @@
 //
 //	POST   /v1/jobs            submit a job (202; ?wait=true blocks)
 //	GET    /v1/jobs            list jobs in submission order
-//	GET    /v1/jobs/{id}       status + live stage progress
+//	GET    /v1/jobs/{id}       status + live stage/sweep progress
 //	GET    /v1/jobs/{id}/result  rendered result (done jobs only)
 //	GET    /v1/jobs/{id}/ledger  the job's structured run ledger (JSONL)
+//	GET    /v1/jobs/{id}/trace   the job's span tree (JSON)
+//	GET    /v1/jobs/{id}/events  live event stream (SSE; ?poll=1 long-poll)
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET    /v1/workloads       the workload pool
 //	GET    /healthz            liveness + job-state tallies
+//	GET    /metrics            Prometheus text exposition
 //	GET    /debug/snapshot     live metrics + pprof under /debug/pprof/
 //
 // Results are deterministic: a job's rendered bytes are identical to
@@ -138,7 +141,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/ledger", s.handleLedger)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.Handle("GET /metrics", metrics.PromHandler(s.mc))
 	s.mux.HandleFunc("GET /debug/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -285,14 +291,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSnapshot mirrors the ccdpbench -debug-addr snapshot: the live
-// metrics plus, here, every job's status.
+// metrics plus, here, every job's status and the Go runtime's vitals
+// (goroutines, heap in use, GC pauses).
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	var jobs []JobStatus
 	for _, j := range s.mgr.List() {
 		jobs = append(jobs, j.Status())
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Jobs    []JobStatus      `json:"jobs"`
-		Metrics metrics.Snapshot `json:"metrics"`
-	}{Jobs: jobs, Metrics: s.mc.Snapshot()})
+		Jobs    []JobStatus             `json:"jobs"`
+		Metrics metrics.Snapshot        `json:"metrics"`
+		Runtime metrics.RuntimeSnapshot `json:"runtime"`
+	}{Jobs: jobs, Metrics: s.mc.Snapshot(), Runtime: metrics.ReadRuntime()})
 }

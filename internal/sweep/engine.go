@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +58,38 @@ type Request struct {
 	// than running the full grid to completion (what lets ccdpd's
 	// shutdown drain and DELETE stay deadline-bounded for sweep jobs).
 	Context context.Context
+
+	// OnProgress, when non-nil, observes sweep execution at its natural
+	// boundaries: layout groups as their layouts are carved during prep,
+	// broadcast batches as the shared replay streams, and cells as their
+	// results land. Calls are serialized and each snapshot's counters are
+	// >= the previous one's, so a consumer can fan the stream out without
+	// reordering. The callback runs on engine goroutines and must not
+	// block; it never observes or influences simulation state, so results
+	// are byte-identical with or without it.
+	OnProgress func(Progress)
+}
+
+// Progress is one point-in-time snapshot of a sweep's execution, emitted
+// through Request.OnProgress.
+type Progress struct {
+	// Phase is "prep" while profiles/placements/layouts are built and
+	// "replay" once events stream through the simulators.
+	Phase string
+	// GroupsDone counts layout groups whose layout has been carved;
+	// Groups is the total (the shared engine's fan-out width).
+	GroupsDone int
+	Groups     int
+	// CellsDone counts grid cells with results collected out of
+	// CellsTotal. On the shared engine cells complete together after the
+	// broadcast replay drains; on the independent engine they complete
+	// one by one.
+	CellsDone  int
+	CellsTotal int
+	// Batches and Events count broadcast batches and decoded trace
+	// events through the shared replay (zero on the independent path).
+	Batches uint64
+	Events  uint64
 }
 
 // Prep is a sweep with its grid expanded and its traces pinned. Profiles
@@ -82,6 +115,24 @@ type Prep struct {
 	ts         *sim.TraceStore
 	trainTrace []byte // in-memory traces when the store is disabled
 	testTrace  []byte
+
+	// progMu serializes OnProgress emissions (held through the callback,
+	// so downstream fan-out sees snapshots in monotone order); prog is
+	// the cumulative state the emissions mutate.
+	progMu sync.Mutex
+	prog   Progress
+}
+
+// progress applies mutate to the cumulative progress state and emits the
+// resulting snapshot, serialized under progMu. No-op without a callback.
+func (p *Prep) progress(mutate func(*Progress)) {
+	if p.req.OnProgress == nil {
+		return
+	}
+	p.progMu.Lock()
+	mutate(&p.prog)
+	p.req.OnProgress(p.prog)
+	p.progMu.Unlock()
 }
 
 // CellResult pairs a cell with its evaluation; exactly one of Eval and
@@ -227,6 +278,7 @@ func NewPrep(req Request) (*Prep, error) {
 		return nil, fmt.Errorf("sweep: empty grid")
 	}
 	p := &Prep{req: req, heapPlace: req.Workload.HeapPlacement(), cells: cells}
+	p.prog.CellsTotal = len(cells)
 
 	if req.Trace.Enabled() {
 		p.ts = sim.NewTraceStore(req.Trace, req.Workload, req.Options.Metrics)
@@ -420,6 +472,10 @@ type collector struct {
 	events      uint64
 	decodeNanos int64
 	lastExit    time.Time
+
+	// onBatch, when non-nil, observes each broadcast batch boundary with
+	// the cumulative batch and event counts.
+	onBatch func(batches, events uint64)
 }
 
 func (c *collector) enter() {
@@ -479,6 +535,9 @@ func (c *collector) flush() {
 	c.st.Send(c.cur)
 	c.batches++
 	c.cur = c.fl.Get()
+	if c.onBatch != nil {
+		c.onBatch(c.batches, c.events)
+	}
 }
 
 // profBatch is the train-side broadcast unit: enriched profile records
@@ -814,6 +873,20 @@ func (p *Prep) buildGroups(table *object.Table, parallel int) ([]*layoutGroup, [
 		memberOf[i] = m
 	}
 
+	// Non-CCDP groups carved their layouts inline above; CCDP groups
+	// carve below as their placements land.
+	carved := 0
+	for _, g := range groups {
+		if g.profKey == "" {
+			carved++
+		}
+	}
+	p.progress(func(pr *Progress) {
+		pr.Phase = "prep"
+		pr.Groups = len(groups)
+		pr.GroupsDone = carved
+	})
+
 	// Streamed CCDP prep: profiles first (one decode, all configs), then
 	// placements per profile in first-appearance order.
 	var profKeys []string
@@ -883,6 +956,7 @@ func (p *Prep) buildGroups(table *object.Table, parallel int) ([]*layoutGroup, [
 				}
 				g.alloc = alloc
 				g.fillStatic(table, lay)
+				p.progress(func(pr *Progress) { pr.GroupsDone++ })
 			}
 			if !p.heapPlace {
 				// The groups hold resolved addresses and a default
@@ -967,6 +1041,15 @@ func (p *Prep) RunShared(parallel int) (*Result, error) {
 		ctx:      ctx,
 		lastExit: time.Now(),
 	}
+	if p.req.OnProgress != nil {
+		col.onBatch = func(batches, events uint64) {
+			p.progress(func(pr *Progress) {
+				pr.Phase = "replay"
+				pr.Batches = batches
+				pr.Events = events
+			})
+		}
+	}
 	driveErr := src.Drive(col)
 	col.flush()
 	st.Close()
@@ -1015,6 +1098,10 @@ func (p *Prep) RunShared(parallel int) (*Result, error) {
 			}
 		}
 		res.Cells[i] = cr
+		p.progress(func(pr *Progress) {
+			pr.Phase = "replay"
+			pr.CellsDone = i + 1
+		})
 	}
 	mc.Add(metrics.SweepCells, uint64(len(p.cells)))
 	mc.Add(metrics.SweepBatches, col.batches)
@@ -1035,10 +1122,12 @@ func (p *Prep) RunShared(parallel int) (*Result, error) {
 func (p *Prep) RunIndependent(parallel int) (*Result, error) {
 	mc := p.req.Options.Metrics
 	start := time.Now()
+	p.progress(func(pr *Progress) { pr.Phase = "prep" })
 	if err := p.materialize(); err != nil {
 		return nil, err
 	}
 	prepNanos := time.Since(start).Nanoseconds()
+	p.progress(func(pr *Progress) { pr.Phase = "replay" })
 	tasks := make([]exec.Task[CellResult], len(p.cells))
 	for i := range p.cells {
 		i := i
@@ -1056,6 +1145,9 @@ func (p *Prep) RunIndependent(parallel int) (*Result, error) {
 			} else {
 				hcfg := hierarchy.Config{L1: cell.Cache, L2: *cell.L2, TLBEntries: cell.TLB}
 				cr.Hier, err = sim.EvalHierarchyFrom(src, "", p.heapPlace, workload.Input{}, cell.Layout, p.prs[i], p.pms[i], hcfg, opts)
+			}
+			if err == nil {
+				p.progress(func(pr *Progress) { pr.CellsDone++ })
 			}
 			return cr, err
 		}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -583,4 +584,80 @@ func TestCollectorAbortsMidReplay(t *testing.T) {
 	if got := delivered.Load(); got != 1 {
 		t.Fatalf("delivered %d batches, want only the pre-cancel one", got)
 	}
+}
+
+// TestProgressMonotonicAndInert exercises the OnProgress seam: snapshots
+// must arrive with non-decreasing counters through both engines, end with
+// every cell and group accounted for, and — the zero-perturbation
+// contract — leave results byte-identical to a run without the callback.
+func TestProgressMonotonicAndInert(t *testing.T) {
+	g := Grid{
+		Sizes:   []int64{4096, 8192},
+		Chunks:  []int64{0, 512},
+		Layouts: []string{"natural", "ccdp"},
+		Heaps:   []string{"first", "temporal"},
+	}
+	base := smallRequest(t, "espresso", 0.05, g)
+
+	silent, err := mustPrep(t, base).RunShared(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(t *testing.T, snaps []Progress, res *Result) {
+		t.Helper()
+		if len(snaps) == 0 {
+			t.Fatal("no progress snapshots")
+		}
+		var prev Progress
+		for i, s := range snaps {
+			if s.GroupsDone < prev.GroupsDone || s.CellsDone < prev.CellsDone ||
+				s.Batches < prev.Batches || s.Events < prev.Events {
+				t.Fatalf("snapshot %d regressed: %+v after %+v", i, s, prev)
+			}
+			if s.CellsTotal != len(res.Cells) {
+				t.Fatalf("snapshot %d CellsTotal = %d, want %d", i, s.CellsTotal, len(res.Cells))
+			}
+			prev = s
+		}
+		last := snaps[len(snaps)-1]
+		if last.CellsDone != len(res.Cells) {
+			t.Fatalf("final CellsDone = %d, want %d", last.CellsDone, len(res.Cells))
+		}
+		if err := DiffResults(res, silent); err != nil {
+			t.Fatalf("progress callback perturbed results: %v", err)
+		}
+	}
+
+	for _, par := range []int{1, 4} {
+		var snaps []Progress
+		req := base
+		req.OnProgress = func(p Progress) { snaps = append(snaps, p) }
+		res, err := mustPrep(t, req).RunShared(par)
+		if err != nil {
+			t.Fatalf("shared parallel %d: %v", par, err)
+		}
+		check(t, snaps, res)
+		last := snaps[len(snaps)-1]
+		if last.Groups == 0 || last.GroupsDone != last.Groups {
+			t.Fatalf("parallel %d: groups %d/%d not all carved", par, last.GroupsDone, last.Groups)
+		}
+		if last.Batches == 0 || last.Events == 0 {
+			t.Fatalf("parallel %d: no replay batches observed: %+v", par, last)
+		}
+	}
+
+	var mu sync.Mutex
+	var snaps []Progress
+	req := base
+	req.OnProgress = func(p Progress) {
+		mu.Lock()
+		snaps = append(snaps, p)
+		mu.Unlock()
+	}
+	res, err := mustPrep(t, req).RunIndependent(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, snaps, res)
 }

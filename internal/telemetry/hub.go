@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+)
+
+// The event kinds a Hub carries. SSE frames use the kind as the event
+// name; exactly one payload pointer is set per kind.
+const (
+	// EventStage announces a pipeline stage starting (live view only;
+	// the completed interval follows as an EventSpan).
+	EventStage = "stage"
+	// EventSpan carries one completed span of the job's span tree.
+	EventSpan = "span"
+	// EventSweep carries a sweep progress report (cells done / total,
+	// batches, decode position).
+	EventSweep = "sweep"
+	// EventState announces a non-terminal lifecycle transition.
+	EventState = "state"
+	// EventDone is the terminal event: the job reached a final state
+	// and the stream ends after it.
+	EventDone = "done"
+	// EventDropped is synthesized for a subscriber whose cursor fell
+	// off the retained window: Skipped events were dropped rather than
+	// stalling the publisher.
+	EventDropped = "dropped"
+)
+
+// Event is one element of a job's live stream. IDs are assigned by the
+// Hub, dense and ascending from 1, and double as SSE ids so clients
+// resume with Last-Event-ID.
+type Event struct {
+	ID      uint64         `json:"id"`
+	Kind    string         `json:"kind"`
+	Span    *Span          `json:"span,omitempty"`
+	Stage   *StageChange   `json:"stage,omitempty"`
+	Sweep   *SweepProgress `json:"sweep,omitempty"`
+	State   *StateChange   `json:"state,omitempty"`
+	Skipped uint64         `json:"skipped,omitempty"`
+}
+
+// StageChange is the EventStage payload.
+type StageChange struct {
+	Workload string `json:"workload,omitempty"`
+	Stage    string `json:"stage"`
+}
+
+// StateChange is the EventState/EventDone payload.
+type StateChange struct {
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// DefaultHubCapacity is the retained-window size NewHub(0) selects:
+// large enough to hold every event a typical job emits, so a
+// subscriber arriving after completion still replays the whole stream.
+const DefaultHubCapacity = 4096
+
+// Hub is a bounded broadcast channel for one job's events. The
+// publisher appends to a retained ring and never blocks; subscribers
+// are cursors (the last event ID they consumed) that read with Next.
+// A subscriber too slow to keep its cursor inside the window has the
+// overwritten events dropped and counted — backpressure falls on the
+// stuck client, never on the job. A nil *Hub no-ops every method.
+type Hub struct {
+	mu     sync.Mutex
+	buf    []Event // retained window, buf[0] has ID first
+	first  uint64  // ID of buf[0]; IDs start at 1
+	nextID uint64
+	cap    int
+	closed bool
+	wake   chan struct{} // closed and replaced on every publish/close
+}
+
+// NewHub builds a hub retaining up to capacity events (0 selects
+// DefaultHubCapacity).
+func NewHub(capacity int) *Hub {
+	if capacity <= 0 {
+		capacity = DefaultHubCapacity
+	}
+	return &Hub{first: 1, nextID: 1, cap: capacity, wake: make(chan struct{})}
+}
+
+// Publish assigns the event an ID, appends it to the retained window
+// (evicting the oldest event when full), and wakes every waiting
+// subscriber. Publishing to a closed or nil hub is a no-op.
+func (h *Hub) Publish(ev Event) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	ev.ID = h.nextID
+	h.nextID++
+	h.buf = append(h.buf, ev)
+	if len(h.buf) > h.cap {
+		n := len(h.buf) - h.cap
+		h.buf = append(h.buf[:0], h.buf[n:]...)
+		h.first += uint64(n)
+	}
+	close(h.wake)
+	h.wake = make(chan struct{})
+	h.mu.Unlock()
+}
+
+// Close ends the stream: no further events are accepted, waiting
+// subscribers wake, and once a subscriber drains the window Next
+// reports the stream closed. Idempotent.
+func (h *Hub) Close() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		close(h.wake)
+		h.wake = make(chan struct{})
+	}
+	h.mu.Unlock()
+}
+
+// Next returns the events after cursor `after` (the last event ID the
+// subscriber consumed; 0 reads from the start of the window). skipped
+// counts events that fell off the retained window before the
+// subscriber got to them — a slow consumer's drop-and-flag signal.
+// open is false once the hub is closed and the window is drained: the
+// subscriber saw everything it ever will.
+//
+// With wait true and nothing buffered, Next blocks until an event
+// arrives, the hub closes, or ctx is done (the only error source). A
+// nil hub reports an immediately-closed stream.
+func (h *Hub) Next(ctx context.Context, after uint64, wait bool) (evs []Event, skipped uint64, open bool, err error) {
+	if h == nil {
+		return nil, 0, false, nil
+	}
+	for {
+		h.mu.Lock()
+		if after+1 < h.first {
+			skipped += h.first - 1 - after
+			after = h.first - 1
+		}
+		if end := h.first + uint64(len(h.buf)); after+1 < end {
+			evs = make([]Event, end-after-1)
+			copy(evs, h.buf[after+1-h.first:])
+			h.mu.Unlock()
+			return evs, skipped, true, nil
+		}
+		if h.closed {
+			h.mu.Unlock()
+			return nil, skipped, false, nil
+		}
+		if !wait {
+			h.mu.Unlock()
+			return nil, skipped, true, nil
+		}
+		wake := h.wake
+		h.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, skipped, true, ctx.Err()
+		case <-wake:
+		}
+	}
+}

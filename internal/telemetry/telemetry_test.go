@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestRecorderSpanTree(t *testing.T) {
+	epoch := time.Now()
+	mc := metrics.New()
+	hub := NewHub(0)
+	r := NewRecorder(epoch, mc, hub)
+
+	r.StageBegin("alpha", metrics.StageProfile)
+	mc.Add(metrics.TraceEvents, 100)
+	start := epoch.Add(time.Millisecond)
+	r.SpanDone("alpha", metrics.StageProfile, "", start, 2*time.Millisecond)
+	mc.Add(metrics.SimAccesses, 7)
+	r.SpanDone("alpha", metrics.StageEval, "train/ccdp", start, time.Millisecond)
+	r.Finish("done", "")
+
+	spans := r.Snapshot()
+	if len(spans) != 4 { // job, workload alpha, profile, eval
+		t.Fatalf("got %d spans, want 4: %+v", len(spans), spans)
+	}
+	if spans[0].Stage != "job" || spans[0].ID != 1 || spans[0].Parent != 0 {
+		t.Fatalf("root span %+v", spans[0])
+	}
+	if spans[0].EndNs == 0 {
+		t.Fatal("Finish left the root span open")
+	}
+	wl := spans[1]
+	if wl.Stage != "workload" || wl.Workload != "alpha" || wl.Parent != 1 || wl.EndNs == 0 {
+		t.Fatalf("workload span %+v", wl)
+	}
+	prof := spans[2]
+	if prof.Stage != "profile" || prof.Parent != wl.ID {
+		t.Fatalf("profile span %+v", prof)
+	}
+	if prof.EndNs-prof.StartNs != (2 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("profile span width %d", prof.EndNs-prof.StartNs)
+	}
+	if len(prof.Counters) != 1 || prof.Counters[0].Name != "trace.events" || prof.Counters[0].Delta != 100 {
+		t.Fatalf("profile counters %+v", prof.Counters)
+	}
+	eval := spans[3]
+	if eval.Label != "train/ccdp" {
+		t.Fatalf("eval span %+v", eval)
+	}
+	if len(eval.Counters) != 1 || eval.Counters[0].Name != "sim.accesses" || eval.Counters[0].Delta != 7 {
+		t.Fatalf("eval counters %+v (deltas must reset between spans)", eval.Counters)
+	}
+
+	// The hub carried the whole story and then closed.
+	evs, skipped, open, err := hub.Next(context.Background(), 0, false)
+	if err != nil || skipped != 0 {
+		t.Fatalf("Next: %v skipped=%d", err, skipped)
+	}
+	kinds := make([]string, len(evs))
+	for i, ev := range evs {
+		kinds[i] = ev.Kind
+		if ev.ID != uint64(i+1) {
+			t.Fatalf("event %d has ID %d, want dense ascending", i, ev.ID)
+		}
+	}
+	want := []string{EventStage, EventSpan, EventSpan, EventDone}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event kinds %v, want %v", kinds, want)
+		}
+	}
+	if !open {
+		t.Fatal("window not yet drained but stream reported closed")
+	}
+	if _, _, open, _ := hub.Next(context.Background(), evs[len(evs)-1].ID, false); open {
+		t.Fatal("stream still open after terminal event drained")
+	}
+}
+
+func TestRecorderSweepProgress(t *testing.T) {
+	r := NewRecorder(time.Now(), nil, nil)
+	if r.LatestSweep() != nil {
+		t.Fatal("fresh recorder has sweep progress")
+	}
+	r.Sweep(SweepProgress{Phase: "replay", CellsDone: 3, CellsTotal: 64})
+	p := r.LatestSweep()
+	if p == nil || p.CellsDone != 3 || p.CellsTotal != 64 {
+		t.Fatalf("latest sweep %+v", p)
+	}
+}
+
+func TestNilRecorderAndHub(t *testing.T) {
+	var r *Recorder
+	var h *Hub
+	r.StageBegin("x", metrics.StageEval)
+	r.SpanDone("x", metrics.StageEval, "", time.Now(), 0)
+	r.Sweep(SweepProgress{})
+	r.State("running")
+	r.Finish("done", "")
+	if r.Snapshot() != nil || r.LatestSweep() != nil {
+		t.Fatal("nil recorder returned data")
+	}
+	h.Publish(Event{})
+	h.Close()
+	if _, _, open, err := h.Next(context.Background(), 0, true); open || err != nil {
+		t.Fatal("nil hub must report a closed stream")
+	}
+}
+
+func TestHubResumeAfterDisconnect(t *testing.T) {
+	hub := NewHub(0)
+	for i := 0; i < 5; i++ {
+		hub.Publish(Event{Kind: EventState})
+	}
+	// First read consumed events 1..3; resume from 3 sees 4 and 5.
+	evs, skipped, open, err := hub.Next(context.Background(), 3, false)
+	if err != nil || skipped != 0 || !open {
+		t.Fatalf("resume: %v skipped=%d open=%v", err, skipped, open)
+	}
+	if len(evs) != 2 || evs[0].ID != 4 || evs[1].ID != 5 {
+		t.Fatalf("resume events %+v", evs)
+	}
+}
+
+func TestHubDropAndFlagSlowConsumer(t *testing.T) {
+	hub := NewHub(4)
+	for i := 0; i < 10; i++ {
+		hub.Publish(Event{Kind: EventState})
+	}
+	// Cursor 0 fell off the 4-event window: events 1..6 were dropped.
+	evs, skipped, open, err := hub.Next(context.Background(), 0, false)
+	if err != nil || !open {
+		t.Fatalf("Next: %v open=%v", err, open)
+	}
+	if skipped != 6 {
+		t.Fatalf("skipped = %d, want 6", skipped)
+	}
+	if len(evs) != 4 || evs[0].ID != 7 || evs[3].ID != 10 {
+		t.Fatalf("window events %+v", evs)
+	}
+}
+
+func TestHubBlockingNextWakesOnPublish(t *testing.T) {
+	hub := NewHub(0)
+	got := make(chan []Event, 1)
+	go func() {
+		evs, _, _, _ := hub.Next(context.Background(), 0, true)
+		got <- evs
+	}()
+	time.Sleep(10 * time.Millisecond)
+	hub.Publish(Event{Kind: EventSpan})
+	select {
+	case evs := <-got:
+		if len(evs) != 1 || evs[0].Kind != EventSpan {
+			t.Fatalf("woke with %+v", evs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Next never woke on publish")
+	}
+}
+
+func TestHubBlockingNextWakesOnClose(t *testing.T) {
+	hub := NewHub(0)
+	done := make(chan bool, 1)
+	go func() {
+		_, _, open, _ := hub.Next(context.Background(), 0, true)
+		done <- open
+	}()
+	time.Sleep(10 * time.Millisecond)
+	hub.Close()
+	select {
+	case open := <-done:
+		if open {
+			t.Fatal("closed hub reported an open stream")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Next never woke on close")
+	}
+}
+
+func TestHubNextHonorsContext(t *testing.T) {
+	hub := NewHub(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, open, err := hub.Next(ctx, 0, true)
+	if err == nil || !open {
+		t.Fatalf("Next = open=%v err=%v, want ctx error with stream still open", open, err)
+	}
+}
+
+func TestHubClosedPublishDropped(t *testing.T) {
+	hub := NewHub(0)
+	hub.Publish(Event{Kind: EventState})
+	hub.Close()
+	hub.Publish(Event{Kind: EventState})
+	evs, _, _, _ := hub.Next(context.Background(), 0, false)
+	if len(evs) != 1 {
+		t.Fatalf("%d events after post-close publish, want 1", len(evs))
+	}
+}
+
+// TestHubConcurrency hammers one hub from publishers and cursor-style
+// subscribers; under -race this is the ordering/locking proof. Every
+// subscriber must observe strictly ascending IDs and account for every
+// event as either seen or flagged dropped.
+func TestHubConcurrency(t *testing.T) {
+	hub := NewHub(32)
+	const total = 500
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var after, seen, skipped uint64
+			for {
+				evs, sk, open, err := hub.Next(context.Background(), after, true)
+				if err != nil {
+					t.Errorf("Next: %v", err)
+					return
+				}
+				skipped += sk
+				for _, ev := range evs {
+					if ev.ID <= after {
+						t.Errorf("non-ascending ID %d after %d", ev.ID, after)
+						return
+					}
+					after = ev.ID
+					seen++
+				}
+				if !open {
+					break
+				}
+			}
+			if seen+skipped != total {
+				t.Errorf("seen %d + skipped %d != %d published", seen, skipped, total)
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		hub.Publish(Event{Kind: EventState})
+	}
+	hub.Close()
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/metrics"
@@ -148,7 +149,7 @@ func TestBatchedMetricsMatchSingleEventPath(t *testing.T) {
 	bs, ss := batched.Snapshot(), single.Snapshot()
 	bh, _ := bs.Hist("access_size_bytes")
 	sh, _ := ss.Hist("access_size_bytes")
-	if bh != sh {
+	if !reflect.DeepEqual(bh, sh) {
 		t.Fatalf("access-size sketch differs: %+v vs %+v", bh, sh)
 	}
 }

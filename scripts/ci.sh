@@ -36,8 +36,8 @@ else
 fi
 
 if [ "${1:-}" != "fast" ]; then
-    echo "==> race (exec, profile, core, sim, sweep, store, trace, metrics, benchsuite, ledger, server)"
-    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/sweep/... ./internal/store/... ./internal/trace/... ./internal/metrics/... ./internal/benchsuite/... ./internal/ledger/... ./internal/server/...
+    echo "==> race (exec, profile, core, sim, sweep, store, trace, metrics, benchsuite, ledger, telemetry, server)"
+    go test -race ./internal/exec/... ./internal/profile/... ./internal/core/... ./internal/sim/... ./internal/sweep/... ./internal/store/... ./internal/trace/... ./internal/metrics/... ./internal/benchsuite/... ./internal/ledger/... ./internal/telemetry/... ./internal/server/...
 
     echo "==> fuzz smoke (persist, trace, store)"
     go test -fuzz=FuzzReadProfile -fuzztime=15s ./internal/persist
@@ -60,6 +60,8 @@ ok=""
 for i in $(seq 1 50); do
     if curl -sf http://127.0.0.1:18080/debug/snapshot | grep -q '"total"'; then
         curl -sf -o /dev/null http://127.0.0.1:18080/debug/pprof/
+        curl -sf http://127.0.0.1:18080/metrics | grep -q '^ccdp_go_goroutines' \
+            || { echo "bench /metrics endpoint broken" >&2; exit 1; }
         ok=1
         break
     fi
@@ -153,6 +155,16 @@ grep -q '"program": "espresso"' /tmp/ccdpd-a.json || { echo "result is not a rep
 id2=$(curl -sf -d "$jobreq" "http://127.0.0.1:18344/v1/jobs?wait=true" | grep -o '"id": *"[^"]*"' | cut -d'"' -f4)
 curl -sf "http://127.0.0.1:18344/v1/jobs/$id2/result" > /tmp/ccdpd-b.json
 cmp /tmp/ccdpd-a.json /tmp/ccdpd-b.json || { echo "service results are not deterministic" >&2; exit 1; }
+# Telemetry smoke: the SSE stream must replay to its terminal event and
+# EOF, the span tree must be served, and /metrics must expose the job
+# counters in parseable text exposition format.
+curl -sN -m 60 "http://127.0.0.1:18344/v1/jobs/$id/events" > /tmp/ccdpd-events.txt
+grep -q '^event: done' /tmp/ccdpd-events.txt || { echo "SSE stream had no terminal done event" >&2; exit 1; }
+grep -q '^event: span' /tmp/ccdpd-events.txt || { echo "SSE stream had no span events" >&2; exit 1; }
+curl -sf "http://127.0.0.1:18344/v1/jobs/$id/trace" | grep -q '"stage": *"job"' || { echo "trace endpoint missing job root span" >&2; exit 1; }
+curl -sf http://127.0.0.1:18344/metrics > /tmp/ccdpd-metrics.txt
+grep -q '^ccdp_server_jobs_done_total [0-9]' /tmp/ccdpd-metrics.txt || { echo "/metrics missing jobs_done counter" >&2; exit 1; }
+awk '!/^#/ && NF != 2 { print "unparseable exposition line: " $0; bad = 1 } END { exit bad }' /tmp/ccdpd-metrics.txt || { echo "/metrics failed the parse check" >&2; exit 1; }
 kill -TERM "$dpid"
 wait "$dpid" || { echo "ccdpd exited non-zero on SIGTERM" >&2; exit 1; }
 
